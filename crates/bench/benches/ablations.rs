@@ -1,0 +1,104 @@
+//! Ablations of the design decisions DESIGN.md calls out: relay
+//! beaconing (paper Section 6), grid resolution, SYNC service, tx power,
+//! and MRMM vs plain ODMRP mesh efficiency.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::{
+    ablation_grid_resolution, ablation_packet_loss, ablation_propagation, ablation_relay_beaconing,
+    ablation_rf_algorithm, ablation_sync, ablation_tx_power, render_ablation,
+};
+use cocoa_core::prelude::*;
+use cocoa_multicast::odmrp::MeshMode;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn mesh_mode_comparison(scale: cocoa_core::experiment::ExperimentScale) {
+    println!("# Ablation — MRMM vs plain ODMRP (SYNC mesh efficiency)");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10} {:>12}",
+        "mode", "ctl packets", "suppressed", "delivered", "fwd effic."
+    );
+    for (label, mode) in [("ODMRP", MeshMode::Odmrp), ("MRMM", MeshMode::Mrmm)] {
+        let mesh = cocoa_multicast::odmrp::OdmrpConfig {
+            mode,
+            ..Default::default()
+        };
+        let s = Scenario::builder()
+            .seed(scale.seed)
+            .robots(scale.num_robots)
+            .equipped(scale.num_robots / 2)
+            .duration(scale.duration)
+            .mesh(mesh)
+            .mode(EstimatorMode::Cocoa)
+            .build();
+        let m = run(&s);
+        println!(
+            "{:<8} {:>12} {:>12} {:>10} {:>12.2}",
+            label,
+            m.mesh.control_overhead(),
+            m.mesh.queries_suppressed,
+            m.mesh.data_delivered,
+            m.mesh.forwarding_efficiency()
+        );
+    }
+    println!();
+}
+
+fn benches(c: &mut Criterion) {
+    banner("Ablations — relay beaconing / grid resolution / sync / tx power / mesh");
+    let scale = figure_scale();
+    println!(
+        "{}",
+        render_ablation(
+            "Ablation — relay beaconing (Section 6 future work)",
+            &ablation_relay_beaconing(scale)
+        )
+    );
+    println!(
+        "{}",
+        render_ablation("Ablation — grid resolution", &ablation_grid_resolution(scale))
+    );
+    println!("{}", render_ablation("Ablation — SYNC service", &ablation_sync(scale)));
+    println!(
+        "{}",
+        render_ablation(
+            "Ablation — beacon tx power (Section 6 future work)",
+            &ablation_tx_power(scale)
+        )
+    );
+    println!(
+        "{}",
+        render_ablation(
+            "Ablation — RF algorithm (Section 5 baseline)",
+            &ablation_rf_algorithm(scale)
+        )
+    );
+    println!(
+        "{}",
+        render_ablation("Ablation — propagation model", &ablation_propagation(scale))
+    );
+    println!(
+        "{}",
+        render_ablation("Ablation — packet loss robustness", &ablation_packet_loss(scale))
+    );
+    mesh_mode_comparison(scale);
+
+    let t = timing_scale();
+    let relay = Scenario::builder()
+        .seed(t.seed)
+        .robots(t.num_robots)
+        .equipped(4)
+        .duration(t.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .relay_beaconing(true)
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_relay_beaconing_60s", |b| b.iter(|| run(&relay)));
+}
+
+criterion_group! {
+    name = ablations;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(ablations);

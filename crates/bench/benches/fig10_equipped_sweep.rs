@@ -1,0 +1,39 @@
+//! Regenerates paper Fig. 10: localization error vs number of robots with
+//! localization devices.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig10_equipped;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 10 — error vs number of equipped robots");
+    let scale = figure_scale();
+    let sweep: Vec<usize> = [5usize, 15, 25, 35]
+        .into_iter()
+        .map(|n| n * scale.num_robots / 50)
+        .map(|n| n.max(2))
+        .collect();
+    let fig = fig10_equipped(scale, &sweep);
+    println!("{}", fig.render());
+    println!("(paper: 35 -> 5.2 m, 25 -> 5.9 m, 15 -> ~8 m, max < 12 m)\n");
+
+    let t = timing_scale();
+    let sparse = Scenario::builder()
+        .seed(t.seed)
+        .robots(t.num_robots)
+        .equipped(3)
+        .duration(t.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_3_equipped_60s", |b| b.iter(|| run(&sparse)));
+}
+
+criterion_group! {
+    name = fig10;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig10);

@@ -1,0 +1,34 @@
+//! Regenerates paper Fig. 1 (RSSI→distance PDFs) and times the offline
+//! calibration campaign.
+
+use cocoa_bench::{banner, timing_scale};
+use cocoa_core::experiment::fig1_calibration;
+use cocoa_net::calibration::{calibrate, CalibrationConfig};
+use cocoa_net::channel::RfChannel;
+use cocoa_sim::rng::SeedSplitter;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 1 — calibration PDFs");
+    let fig = fig1_calibration(42);
+    println!("{}", fig.render());
+
+    let channel = RfChannel::default();
+    c.bench_function("calibration_campaign", |b| {
+        b.iter(|| {
+            let mut rng = SeedSplitter::new(1).stream("cal", 0);
+            calibrate(
+                &channel,
+                &CalibrationConfig {
+                    samples_per_distance: 50,
+                    ..Default::default()
+                },
+                &mut rng,
+            )
+        })
+    });
+    let _ = timing_scale();
+}
+
+criterion_group!(fig1, benches);
+criterion_main!(fig1);

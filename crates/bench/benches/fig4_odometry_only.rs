@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 4 (odometry-only error growth) and times an
+//! odometry-only simulation.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig4_odometry;
+use cocoa_core::prelude::*;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 4 — odometry-only localization error");
+    let fig = fig4_odometry(figure_scale());
+    println!("{}", fig.render());
+
+    let scale = timing_scale();
+    let scenario = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(0)
+        .duration(scale.duration)
+        .mode(EstimatorMode::OdometryOnly)
+        .build();
+    c.bench_function("sim_odometry_only_60s_20robots", |b| {
+        b.iter(|| run(&scenario))
+    });
+}
+
+criterion_group! {
+    name = fig4;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig4);

@@ -1,0 +1,32 @@
+//! Regenerates paper Fig. 6 (RF-only error for different beacon periods)
+//! and times an RF-only simulation.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig6_rf_only;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 6 — RF-only localization error vs beacon period");
+    let fig = fig6_rf_only(figure_scale(), &[10, 50, 100, 300]);
+    println!("{}", fig.render());
+
+    let scale = timing_scale();
+    let scenario = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(scale.num_robots / 2)
+        .duration(scale.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .mode(EstimatorMode::RfOnly)
+        .build();
+    c.bench_function("sim_rf_only_60s_20robots", |b| b.iter(|| run(&scenario)));
+}
+
+criterion_group! {
+    name = fig6;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig6);

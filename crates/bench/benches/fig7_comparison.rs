@@ -1,0 +1,37 @@
+//! Regenerates paper Fig. 7 (CoCoA vs odometry-only vs RF-only) and times
+//! a full CoCoA simulation.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig7_comparison;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 7 — CoCoA vs odometry-only vs RF-only (T = 100 s)");
+    let fig = fig7_comparison(figure_scale());
+    println!("{}", fig.render());
+    if let Some((cocoa, rf)) = fig.headline() {
+        println!(
+            "headline @ v_max = 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m (paper: 6.5 m vs ~33 m)\n"
+        );
+    }
+
+    let scale = timing_scale();
+    let scenario = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(scale.num_robots / 2)
+        .duration(scale.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_60s_20robots", |b| b.iter(|| run(&scenario)));
+}
+
+criterion_group! {
+    name = fig7;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig7);

@@ -1,0 +1,33 @@
+//! Regenerates paper Fig. 8 (error CDFs at three instants of the beacon
+//! period) and times the snapshot machinery.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig8_cdf;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::{SimDuration, SimTime};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 8 — CDF of localization error at three instants");
+    let fig = fig8_cdf(figure_scale());
+    println!("{}", fig.render());
+
+    let scale = timing_scale();
+    let scenario = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(scale.num_robots / 2)
+        .duration(scale.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .snapshots([SimTime::from_secs(25), SimTime::from_secs(39), SimTime::from_secs(50)])
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_with_snapshots", |b| b.iter(|| run(&scenario)));
+}
+
+criterion_group! {
+    name = fig8;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig8);

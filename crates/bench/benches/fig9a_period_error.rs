@@ -1,0 +1,36 @@
+//! Regenerates paper Fig. 9(a): CoCoA localization error across beacon
+//! periods T.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig9_period;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 9(a) — localization error vs beacon period T");
+    let fig = fig9_period(figure_scale(), &[10, 50, 100, 300]);
+    // Print only panel (a) here; the energy panel prints in fig9b.
+    println!("T[s]  mean error [m]   (paper: ~7 @ 10, ~5 @ 50, ~6.6 @ 100)");
+    for p in &fig.points {
+        println!("{:>4}  {:.2}", p.period_s, p.mean_error_m);
+    }
+
+    let scale = timing_scale();
+    let short = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(scale.num_robots / 2)
+        .duration(scale.duration)
+        .beacon_period(SimDuration::from_secs(10))
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_T10_60s", |b| b.iter(|| run(&short)));
+}
+
+criterion_group! {
+    name = fig9a;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig9a);

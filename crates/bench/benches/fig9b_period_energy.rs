@@ -1,0 +1,42 @@
+//! Regenerates paper Fig. 9(b): team energy with vs without CoCoA's sleep
+//! coordination, across beacon periods T.
+
+use cocoa_bench::{banner, figure_scale, timing_scale};
+use cocoa_core::experiment::fig9_period;
+use cocoa_core::prelude::*;
+use cocoa_sim::time::SimDuration;
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn benches(c: &mut Criterion) {
+    banner("Fig. 9(b) — energy with vs without coordination");
+    let fig = fig9_period(figure_scale(), &[10, 50, 100, 300]);
+    println!("T[s]  coordinated [J]  uncoordinated [J]  savings   (paper: 2.6x–8x)");
+    for p in &fig.points {
+        println!(
+            "{:>4}  {:>12.1}  {:>12.1}  {:.1}x",
+            p.period_s,
+            p.energy_coordinated_j,
+            p.energy_uncoordinated_j,
+            p.savings_factor()
+        );
+    }
+
+    let scale = timing_scale();
+    let uncoordinated = Scenario::builder()
+        .seed(scale.seed)
+        .robots(scale.num_robots)
+        .equipped(scale.num_robots / 2)
+        .duration(scale.duration)
+        .beacon_period(SimDuration::from_secs(20))
+        .coordination(false)
+        .mode(EstimatorMode::Cocoa)
+        .build();
+    c.bench_function("sim_cocoa_uncoordinated_60s", |b| b.iter(|| run(&uncoordinated)));
+}
+
+criterion_group! {
+    name = fig9b;
+    config = Criterion::default().sample_size(10);
+    targets = benches
+}
+criterion_main!(fig9b);

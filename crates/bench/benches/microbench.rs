@@ -1,0 +1,96 @@
+//! Microbenchmarks of the hot kernels: the Bayesian grid update, channel
+//! sampling, the event queue, packet codecs, link-lifetime prediction and
+//! geographic routing.
+
+use cocoa_bench::banner;
+use cocoa_localization::bayes::BayesianLocalizer;
+use cocoa_localization::grid::GridConfig;
+use cocoa_multicast::mrmm::{link_lifetime, MobilityInfo};
+use cocoa_net::calibration::{calibrate, CalibrationConfig};
+use cocoa_net::channel::RfChannel;
+use cocoa_net::geometry::{Area, Point, Vec2};
+use cocoa_net::packet::{NodeId, Packet, Payload};
+use cocoa_georouting::graph::{RoutingNode, UnitDiskGraph};
+use cocoa_georouting::route::GeoRouter;
+use cocoa_sim::event::EventQueue;
+use cocoa_sim::rng::SeedSplitter;
+use cocoa_sim::time::SimTime;
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rand::Rng;
+
+fn benches(c: &mut Criterion) {
+    banner("microbenchmarks — hot kernels");
+    let channel = RfChannel::default();
+    let mut cal_rng = SeedSplitter::new(1).stream("cal", 0);
+    let table = calibrate(&channel, &CalibrationConfig::default(), &mut cal_rng);
+
+    // Bayesian grid update: one beacon constraint over a 100x100 grid.
+    let mut loc = BayesianLocalizer::new(GridConfig::new(Area::square(200.0), 2.0));
+    let mut rng = SeedSplitter::new(2).stream("bench", 0);
+    c.bench_function("bayes_observe_beacon_100x100", |b| {
+        b.iter(|| {
+            let rssi = channel.sample_rssi(20.0, &mut rng);
+            loc.observe_beacon(&table, Point::new(90.0, 110.0), rssi)
+        })
+    });
+
+    c.bench_function("channel_sample_rssi", |b| {
+        b.iter(|| channel.sample_rssi(black_box(35.0), &mut rng))
+    });
+
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.push(SimTime::from_micros((i * 7919) % 10_000), i);
+            }
+            let mut count = 0;
+            while q.pop().is_some() {
+                count += 1;
+            }
+            count
+        })
+    });
+
+    let beacon = Packet::new(NodeId(3), 9, Payload::Beacon { position: Point::new(1.5, 2.5) });
+    c.bench_function("packet_encode_decode_beacon", |b| {
+        b.iter(|| Packet::decode(black_box(&beacon).encode()).expect("roundtrip"))
+    });
+
+    let a = MobilityInfo {
+        position: Point::new(0.0, 0.0),
+        velocity: Vec2::new(1.0, 0.5),
+        d_rest: 80.0,
+    };
+    let m2 = MobilityInfo {
+        position: Point::new(90.0, 10.0),
+        velocity: Vec2::new(-0.5, 1.0),
+        d_rest: 40.0,
+    };
+    c.bench_function("mrmm_link_lifetime", |b| {
+        b.iter(|| link_lifetime(black_box(&a), black_box(&m2), 150.0, 120.0))
+    });
+
+    // Geographic routing over a 150-node snapshot.
+    let mut geo_rng = SeedSplitter::new(3).stream("geo", 0);
+    let nodes: Vec<RoutingNode> = (0..150)
+        .map(|_| {
+            RoutingNode::exact(Point::new(
+                geo_rng.gen::<f64>() * 200.0,
+                geo_rng.gen::<f64>() * 200.0,
+            ))
+        })
+        .collect();
+    let graph = UnitDiskGraph::new(nodes, 40.0);
+    let router = GeoRouter::new(&graph);
+    c.bench_function("geo_route_150_nodes", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            i = (i + 1) % 150;
+            router.route(i, 149 - i)
+        })
+    });
+}
+
+criterion_group!(micro, benches);
+criterion_main!(micro);

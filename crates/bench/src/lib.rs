@@ -1,0 +1,47 @@
+//! Shared plumbing for the figure-regeneration benches.
+//!
+//! Every bench target in this crate does two things:
+//!
+//! 1. **regenerates its paper figure at full scale** (50 robots, 30
+//!    simulated minutes — the paper's setup) and prints the same
+//!    rows/series the paper reports, and
+//! 2. registers a Criterion benchmark of the underlying simulation at a
+//!    downsized scale, so `cargo bench` also yields stable timing numbers.
+//!
+//! The `COCOA_BENCH_QUICK=1` environment variable downsizes the figure
+//! regeneration too (useful on laptops / CI).
+
+use cocoa_core::experiment::ExperimentScale;
+use cocoa_sim::time::SimDuration;
+
+/// The scale used for figure regeneration: the paper's setup, unless
+/// `COCOA_BENCH_QUICK` is set.
+pub fn figure_scale() -> ExperimentScale {
+    if std::env::var_os("COCOA_BENCH_QUICK").is_some() {
+        ExperimentScale {
+            seed: 42,
+            duration: SimDuration::from_secs(300),
+            num_robots: 30,
+        }
+    } else {
+        ExperimentScale::default()
+    }
+}
+
+/// The scale used for Criterion timing: small enough for tens of
+/// iterations.
+pub fn timing_scale() -> ExperimentScale {
+    ExperimentScale {
+        seed: 42,
+        duration: SimDuration::from_secs(60),
+        num_robots: 20,
+    }
+}
+
+/// Prints a figure banner so the bench output doubles as the experiment
+/// record.
+pub fn banner(figure: &str) {
+    println!("\n==================================================================");
+    println!("== Regenerating {figure} (set COCOA_BENCH_QUICK=1 to downsize) ==");
+    println!("==================================================================");
+}

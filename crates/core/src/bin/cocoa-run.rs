@@ -1,0 +1,167 @@
+//! `cocoa-run` — run one CoCoA scenario from the command line.
+//!
+//! ```sh
+//! cargo run --release -p cocoa-core --bin cocoa-run -- \
+//!     --robots 50 --equipped 25 --duration 1800 --period 100 --mode cocoa
+//! ```
+//!
+//! Prints a markdown summary; `--csv PREFIX` additionally writes
+//! `PREFIX-errors.csv`, `PREFIX-energy.csv` and `PREFIX-snapshots.csv`
+//! for plotting.
+
+use cocoa_core::prelude::*;
+use cocoa_core::report;
+use cocoa_localization::estimator::RfAlgorithm;
+use cocoa_sim::time::{SimDuration, SimTime};
+
+const USAGE: &str = "\
+cocoa-run — simulate one CoCoA deployment
+
+USAGE:
+    cocoa-run [OPTIONS]
+
+OPTIONS:
+    --seed N            master seed                       [default: 42]
+    --robots N          team size                         [default: 50]
+    --equipped N        robots with localization devices  [default: 25]
+    --duration SECS     simulated seconds                 [default: 1800]
+    --period SECS       beacon period T                   [default: 100]
+    --window SECS       transmit window t                 [default: 3]
+    --beacons K         beacons per robot per window      [default: 3]
+    --vmax M_PER_S      maximum robot speed               [default: 2.0]
+    --mode MODE         cocoa | rf-only | odometry        [default: cocoa]
+    --algorithm ALGO    bayes | multilateration           [default: bayes]
+    --grid METRES       Bayesian grid resolution          [default: 2.0]
+    --snapshot SECS     record a per-robot CDF snapshot (repeatable)
+    --no-coordination   radios idle instead of sleeping
+    --no-sync           disable the MRMM SYNC service
+    --relay             localized robots also beacon (Section 6 extension)
+    --csv PREFIX        write PREFIX-{errors,energy,snapshots}.csv
+    -h, --help          print this help
+";
+
+struct Args {
+    scenario: Scenario,
+    csv_prefix: Option<String>,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut b = Scenario::builder();
+    let mut csv_prefix = None;
+    let mut snapshots: Vec<SimTime> = Vec::new();
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                b.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?);
+            }
+            "--robots" => {
+                b.robots(value("--robots")?.parse().map_err(|e| format!("--robots: {e}"))?);
+            }
+            "--equipped" => {
+                b.equipped(value("--equipped")?.parse().map_err(|e| format!("--equipped: {e}"))?);
+            }
+            "--duration" => {
+                let s: u64 = value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?;
+                b.duration(SimDuration::from_secs(s));
+            }
+            "--period" => {
+                let s: u64 = value("--period")?.parse().map_err(|e| format!("--period: {e}"))?;
+                b.beacon_period(SimDuration::from_secs(s));
+            }
+            "--window" => {
+                let s: u64 = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+                b.transmit_window(SimDuration::from_secs(s));
+            }
+            "--beacons" => {
+                b.beacons_per_window(
+                    value("--beacons")?.parse().map_err(|e| format!("--beacons: {e}"))?,
+                );
+            }
+            "--vmax" => {
+                b.v_max(value("--vmax")?.parse().map_err(|e| format!("--vmax: {e}"))?);
+            }
+            "--mode" => match value("--mode")?.as_str() {
+                "cocoa" => {
+                    b.mode(EstimatorMode::Cocoa);
+                }
+                "rf-only" => {
+                    b.mode(EstimatorMode::RfOnly);
+                }
+                "odometry" => {
+                    b.mode(EstimatorMode::OdometryOnly);
+                }
+                other => return Err(format!("unknown mode '{other}'")),
+            },
+            "--algorithm" => match value("--algorithm")?.as_str() {
+                "bayes" => {
+                    b.rf_algorithm(RfAlgorithm::Bayes);
+                }
+                "multilateration" => {
+                    b.rf_algorithm(RfAlgorithm::Multilateration);
+                }
+                other => return Err(format!("unknown algorithm '{other}'")),
+            },
+            "--grid" => {
+                b.grid_resolution(value("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?);
+            }
+            "--snapshot" => {
+                let s: f64 = value("--snapshot")?.parse().map_err(|e| format!("--snapshot: {e}"))?;
+                snapshots.push(SimTime::from_secs_f64(s));
+            }
+            "--no-coordination" => {
+                b.coordination(false);
+            }
+            "--no-sync" => {
+                b.sync_enabled(false);
+            }
+            "--relay" => {
+                b.relay_beaconing(true);
+            }
+            "--csv" => csv_prefix = Some(value("--csv")?),
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    if !snapshots.is_empty() {
+        b.snapshots(snapshots);
+    }
+    Ok(Args {
+        scenario: b.try_build()?,
+        csv_prefix,
+    })
+}
+
+fn main() {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let start = std::time::Instant::now();
+    let metrics = run(&args.scenario);
+    print!("{}", report::markdown_summary(&args.scenario, &metrics));
+    eprintln!("\n(wall time {:.1} s)", start.elapsed().as_secs_f64());
+    if let Some(prefix) = args.csv_prefix {
+        let write = |suffix: &str, body: String| {
+            let path = format!("{prefix}-{suffix}.csv");
+            match std::fs::write(&path, body) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => eprintln!("failed to write {path}: {e}"),
+            }
+        };
+        write("errors", report::error_series_csv(&metrics));
+        write("energy", report::energy_csv(&metrics));
+        if !metrics.snapshots.is_empty() {
+            write("snapshots", report::snapshots_csv(&metrics));
+        }
+    }
+}

@@ -1,0 +1,63 @@
+//! # cocoa-core — the CoCoA architecture
+//!
+//! CoCoA (Coordinated Cooperative Ad-hoc localization, ICDCS 2006) lets a
+//! mobile robot team in which only a *subset* of robots carry localization
+//! devices localize everyone: equipped robots broadcast RF beacons with
+//! their coordinates, unequipped robots range on beacon RSSI and run
+//! Bayesian inference, odometry bridges the gaps, and an MRMM-multicast
+//! SYNC service coarsely synchronizes the team so radios sleep between the
+//! short transmit windows.
+//!
+//! This crate assembles the substrates (`cocoa-sim`, `cocoa-net`,
+//! `cocoa-mobility`, `cocoa-multicast`, `cocoa-localization`) into the full
+//! system:
+//!
+//! - [`scenario`]: the experiment configuration (defaults = the paper's
+//!   evaluation setup);
+//! - [`robot`]: the per-robot bundle (motion, radio, estimator, mesh,
+//!   clock) and its estimate logic;
+//! - [`sync`]: drifting clocks, SYNC messages and the escalating-guard
+//!   re-acquisition policy;
+//! - [`runner`]: the deterministic event-driven simulation;
+//! - [`metrics`]: localization-error series, CDF snapshots and the energy
+//!   ledger;
+//! - [`experiment`]: one driver per paper figure (4 through 10).
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cocoa_core::prelude::*;
+//!
+//! // The paper's headline configuration: 50 robots, 25 equipped,
+//! // T = 100 s, CoCoA mode.
+//! let scenario = Scenario::builder().seed(1).build();
+//! let metrics = run(&scenario);
+//! println!(
+//!     "avg error {:.1} m, team energy {:.0} J",
+//!     metrics.mean_error_over_time(),
+//!     metrics.energy.total_j()
+//! );
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiment;
+pub mod metrics;
+pub mod report;
+pub mod robot;
+pub mod runner;
+pub mod scenario;
+pub mod sync;
+
+/// Glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::metrics::{
+        EnergyReport, ErrorPoint, ErrorSnapshot, RobotFinalState, RunMetrics, TrafficStats,
+    };
+    pub use crate::robot::Robot;
+    pub use crate::runner::{run, run_traced};
+    pub use crate::scenario::{Scenario, ScenarioBuilder};
+    pub use crate::sync::{DriftingClock, SyncMessage};
+    pub use cocoa_localization::estimator::EstimatorMode;
+}

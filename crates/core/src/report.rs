@@ -1,0 +1,183 @@
+//! Exporting run results: CSV series for plotting, markdown summaries for
+//! humans. The `figures` binary and the `cocoa-run` CLI both print
+//! through this module so every experiment's output has one format.
+
+use std::fmt::Write as _;
+
+use crate::metrics::RunMetrics;
+use crate::scenario::Scenario;
+
+/// The per-second error series as CSV (`t_s,mean_error_m,robots`).
+///
+/// # Examples
+///
+/// ```no_run
+/// use cocoa_core::prelude::*;
+/// use cocoa_core::report;
+///
+/// let metrics = run(&Scenario::builder().build());
+/// std::fs::write("error_series.csv", report::error_series_csv(&metrics)).unwrap();
+/// ```
+pub fn error_series_csv(metrics: &RunMetrics) -> String {
+    let mut out = String::from("t_s,mean_error_m,robots\n");
+    for p in &metrics.error_series {
+        let _ = writeln!(out, "{:.1},{:.4},{}", p.t_s, p.mean_error_m, p.robots);
+    }
+    out
+}
+
+/// The per-robot energy ledgers as CSV
+/// (`robot,tx_j,rx_j,idle_j,sleep_j,wake_j,total_j`).
+pub fn energy_csv(metrics: &RunMetrics) -> String {
+    let mut out = String::from("robot,tx_j,rx_j,idle_j,sleep_j,wake_j,total_j\n");
+    for (i, l) in metrics.energy.per_robot.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{},{:.6},{:.6},{:.4},{:.4},{:.6},{:.4}",
+            i,
+            l.tx_uj / 1e6,
+            l.rx_uj / 1e6,
+            l.idle_uj / 1e6,
+            l.sleep_uj / 1e6,
+            l.wake_uj / 1e6,
+            l.total_j()
+        );
+    }
+    out
+}
+
+/// Snapshot CDFs as CSV (`snapshot_t_s,error_m`), one row per robot per
+/// snapshot — the raw material of paper Fig. 8.
+pub fn snapshots_csv(metrics: &RunMetrics) -> String {
+    let mut out = String::from("snapshot_t_s,error_m\n");
+    for s in &metrics.snapshots {
+        for e in &s.errors_m {
+            let _ = writeln!(out, "{:.1},{:.4}", s.time.as_secs_f64(), e);
+        }
+    }
+    out
+}
+
+/// A human-readable markdown summary of one run.
+pub fn markdown_summary(scenario: &Scenario, metrics: &RunMetrics) -> String {
+    let team = metrics.energy.team();
+    let mut out = String::new();
+    let _ = writeln!(out, "## CoCoA run summary\n");
+    let _ = writeln!(
+        out,
+        "- scenario: {} robots ({} equipped), {} simulated, T = {}, t = {}, k = {}, mode = {}, seed = {}",
+        scenario.num_robots,
+        scenario.num_equipped,
+        scenario.duration,
+        scenario.beacon_period,
+        scenario.transmit_window,
+        scenario.beacons_per_window,
+        scenario.mode,
+        scenario.seed,
+    );
+    let _ = writeln!(
+        out,
+        "- localization: mean {:.2} m over time (max {:.2} m); {} fresh fixes",
+        metrics.mean_error_over_time(),
+        metrics.max_error_over_time(),
+        metrics.traffic.fixes
+    );
+    let _ = writeln!(
+        out,
+        "- traffic: {} beacons sent, {} received, {} reception losses",
+        metrics.traffic.beacons_sent, metrics.traffic.beacons_received, metrics.traffic.collisions
+    );
+    let _ = writeln!(
+        out,
+        "- sync: {} delivered, {} missed; mesh control packets {}",
+        metrics.traffic.syncs_delivered,
+        metrics.traffic.syncs_missed,
+        metrics.mesh.control_overhead()
+    );
+    let _ = writeln!(
+        out,
+        "- energy: {:.1} J team total (tx {:.3}, rx {:.3}, idle {:.1}, sleep {:.1}, wake {:.3})",
+        team.total_j(),
+        team.tx_uj / 1e6,
+        team.rx_uj / 1e6,
+        team.idle_uj / 1e6,
+        team.sleep_uj / 1e6,
+        team.wake_uj / 1e6,
+    );
+    let _ = writeln!(out, "- events processed: {}", metrics.events_processed);
+    if !metrics.snapshots.is_empty() {
+        let _ = writeln!(out, "\n### Snapshots");
+        for s in &metrics.snapshots {
+            if s.errors_m.is_empty() {
+                continue;
+            }
+            let _ = writeln!(
+                out,
+                "- t = {:.0} s: median {:.1} m, P[e<=10m] = {:.2}",
+                s.time.as_secs_f64(),
+                s.percentile(0.5),
+                s.fraction_below(10.0)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run;
+    use cocoa_sim::time::{SimDuration, SimTime};
+
+    fn small_run() -> (Scenario, RunMetrics) {
+        let s = Scenario::builder()
+            .seed(3)
+            .robots(8)
+            .equipped(4)
+            .duration(SimDuration::from_secs(60))
+            .beacon_period(SimDuration::from_secs(20))
+            .grid_resolution(8.0)
+            .snapshots([SimTime::from_secs(25)])
+            .build();
+        let m = run(&s);
+        (s, m)
+    }
+
+    #[test]
+    fn csv_headers_and_shape() {
+        let (_, m) = small_run();
+        let csv = error_series_csv(&m);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "t_s,mean_error_m,robots");
+        assert_eq!(lines.len(), m.error_series.len() + 1);
+        assert!(lines[1].split(',').count() == 3);
+    }
+
+    #[test]
+    fn energy_csv_covers_all_robots() {
+        let (s, m) = small_run();
+        let csv = energy_csv(&m);
+        assert_eq!(csv.lines().count(), s.num_robots + 1);
+        assert!(csv.starts_with("robot,tx_j"));
+    }
+
+    #[test]
+    fn snapshots_csv_rows_match_robots() {
+        let (s, m) = small_run();
+        let csv = snapshots_csv(&m);
+        // One header + one row per unequipped robot per snapshot.
+        assert_eq!(
+            csv.lines().count(),
+            1 + (s.num_robots - s.num_equipped)
+        );
+    }
+
+    #[test]
+    fn markdown_mentions_the_essentials() {
+        let (s, m) = small_run();
+        let md = markdown_summary(&s, &m);
+        for needle in ["CoCoA run summary", "localization", "energy", "sync", "Snapshots"] {
+            assert!(md.contains(needle), "missing {needle}");
+        }
+    }
+}

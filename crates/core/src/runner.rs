@@ -1,0 +1,747 @@
+//! The CoCoA simulation runner: wires robots, radios, the medium, the
+//! mesh, the coordination timeline and the metrics into one deterministic
+//! discrete-event run.
+//!
+//! This module is the equivalent of the paper's Glomosim experiment
+//! scripts: it realizes the timeline of Fig. 2 (beacon periods `T`,
+//! transmit windows `t`, `k` beacons, radios sleeping in between) and the
+//! SYNC dissemination of Fig. 3, and produces the error/energy metrics of
+//! Section 4.
+
+
+use cocoa_localization::estimator::{EstimatorMode, WindowedRfEstimator};
+use cocoa_localization::grid::GridConfig;
+use cocoa_mobility::motion::RobotMotion;
+use cocoa_mobility::pose::{normalize_angle, Pose};
+use cocoa_mobility::waypoint::WaypointConfig;
+use cocoa_multicast::odmrp::{OdmrpNode, ProtocolAction};
+use cocoa_net::calibration::{calibrate, CalibrationConfig, PdfTable};
+use cocoa_net::channel::RfChannel;
+use cocoa_net::energy::PowerState;
+use cocoa_net::geometry::Point;
+use cocoa_net::mac::{Medium, ReceptionOutcome, TxId};
+use cocoa_net::packet::{GroupId, NodeId, Packet, Payload};
+use cocoa_net::radio::Radio;
+use cocoa_sim::dist::uniform;
+use cocoa_sim::engine::Engine;
+use cocoa_sim::rng::{DetRng, SeedSplitter};
+use cocoa_sim::time::{SimDuration, SimTime};
+use cocoa_sim::trace::{Trace, TraceLevel};
+
+use crate::metrics::{EnergyReport, ErrorPoint, ErrorSnapshot, RunMetrics, TrafficStats};
+use crate::robot::{FixAnchor, Robot};
+use crate::scenario::Scenario;
+use crate::sync::{DriftingClock, SyncMessage};
+
+/// The multicast group every robot joins for SYNC delivery.
+const SYNC_GROUP: GroupId = GroupId(1);
+
+/// Offset of the JOIN QUERY flood from the window start.
+const QUERY_OFFSET: SimDuration = SimDuration::from_millis(5);
+/// Offset of the SYNC data from the window start (lets the mesh form:
+/// query flood + jittered rebroadcasts + aggregated replies take a few
+/// hundred milliseconds).
+const SYNC_OFFSET: SimDuration = SimDuration::from_millis(600);
+/// Beacons start this far into the window, clear of the mesh-control burst.
+const BEACON_LEAD_IN: SimDuration = SimDuration::from_millis(700);
+
+/// What a deferred transmission should put on the air.
+#[derive(Debug, Clone)]
+enum TxIntent {
+    /// A localization beacon; the position is read at fire time.
+    Beacon,
+    /// A mesh packet built earlier (query/reply/data).
+    Mesh(Packet),
+}
+
+#[derive(Debug, Clone)]
+enum Event {
+    /// Advance all robots' motion by one tick.
+    MoveTick,
+    /// Sample the error series.
+    MetricsSample,
+    /// Global window start (the Sync robot's reference timeline).
+    WindowStart { index: u64 },
+    /// A robot's local wake-up for a window.
+    RobotWake { robot: usize, window: u64 },
+    /// A robot's local end-of-window processing (then sleep).
+    RobotWindowEnd { robot: usize, window: u64 },
+    /// A deferred transmission fires.
+    Transmit { robot: usize, intent: TxIntent },
+    /// A frame's airtime ends; judge receptions.
+    TxEnd { tx: TxId, receivers: Vec<usize> },
+    /// A member's deferred JOIN REPLY.
+    MeshReply { robot: usize, source: NodeId },
+    /// A node's deferred JOIN QUERY rebroadcast decision.
+    MeshRebroadcast { robot: usize, source: NodeId, seq: u32 },
+    /// Reclaim old frames from the medium.
+    MediumGc,
+    /// Record a per-robot error snapshot (Fig. 8 CDFs).
+    Snapshot { index: usize },
+}
+
+struct World {
+    scenario: Scenario,
+    channel: RfChannel,
+    table: PdfTable,
+    medium: Medium,
+    robots: Vec<Robot>,
+    move_rngs: Vec<DetRng>,
+    odo_rngs: Vec<DetRng>,
+    channel_rng: DetRng,
+    jitter_rng: DetRng,
+    // Metric accumulators.
+    error_series: Vec<ErrorPoint>,
+    snapshots: Vec<ErrorSnapshot>,
+    position_snapshots: Vec<(SimTime, Vec<crate::metrics::RobotFinalState>)>,
+    traffic: TrafficStats,
+    sync_robot: usize,
+    max_guard: SimDuration,
+    trace: Trace,
+}
+
+impl World {
+    fn mode(&self) -> EstimatorMode {
+        self.scenario.mode
+    }
+
+    fn uses_rf(&self) -> bool {
+        self.scenario.mode.uses_rf()
+    }
+
+    fn window_start_time(&self, index: u64) -> SimTime {
+        SimTime::ZERO + self.scenario.beacon_period * index
+    }
+
+    /// Whether `robot` beacons during window `w` (equipped robots always,
+    /// relayers when their fix is fresh enough).
+    fn beacons_in_window(&self, robot: usize, window: u64) -> bool {
+        let r = &self.robots[robot];
+        if r.equipped {
+            return true;
+        }
+        if !self.scenario.relay_beaconing || !r.has_fix {
+            return false;
+        }
+        r.last_fix_window.is_some_and(|w| {
+            window.saturating_sub(w) <= self.scenario.relay_max_fix_age_windows
+        })
+    }
+}
+
+/// Runs `scenario` to completion and returns its metrics.
+///
+/// Deterministic: the same scenario (including seed) always produces the
+/// same metrics, bit for bit.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation — construct it through
+/// [`Scenario::builder`] to catch that earlier.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cocoa_core::runner::run;
+/// use cocoa_core::scenario::Scenario;
+///
+/// let metrics = run(&Scenario::builder().build());
+/// println!("mean error {:.1} m", metrics.mean_error_over_time());
+/// ```
+pub fn run(scenario: &Scenario) -> RunMetrics {
+    run_traced(scenario, Trace::disabled()).0
+}
+
+/// Like [`run`], but records protocol milestones (window starts, fixes,
+/// starved windows, lost syncs) into the supplied [`Trace`] and returns it
+/// alongside the metrics. Use [`Trace::with_capacity`] to bound memory on
+/// long runs.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
+    scenario
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+    let split = SeedSplitter::new(scenario.seed);
+
+    // --- Offline calibration phase (paper Section 2.2). ---
+    let channel = RfChannel::new(scenario.channel);
+    let table = calibrate(
+        &channel,
+        &CalibrationConfig::default(),
+        &mut split.stream("calibration", 0),
+    );
+
+    // --- Team construction. ---
+    let mut placement_rng = split.stream("placement", 0);
+    let mut clock_rng = split.stream("clock", 0);
+    let num_equipped = if scenario.mode.uses_rf() {
+        scenario.num_equipped
+    } else {
+        0
+    };
+    let mut robots = Vec::with_capacity(scenario.num_robots);
+    let mut move_rngs = Vec::with_capacity(scenario.num_robots);
+    let mut odo_rngs = Vec::with_capacity(scenario.num_robots);
+    for i in 0..scenario.num_robots {
+        let start = Point::new(
+            uniform(scenario.area.x_min, scenario.area.x_max, &mut placement_rng),
+            uniform(scenario.area.y_min, scenario.area.y_max, &mut placement_rng),
+        );
+        let mut move_rng = split.stream("move", i as u64);
+        let odo_rng = split.stream("odo", i as u64);
+        let equipped = i < num_equipped;
+        let skew = if i == 0 {
+            0.0 // the Sync robot is the timebase
+        } else {
+            uniform(
+                -scenario.clock_skew_ppm * 1e-6,
+                scenario.clock_skew_ppm * 1e-6 + f64::EPSILON,
+                &mut clock_rng,
+            )
+        };
+        let motion = RobotMotion::new(
+            WaypointConfig::paper(scenario.area, scenario.v_max),
+            scenario.odometry,
+            start,
+            &mut move_rng,
+        );
+        let mut radio = Radio::new(scenario.energy, SimTime::ZERO);
+        if !scenario.mode.uses_rf() {
+            radio.set_state(SimTime::ZERO, PowerState::Off);
+        }
+        let rf = if !equipped && scenario.mode.uses_rf() {
+            Some(WindowedRfEstimator::with_algorithm(
+                GridConfig::new(scenario.area, scenario.grid_resolution_m),
+                scenario.rf_algorithm,
+            ))
+        } else {
+            None
+        };
+        robots.push(Robot {
+            id: NodeId(i as u32),
+            index: i,
+            equipped,
+            motion,
+            radio,
+            rf,
+            mesh: OdmrpNode::new(NodeId(i as u32), SYNC_GROUP, true, scenario.mesh),
+            clock: DriftingClock::new(skew),
+            has_fix: false,
+            last_fix_window: None,
+            synced_this_window: false,
+            fix_anchor: None,
+        });
+        move_rngs.push(move_rng);
+        odo_rngs.push(odo_rng);
+    }
+
+    let max_guard = (scenario.beacon_period / 4).max(scenario.guard_band);
+    let mut world = World {
+        scenario: scenario.clone(),
+        channel,
+        table,
+        medium: Medium::new(),
+        robots,
+        move_rngs,
+        odo_rngs,
+        channel_rng: split.stream("channel", 0),
+        jitter_rng: split.stream("jitter", 0),
+        error_series: Vec::new(),
+        snapshots: Vec::new(),
+        position_snapshots: Vec::new(),
+        traffic: TrafficStats::default(),
+        sync_robot: 0,
+        max_guard,
+        trace,
+    };
+
+    // --- Initial event schedule. ---
+    let horizon = SimTime::ZERO + scenario.duration;
+    let mut engine: Engine<Event> = Engine::new(horizon);
+    engine.schedule_at(SimTime::ZERO + scenario.tick, Event::MoveTick);
+    engine.schedule_at(SimTime::ZERO + scenario.metrics_interval, Event::MetricsSample);
+    if world.uses_rf() {
+        engine.schedule_at(SimTime::ZERO, Event::WindowStart { index: 0 });
+        for i in 0..world.robots.len() {
+            engine.schedule_at(SimTime::ZERO, Event::RobotWake { robot: i, window: 0 });
+        }
+        engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(10), Event::MediumGc);
+    }
+    let mut snapshot_times = scenario.snapshot_times.clone();
+    snapshot_times.sort();
+    for (i, &t) in snapshot_times.iter().enumerate() {
+        if t <= horizon {
+            engine.schedule_at(t, Event::Snapshot { index: i });
+        }
+    }
+    world.snapshots = snapshot_times
+        .iter()
+        .map(|&t| ErrorSnapshot::new(t, Vec::new()))
+        .collect();
+
+    // --- Run. ---
+    engine.run(&mut world, handle_event);
+
+    // --- Finalize. ---
+    let mut per_robot = Vec::with_capacity(world.robots.len());
+    let mut mesh = cocoa_multicast::mesh::MeshStats::default();
+    let mut final_states = Vec::with_capacity(world.robots.len());
+    for r in &mut world.robots {
+        per_robot.push(r.radio.finalize(horizon));
+        mesh.merge(&r.mesh.stats());
+    }
+    for r in &world.robots {
+        final_states.push(crate::metrics::RobotFinalState {
+            true_position: r.motion.true_position(),
+            estimate: r.estimate(world.scenario.mode, &world.scenario.area),
+            equipped: r.equipped,
+        });
+    }
+    world.traffic.collisions = world.medium.collisions();
+    let metrics = RunMetrics {
+        error_series: world.error_series,
+        snapshots: world.snapshots,
+        energy: EnergyReport { per_robot },
+        mesh,
+        traffic: world.traffic,
+        final_states,
+        position_snapshots: world.position_snapshots,
+        events_processed: engine.events_processed(),
+    };
+    (metrics, world.trace)
+}
+
+fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
+    let now = engine.now();
+    match event {
+        Event::MoveTick => {
+            let dt = world.scenario.tick.as_secs_f64();
+            for i in 0..world.robots.len() {
+                let r = &mut world.robots[i];
+                r.motion.step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
+            }
+            engine.schedule_in(world.scenario.tick, Event::MoveTick);
+        }
+
+        Event::MetricsSample => {
+            let mode = world.mode();
+            let area = world.scenario.area;
+            let mut sum = 0.0;
+            let mut n = 0usize;
+            for r in &world.robots {
+                if r.reports_error(mode) {
+                    sum += r.localization_error(mode, &area);
+                    n += 1;
+                }
+            }
+            if n > 0 {
+                world.error_series.push(ErrorPoint {
+                    t_s: now.as_secs_f64(),
+                    mean_error_m: sum / n as f64,
+                    robots: n,
+                });
+            }
+            engine.schedule_in(world.scenario.metrics_interval, Event::MetricsSample);
+        }
+
+        Event::Snapshot { index } => {
+            let mode = world.mode();
+            let area = world.scenario.area;
+            let errors: Vec<f64> = world
+                .robots
+                .iter()
+                .filter(|r| r.reports_error(mode))
+                .map(|r| r.localization_error(mode, &area))
+                .collect();
+            let time = world.snapshots[index].time;
+            world.snapshots[index] = ErrorSnapshot::new(time, errors);
+            let states: Vec<crate::metrics::RobotFinalState> = world
+                .robots
+                .iter()
+                .map(|r| crate::metrics::RobotFinalState {
+                    true_position: r.motion.true_position(),
+                    estimate: r.estimate(mode, &area),
+                    equipped: r.equipped,
+                })
+                .collect();
+            world.position_snapshots.push((time, states));
+        }
+
+        Event::WindowStart { index } => {
+            world.trace.emit(now, TraceLevel::Info, "coordinator", || {
+                format!("beacon period {index} starts")
+            });
+            // Schedule the next period on the reference timeline.
+            let next = world.window_start_time(index + 1);
+            if next < engine.horizon() {
+                engine.schedule_at(next, Event::WindowStart { index: index + 1 });
+            }
+            // The Sync robot refreshes the mesh and disseminates SYNC.
+            if world.scenario.sync_enabled {
+                let s = world.sync_robot;
+                let mode = world.mode();
+                let area = world.scenario.area;
+                let info = world.robots[s].mobility_info(mode, &area);
+                let query = world.robots[s].mesh.originate_query(now, &info);
+                engine.schedule_in(
+                    QUERY_OFFSET,
+                    Event::Transmit {
+                        robot: s,
+                        intent: TxIntent::Mesh(query),
+                    },
+                );
+                let sync = SyncMessage {
+                    period_us: world.scenario.beacon_period.as_micros(),
+                    window_us: world.scenario.transmit_window.as_micros(),
+                    window_index: index,
+                    window_start_us: now.as_micros(),
+                };
+                let data = world.robots[s].mesh.originate_data(now, sync.encode());
+                engine.schedule_in(
+                    SYNC_OFFSET,
+                    Event::Transmit {
+                        robot: s,
+                        intent: TxIntent::Mesh(data),
+                    },
+                );
+                // The Sync robot trivially hears its own schedule.
+                world.robots[s].synced_this_window = true;
+            }
+        }
+
+        Event::RobotWake { robot, window } => {
+            robot_wake(engine, world, robot, window, now);
+        }
+
+        Event::RobotWindowEnd { robot, window } => {
+            robot_window_end(engine, world, robot, window, now);
+        }
+
+        Event::Transmit { robot, intent } => {
+            let packet = match intent {
+                TxIntent::Beacon => {
+                    let r = &world.robots[robot];
+                    if !r.radio.can_receive() {
+                        return; // drifted into sleep; beacon lost
+                    }
+                    let pos = r.beacon_position(world.mode(), &world.scenario.area);
+                    world.traffic.beacons_sent += 1;
+                    Packet::new(r.id, now.as_micros() as u32, Payload::Beacon { position: pos })
+                }
+                TxIntent::Mesh(p) => {
+                    if !world.robots[robot].radio.can_receive() {
+                        return;
+                    }
+                    p
+                }
+            };
+            transmit(engine, world, robot, packet, now);
+        }
+
+        Event::TxEnd { tx, receivers } => {
+            deliver(engine, world, tx, &receivers, now);
+        }
+
+        Event::MeshReply { robot, source } => {
+            if !world.robots[robot].radio.can_receive() {
+                return;
+            }
+            if let Some(packet) = world.robots[robot].mesh.make_reply(now, source) {
+                transmit(engine, world, robot, packet, now);
+            }
+        }
+
+        Event::MeshRebroadcast { robot, source, seq } => {
+            if !world.robots[robot].radio.can_receive() {
+                return;
+            }
+            let mode = world.mode();
+            let area = world.scenario.area;
+            let info = world.robots[robot].mobility_info(mode, &area);
+            if let Some(packet) = world.robots[robot].mesh.make_rebroadcast(now, source, seq, &info)
+            {
+                transmit(engine, world, robot, packet, now);
+            }
+        }
+
+        Event::MediumGc => {
+            world.medium.gc(now);
+            engine.schedule_in(SimDuration::from_secs(10), Event::MediumGc);
+        }
+    }
+}
+
+fn robot_wake(
+    engine: &mut Engine<Event>,
+    world: &mut World,
+    robot: usize,
+    window: u64,
+    now: SimTime,
+) {
+    let window_start = world.window_start_time(window);
+    let scenario_window = world.scenario.transmit_window;
+    let beacons = world.beacons_in_window(robot, window);
+    {
+        let r = &mut world.robots[robot];
+        if world.scenario.coordination || r.radio.state() != PowerState::Idle {
+            r.radio.set_state(now, PowerState::Idle);
+        }
+        r.synced_this_window = robot == world.sync_robot && world.scenario.sync_enabled;
+        if let Some(rf) = r.rf.as_mut() {
+            rf.begin_window();
+        }
+    }
+    // Schedule this robot's beacons, spread over the window with jitter.
+    if beacons {
+        let k = world.scenario.beacons_per_window;
+        let usable = scenario_window - BEACON_LEAD_IN;
+        let slot = usable / u64::from(k);
+        for i in 0..k {
+            let jitter =
+                uniform(0.0, (slot.as_secs_f64() * 0.8).max(1e-4), &mut world.jitter_rng);
+            let intended = window_start
+                + BEACON_LEAD_IN
+                + slot * u64::from(i)
+                + SimDuration::from_secs_f64(jitter);
+            let fire = world.robots[robot].clock.actual_fire_time(intended, now);
+            if fire < engine.horizon() {
+                engine.schedule_at(
+                    fire,
+                    Event::Transmit {
+                        robot,
+                        intent: TxIntent::Beacon,
+                    },
+                );
+            }
+        }
+    }
+    // Schedule the end-of-window processing.
+    let intended_end = window_start + scenario_window + world.scenario.guard_band;
+    let fire = world.robots[robot].clock.actual_fire_time(intended_end, now);
+    if fire <= engine.horizon() {
+        engine.schedule_at(fire, Event::RobotWindowEnd { robot, window });
+    } else {
+        // The run ends mid-window; the finalizer will checkpoint energy.
+    }
+}
+
+fn robot_window_end(
+    engine: &mut Engine<Event>,
+    world: &mut World,
+    robot: usize,
+    window: u64,
+    now: SimTime,
+) {
+    let mode = world.mode();
+    {
+        let r = &mut world.robots[robot];
+        // Close the RF window and process the fix.
+        if let Some(rf) = r.rf.as_mut() {
+            let had_window = rf.in_window();
+            if let Some(fix) = rf.end_window() {
+                r.has_fix = true;
+                r.last_fix_window = Some(window);
+                world.traffic.fixes += 1;
+                world.trace.emit(now, TraceLevel::Debug, "localization", || {
+                    format!("robot {} fixed at {} in window {window}", robot, fix)
+                });
+                if mode == EstimatorMode::Cocoa {
+                    // RF fixes position; heading is re-anchored from the
+                    // displacement observed between consecutive fixes.
+                    let odo_pose = r.motion.odometry_pose();
+                    let mut heading = odo_pose.heading;
+                    if let Some(anchor) = r.fix_anchor {
+                        let d_fix = fix - anchor.fix;
+                        let d_odo = odo_pose.position - anchor.odo_at_fix;
+                        // Short displacements make the bearing comparison
+                        // noisier than the heading error it would fix.
+                        if d_fix.norm() > 10.0 && d_odo.norm() > 10.0 {
+                            heading -= normalize_angle(d_odo.angle() - d_fix.angle());
+                        }
+                    }
+                    r.fix_anchor = Some(FixAnchor {
+                        fix,
+                        odo_at_fix: odo_pose.position,
+                    });
+                    r.motion.reset_odometry_to(Pose::new(fix, heading));
+                }
+            } else if had_window {
+                // Fewer than the minimum beacons arrived: the robot keeps
+                // its previous estimate (paper Section 2.3).
+                world.traffic.starved_windows += 1;
+                world.trace.emit(now, TraceLevel::Warn, "localization", || {
+                    format!("robot {robot} starved in window {window}")
+                });
+            }
+        }
+        // Synchronization accounting.
+        if world.scenario.sync_enabled {
+            if r.synced_this_window {
+                world.traffic.syncs_delivered += 1;
+            } else {
+                r.clock.note_missed_sync();
+                world.traffic.syncs_missed += 1;
+                world.trace.emit(now, TraceLevel::Warn, "sync", || {
+                    format!("robot {robot} missed SYNC in window {window}")
+                });
+            }
+        }
+        // Sleep until the next window.
+        if world.scenario.coordination {
+            r.radio.set_state(now, PowerState::Sleep);
+        }
+    }
+    // Schedule the next wake on the robot's local clock.
+    let next_window = window + 1;
+    let next_start = world.window_start_time(next_window);
+    if next_start >= engine.horizon() {
+        return;
+    }
+    let guard = world.robots[robot]
+        .clock
+        .effective_guard(world.scenario.guard_band, world.max_guard);
+    let intended = next_start - guard.min(next_start.saturating_since(SimTime::ZERO));
+    let fire = world.robots[robot].clock.actual_fire_time(intended, now);
+    engine.schedule_at(
+        fire.min(engine.horizon()),
+        Event::RobotWake {
+            robot,
+            window: next_window,
+        },
+    );
+}
+
+/// Puts `packet` on the air from `robot` and schedules the delivery
+/// judgment at the end of its airtime.
+fn transmit(
+    engine: &mut Engine<Event>,
+    world: &mut World,
+    robot: usize,
+    packet: Packet,
+    now: SimTime,
+) {
+    let bytes = packet.wire_size();
+    let src_pos = world.robots[robot].motion.true_position();
+    let src_id = world.robots[robot].id;
+    world.robots[robot].radio.record_tx(now, bytes);
+    let duration = world.robots[robot].radio.tx_duration(bytes);
+    let tx = world
+        .medium
+        .begin_tx(src_id, src_pos, packet, now, duration);
+    let mut receivers = Vec::new();
+    let detect_horizon = world.channel.max_range() * 1.5;
+    for j in 0..world.robots.len() {
+        if j == robot || !world.robots[j].radio.can_receive() {
+            continue;
+        }
+        let d = src_pos.distance_to(world.robots[j].motion.true_position());
+        if d <= 0.0 || d > detect_horizon {
+            continue;
+        }
+        let rssi = world.channel.sample_rssi(d, &mut world.channel_rng);
+        if !world.channel.is_detectable(rssi) {
+            continue;
+        }
+        // Unmodelled losses (obstructions, interference bursts).
+        if world.scenario.packet_loss > 0.0
+            && rand::Rng::gen_bool(&mut world.channel_rng, world.scenario.packet_loss)
+        {
+            continue;
+        }
+        world.medium.record_rssi(tx, world.robots[j].id, rssi);
+        receivers.push(j);
+    }
+    engine.schedule_at(now + duration, Event::TxEnd { tx, receivers });
+}
+
+/// Judges every reception of frame `tx` and dispatches delivered packets.
+fn deliver(
+    engine: &mut Engine<Event>,
+    world: &mut World,
+    tx: TxId,
+    receivers: &[usize],
+    now: SimTime,
+) {
+    for &j in receivers {
+        let id = world.robots[j].id;
+        match world.medium.outcome(tx, id) {
+            ReceptionOutcome::Delivered { rssi, packet } => {
+                if !world.robots[j].radio.can_receive() {
+                    continue; // fell asleep mid-frame
+                }
+                world.robots[j].radio.record_rx(now, packet.wire_size());
+                dispatch(engine, world, j, packet, rssi, now);
+            }
+            ReceptionOutcome::Collided { .. } | ReceptionOutcome::HalfDuplex => {}
+            ReceptionOutcome::NotReceivable => {}
+        }
+    }
+}
+
+/// Routes a delivered packet to the localizer or the mesh node.
+fn dispatch(
+    engine: &mut Engine<Event>,
+    world: &mut World,
+    robot: usize,
+    packet: Packet,
+    rssi: cocoa_net::rssi::Dbm,
+    now: SimTime,
+) {
+    match &packet.payload {
+        Payload::Beacon { position } => {
+            let r = &mut world.robots[robot];
+            if let Some(rf) = r.rf.as_mut() {
+                world.traffic.beacons_received += 1;
+                rf.observe_beacon(&world.table, *position, rssi);
+            }
+        }
+        Payload::Sync { .. } => {
+            // Direct SYNC payloads are not used by the runner (SYNC rides
+            // as mesh data) but remain valid protocol traffic.
+        }
+        _ => {
+            let mode = world.mode();
+            let area = world.scenario.area;
+            let info = world.robots[robot].mobility_info(mode, &area);
+            let actions = world.robots[robot].mesh.handle_packet(now, &packet, &info);
+            for action in actions {
+                match action {
+                    ProtocolAction::Broadcast {
+                        packet,
+                        jitter_bound,
+                    } => {
+                        let jitter = uniform(
+                            0.0,
+                            jitter_bound.as_secs_f64().max(1e-4),
+                            &mut world.jitter_rng,
+                        );
+                        engine.schedule_in(
+                            SimDuration::from_secs_f64(jitter),
+                            Event::Transmit {
+                                robot,
+                                intent: TxIntent::Mesh(packet),
+                            },
+                        );
+                    }
+                    ProtocolAction::Deliver { source: _, body } => {
+                        if let Some(_msg) = SyncMessage::decode(body) {
+                            let r = &mut world.robots[robot];
+                            r.clock.resync(now);
+                            r.synced_this_window = true;
+                        }
+                    }
+                    ProtocolAction::ScheduleReply { source, after } => {
+                        engine.schedule_in(after, Event::MeshReply { robot, source });
+                    }
+                    ProtocolAction::ScheduleRebroadcast { source, seq, after } => {
+                        engine
+                            .schedule_in(after, Event::MeshRebroadcast { robot, source, seq });
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,106 @@
+//! Regression tests for the *shapes* of the paper's figures, at a small
+//! scale: orderings, monotonicities and crossovers that must hold for the
+//! reproduction to be faithful, regardless of absolute numbers.
+
+use cocoa_core::experiment::{
+    ablation_packet_loss, ablation_rf_algorithm, fig10_equipped, fig1_calibration, fig6_rf_only,
+    fig7_comparison, fig9_period, ExperimentScale,
+};
+use cocoa_sim::time::SimDuration;
+
+fn scale() -> ExperimentScale {
+    ExperimentScale {
+        seed: 1234,
+        duration: SimDuration::from_secs(400),
+        num_robots: 24,
+    }
+}
+
+#[test]
+fn fig1_shape_gaussian_near_empirical_far() {
+    let f = fig1_calibration(9);
+    assert!(f.near.gaussian);
+    assert!(!f.far.gaussian);
+    // The far PDF peaks at a much larger distance than the near PDF.
+    let peak = |c: &cocoa_core::experiment::PdfCurve| {
+        c.points
+            .iter()
+            .copied()
+            .fold((0.0, f64::MIN), |b, p| if p.1 > b.1 { p } else { b })
+            .0
+    };
+    assert!(peak(&f.far) > 3.0 * peak(&f.near));
+}
+
+#[test]
+fn fig6_shape_error_grows_with_period() {
+    let f = fig6_rf_only(scale(), &[20, 100]);
+    let steady = |s: &cocoa_core::experiment::Series| s.mean_after(110.0);
+    assert!(
+        steady(&f.series[0]) < steady(&f.series[1]),
+        "T = 20 ({:.1} m) must beat T = 100 ({:.1} m) in RF-only mode",
+        steady(&f.series[0]),
+        steady(&f.series[1])
+    );
+}
+
+#[test]
+fn fig7_shape_cocoa_wins_at_both_speeds() {
+    let f = fig7_comparison(scale());
+    for (v, series) in &f.by_speed {
+        let find = |label: &str| {
+            series
+                .iter()
+                .find(|s| s.label.starts_with(label))
+                .unwrap_or_else(|| panic!("{label} series missing"))
+                .mean_after(150.0)
+        };
+        let cocoa = find("CoCoA");
+        let rf = find("RF");
+        assert!(
+            cocoa < rf,
+            "at v_max = {v}: CoCoA {cocoa:.1} m must beat RF-only {rf:.1} m"
+        );
+    }
+}
+
+#[test]
+fn fig9_shape_energy_tradeoff() {
+    let f = fig9_period(scale(), &[20, 100]);
+    // Larger T: cheaper coordinated energy, bigger savings factor, worse
+    // (or equal) accuracy.
+    let (a, b) = (&f.points[0], &f.points[1]);
+    assert!(b.energy_coordinated_j < a.energy_coordinated_j);
+    assert!(b.savings_factor() > a.savings_factor());
+    assert!(b.steady_error_m >= a.steady_error_m * 0.8, "accuracy should not improve much with larger T");
+    // Uncoordinated energy barely depends on T (radios always idle).
+    let drift = (a.energy_uncoordinated_j - b.energy_uncoordinated_j).abs();
+    assert!(drift < 0.05 * a.energy_uncoordinated_j);
+}
+
+#[test]
+fn fig10_shape_more_equipped_is_better() {
+    let f = fig10_equipped(scale(), &[3, 12]);
+    assert!(
+        f.points[1].mean_error_m < f.points[0].mean_error_m,
+        "12 equipped ({:.1} m) must beat 3 equipped ({:.1} m)",
+        f.points[1].mean_error_m,
+        f.points[0].mean_error_m
+    );
+}
+
+#[test]
+fn ablation_shapes_hold() {
+    // Bayes beats (or matches) the multilateration baseline.
+    let algo = ablation_rf_algorithm(scale());
+    assert!(
+        algo[0].mean_error_m <= algo[1].mean_error_m * 1.1,
+        "bayes {:.1} m vs multilateration {:.1} m",
+        algo[0].mean_error_m,
+        algo[1].mean_error_m
+    );
+    // Packet loss degrades accuracy monotonically-ish and never adds fixes.
+    let loss = ablation_packet_loss(scale());
+    assert!(loss.last().unwrap().mean_error_m >= loss.first().unwrap().mean_error_m * 0.95);
+    assert!(loss.last().unwrap().fixes <= loss.first().unwrap().fixes);
+}

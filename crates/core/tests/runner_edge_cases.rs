@@ -1,0 +1,126 @@
+//! Edge-case behaviour of the simulation runner: degenerate teams, all
+//! equipped, no beacon sources, window geometry extremes.
+
+use cocoa_core::prelude::*;
+use cocoa_sim::time::{SimDuration, SimTime};
+
+fn tiny() -> ScenarioBuilder {
+    let mut b = Scenario::builder();
+    b.robots(6)
+        .equipped(3)
+        .duration(SimDuration::from_secs(120))
+        .beacon_period(SimDuration::from_secs(30))
+        .grid_resolution(8.0);
+    b
+}
+
+#[test]
+fn single_robot_odometry_only() {
+    let s = tiny()
+        .robots(1)
+        .equipped(0)
+        .mode(EstimatorMode::OdometryOnly)
+        .build();
+    let m = run(&s);
+    assert_eq!(m.final_states.len(), 1);
+    assert!(m.error_series.iter().all(|p| p.robots == 1));
+}
+
+#[test]
+fn all_robots_equipped_reports_nobody() {
+    // Everyone has a device: nobody reports error, the series is empty,
+    // but beacons still flow and energy is still accounted.
+    let s = tiny().robots(6).equipped(6).build();
+    let m = run(&s);
+    assert!(m.error_series.is_empty(), "no unequipped robots to report");
+    assert!(m.traffic.beacons_sent > 0);
+    assert!(m.energy.total_j() > 0.0);
+    assert_eq!(m.traffic.fixes, 0);
+}
+
+#[test]
+fn relay_mode_with_zero_equipped_never_bootstraps() {
+    // Relay beaconing needs a first fix to exist somewhere; with zero
+    // equipped robots nobody ever fixes, so no beacons ever flow. The
+    // scenario is legal (relaying counts as a potential source) but inert
+    // — pinned here as documented behaviour.
+    let s = tiny().equipped(0).relay_beaconing(true).build();
+    let m = run(&s);
+    assert_eq!(m.traffic.beacons_sent, 0);
+    assert_eq!(m.traffic.fixes, 0);
+}
+
+#[test]
+fn one_equipped_robot_is_not_enough_for_fixes() {
+    // A single beacon source sends k = 3 beacons per window, which meets
+    // the >= 3 packet rule, but all from (nearly) one position: the
+    // posterior concentrates on a ring. Fixes happen; accuracy is poor
+    // but bounded by the area.
+    let s = tiny().equipped(1).build();
+    let m = run(&s);
+    for r in &m.final_states {
+        assert!(s.area.contains(r.estimate));
+    }
+}
+
+#[test]
+fn window_nearly_filling_the_period() {
+    // t = 25 s of a 30 s period: radios barely sleep; still correct.
+    let s = tiny()
+        .transmit_window(SimDuration::from_secs(25))
+        .build();
+    let m = run(&s);
+    assert!(m.traffic.fixes > 0);
+    let team = m.energy.team();
+    assert!(team.idle_uj > team.sleep_uj, "mostly awake by construction");
+}
+
+#[test]
+fn duration_shorter_than_one_period() {
+    // The run ends before the second window: exactly one window happens.
+    let s = tiny()
+        .duration(SimDuration::from_secs(20))
+        .beacon_period(SimDuration::from_secs(15))
+        .build();
+    let m = run(&s);
+    assert!(m.traffic.beacons_sent > 0, "the first window still runs");
+}
+
+#[test]
+fn snapshot_at_time_zero_and_horizon() {
+    let s = tiny()
+        .snapshots([SimTime::ZERO, SimTime::from_secs(120)])
+        .build();
+    let m = run(&s);
+    assert_eq!(m.snapshots.len(), 2);
+    // t = 0: nobody has a fix; everyone estimates the area centre.
+    assert!(m.snapshots[0].mean() > 0.0);
+    assert_eq!(m.position_snapshots.len(), 2);
+}
+
+#[test]
+fn zero_clock_skew_is_perfectly_aligned() {
+    let s = tiny().clock_skew_ppm(0.0).build();
+    let m = run(&s);
+    assert_eq!(m.traffic.syncs_missed, 0, "nothing to miss at zero skew");
+}
+
+#[test]
+fn metrics_interval_coarser_than_tick() {
+    let mut b = tiny();
+    b.build(); // defaults fine; change interval via scenario clone
+    let mut s = b.build();
+    s.metrics_interval = SimDuration::from_secs(10);
+    let m = run(&s);
+    assert_eq!(m.error_series.len(), 12, "one sample per 10 s over 120 s");
+}
+
+#[test]
+fn multilateration_algorithm_runs_end_to_end() {
+    use cocoa_localization::estimator::RfAlgorithm;
+    let bayes = run(&tiny().build());
+    let lateration = run(&tiny().rf_algorithm(RfAlgorithm::Multilateration).build());
+    assert!(lateration.traffic.fixes > 0, "baseline must also fix");
+    // Different algorithms, same beacons: different series.
+    assert_ne!(bayes.error_series, lateration.error_series);
+}

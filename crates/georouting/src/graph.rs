@@ -1,0 +1,240 @@
+//! The routing substrate: a unit-disk connectivity graph whose *links* are
+//! physical (true positions, radio range) but whose *coordinates* are the
+//! robots' position estimates — exactly the situation a geographic routing
+//! protocol running over CoCoA coordinates faces (paper Section 6: "CoCoA
+//! coordinates are good enough to enable scalable geographic routing").
+
+use serde::{Deserialize, Serialize};
+
+use cocoa_net::geometry::Point;
+
+/// A node of the routing graph.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoutingNode {
+    /// Ground-truth position (determines radio connectivity).
+    pub true_position: Point,
+    /// The position the node believes it is at (used for all routing
+    /// decisions). With perfect localization the two coincide.
+    pub believed_position: Point,
+}
+
+impl RoutingNode {
+    /// A node with perfect knowledge of its position.
+    pub fn exact(p: Point) -> Self {
+        RoutingNode {
+            true_position: p,
+            believed_position: p,
+        }
+    }
+
+    /// This node's localization error, metres.
+    pub fn position_error(&self) -> f64 {
+        self.true_position.distance_to(self.believed_position)
+    }
+}
+
+/// A unit-disk graph over [`RoutingNode`]s.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UnitDiskGraph {
+    nodes: Vec<RoutingNode>,
+    range: f64,
+    adjacency: Vec<Vec<usize>>,
+}
+
+impl UnitDiskGraph {
+    /// Builds the graph: `u ~ v` iff their **true** distance is at most
+    /// `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `range` is not strictly positive.
+    pub fn new(nodes: Vec<RoutingNode>, range: f64) -> Self {
+        assert!(range > 0.0, "radio range must be positive");
+        let n = nodes.len();
+        let mut adjacency = vec![Vec::new(); n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if nodes[i].true_position.distance_to(nodes[j].true_position) <= range {
+                    adjacency[i].push(j);
+                    adjacency[j].push(i);
+                }
+            }
+        }
+        UnitDiskGraph {
+            nodes,
+            range,
+            adjacency,
+        }
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// The radio range.
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// The node at `index`.
+    pub fn node(&self, index: usize) -> &RoutingNode {
+        &self.nodes[index]
+    }
+
+    /// Indices of `index`'s radio neighbours.
+    pub fn neighbors(&self, index: usize) -> &[usize] {
+        &self.adjacency[index]
+    }
+
+    /// Total number of (undirected) edges.
+    pub fn edge_count(&self) -> usize {
+        self.adjacency.iter().map(Vec::len).sum::<usize>() / 2
+    }
+
+    /// Whether `a` and `b` are connected in the physical graph —
+    /// routing can only ever succeed for connected pairs.
+    pub fn connected(&self, a: usize, b: usize) -> bool {
+        self.shortest_hops(a, b).is_some()
+    }
+
+    /// The minimum hop count between `a` and `b` (BFS over the physical
+    /// graph), or `None` if disconnected. This is the optimum any routing
+    /// protocol could achieve; the ratio of a route's hops to it is the
+    /// route's *stretch*.
+    pub fn shortest_hops(&self, a: usize, b: usize) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.nodes.len()];
+        let mut queue = std::collections::VecDeque::from([a]);
+        dist[a] = 0;
+        while let Some(u) = queue.pop_front() {
+            for &v in &self.adjacency[u] {
+                if dist[v] == usize::MAX {
+                    dist[v] = dist[u] + 1;
+                    if v == b {
+                        return Some(dist[v]);
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        None
+    }
+
+    /// The Gabriel-graph planarization computed on **believed** positions:
+    /// edge `(u, v)` survives iff no common-knowledge witness `w` lies
+    /// inside the disk with diameter `uv`. Geographic face routing needs a
+    /// (near-)planar subgraph; localization error makes the planarization
+    /// imperfect, which is precisely the effect the CoCoA routing
+    /// experiment measures.
+    pub fn gabriel_adjacency(&self) -> Vec<Vec<usize>> {
+        let n = self.nodes.len();
+        let mut gabriel = vec![Vec::new(); n];
+        for u in 0..n {
+            'edges: for &v in &self.adjacency[u] {
+                if v <= u {
+                    continue;
+                }
+                let pu = self.nodes[u].believed_position;
+                let pv = self.nodes[v].believed_position;
+                let mid = pu.midpoint(pv);
+                let radius_sq = pu.distance_sq_to(pv) / 4.0;
+                // Witnesses must be neighbours of u (they must be within
+                // radio range to be known about).
+                for &w in &self.adjacency[u] {
+                    if w != v
+                        && self.nodes[w].believed_position.distance_sq_to(mid) < radius_sq
+                    {
+                        continue 'edges;
+                    }
+                }
+                gabriel[u].push(v);
+                gabriel[v].push(u);
+            }
+        }
+        gabriel
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn line_graph() -> UnitDiskGraph {
+        let nodes = (0..5)
+            .map(|i| RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)))
+            .collect();
+        UnitDiskGraph::new(nodes, 15.0)
+    }
+
+    #[test]
+    fn adjacency_respects_range() {
+        let g = line_graph();
+        assert_eq!(g.neighbors(0), &[1]);
+        assert_eq!(g.neighbors(2), &[1, 3]);
+        assert_eq!(g.edge_count(), 4);
+    }
+
+    #[test]
+    fn connectivity_bfs() {
+        let g = line_graph();
+        assert!(g.connected(0, 4));
+        assert!(g.connected(2, 2));
+        // Add an isolated node.
+        let mut nodes: Vec<RoutingNode> = (0..3)
+            .map(|i| RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)))
+            .collect();
+        nodes.push(RoutingNode::exact(Point::new(500.0, 500.0)));
+        let g = UnitDiskGraph::new(nodes, 15.0);
+        assert!(!g.connected(0, 3));
+    }
+
+    #[test]
+    fn gabriel_removes_long_diagonals() {
+        // An obtuse triangle: the witness (4,4) lies strictly inside the
+        // disk with diameter (10,0)-(0,10), so Gabriel drops that edge.
+        let nodes = vec![
+            RoutingNode::exact(Point::new(4.0, 4.0)),
+            RoutingNode::exact(Point::new(10.0, 0.0)),
+            RoutingNode::exact(Point::new(0.0, 10.0)),
+        ];
+        let g = UnitDiskGraph::new(nodes, 20.0);
+        assert_eq!(g.edge_count(), 3);
+        let gabriel = g.gabriel_adjacency();
+        // Edge 1-2 (the hypotenuse) must be gone; 0-1 and 0-2 survive.
+        assert!(gabriel[0].contains(&1) && gabriel[0].contains(&2));
+        assert!(!gabriel[1].contains(&2));
+    }
+
+    #[test]
+    fn gabriel_keeps_line_edges() {
+        let g = line_graph();
+        let gabriel = g.gabriel_adjacency();
+        for (i, adj) in gabriel.iter().enumerate().take(4) {
+            assert!(adj.contains(&(i + 1)), "line edge {i} kept");
+        }
+    }
+
+    #[test]
+    fn position_error_measured() {
+        let n = RoutingNode {
+            true_position: Point::new(0.0, 0.0),
+            believed_position: Point::new(3.0, 4.0),
+        };
+        assert_eq!(n.position_error(), 5.0);
+        assert_eq!(RoutingNode::exact(Point::ORIGIN).position_error(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "range")]
+    fn zero_range_rejected() {
+        let _ = UnitDiskGraph::new(vec![], 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # cocoa-georouting — geographic routing over CoCoA coordinates
+//!
+//! The paper's conclusion motivates CoCoA's accuracy by what it enables:
+//! "CoCoA coordinates are good enough to enable scalable geographic
+//! routing \[23\] of messages and data among the robots". This crate
+//! implements that application — GFG/GPSR-style greedy + face routing —
+//! and the experiment that quantifies how delivery degrades with
+//! localization error:
+//!
+//! - [`graph`]: unit-disk connectivity over true positions, coordinates
+//!   from position *estimates*, Gabriel-graph planarization;
+//! - [`route`]: greedy forwarding, right-hand-rule face recovery, and the
+//!   delivery-rate experiment.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod graph;
+pub mod route;
+
+/// Glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::graph::{RoutingNode, UnitDiskGraph};
+    pub use crate::route::{delivery_experiment, DeliveryStats, GeoRouter, RouteOutcome, RouteStatus};
+}

@@ -1,0 +1,525 @@
+//! GFG/GPSR-style geographic routing: greedy forwarding with face-routing
+//! recovery (Bose, Morin, Stojmenović & Urrutia's "Routing with guaranteed
+//! delivery in ad hoc wireless networks" — the paper’s reference \[23\]).
+//!
+//! All forwarding decisions use the nodes' **believed** positions; packets
+//! physically travel over true-position links. With exact coordinates on a
+//! connected unit-disk graph, greedy + face recovery delivers; with CoCoA's
+//! estimated coordinates, delivery degrades gracefully with the
+//! localization error — that degradation is the experiment.
+
+use serde::{Deserialize, Serialize};
+
+use crate::graph::UnitDiskGraph;
+
+/// Why a routing attempt ended.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RouteStatus {
+    /// The packet reached the destination node.
+    Delivered,
+    /// Hop budget exhausted (routing loop or dead end).
+    HopLimit,
+    /// A node had no neighbours at all.
+    Isolated,
+}
+
+/// The result of routing one packet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RouteOutcome {
+    /// Terminal status.
+    pub status: RouteStatus,
+    /// The node sequence the packet traversed (starts at the source).
+    pub path: Vec<usize>,
+    /// Hops spent in greedy mode.
+    pub greedy_hops: usize,
+    /// Hops spent in face-recovery mode.
+    pub face_hops: usize,
+}
+
+impl RouteOutcome {
+    /// Whether the packet arrived.
+    pub fn delivered(&self) -> bool {
+        self.status == RouteStatus::Delivered
+    }
+
+    /// Total hops taken.
+    pub fn hops(&self) -> usize {
+        self.path.len().saturating_sub(1)
+    }
+}
+
+/// Geographic router state over a graph snapshot.
+#[derive(Debug)]
+pub struct GeoRouter<'a> {
+    graph: &'a UnitDiskGraph,
+    gabriel: Vec<Vec<usize>>,
+    hop_limit: usize,
+    face_recovery: bool,
+}
+
+impl<'a> GeoRouter<'a> {
+    /// Prepares a router (computes the Gabriel planarization once).
+    pub fn new(graph: &'a UnitDiskGraph) -> Self {
+        let hop_limit = 4 * graph.len().max(8);
+        GeoRouter {
+            gabriel: graph.gabriel_adjacency(),
+            graph,
+            hop_limit,
+            face_recovery: true,
+        }
+    }
+
+    /// A router without face recovery: pure greedy forwarding, which
+    /// drops packets at local minima. The ablation baseline that
+    /// quantifies what face routing buys.
+    pub fn greedy_only(graph: &'a UnitDiskGraph) -> Self {
+        GeoRouter {
+            face_recovery: false,
+            ..GeoRouter::new(graph)
+        }
+    }
+
+    fn believed(&self, i: usize) -> cocoa_net::geometry::Point {
+        self.graph.node(i).believed_position
+    }
+
+    /// Greedy step: the neighbour strictly closest (believed) to the
+    /// destination's believed position, if any is closer than `from`.
+    fn greedy_next(&self, from: usize, dest: usize) -> Option<usize> {
+        let target = self.believed(dest);
+        let here = self.believed(from).distance_to(target);
+        self.graph
+            .neighbors(from)
+            .iter()
+            .copied()
+            .map(|n| (n, self.believed(n).distance_to(target)))
+            .filter(|&(_, d)| d < here - 1e-12)
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("distances are finite"))
+            .map(|(n, _)| n)
+    }
+
+    /// The next edge counter-clockwise from the reference direction
+    /// `angle_in` around `at`, over the planarized adjacency (right-hand
+    /// rule traversal).
+    fn face_next(&self, at: usize, angle_in: f64) -> Option<usize> {
+        let here = self.believed(at);
+        self.gabriel[at]
+            .iter()
+            .copied()
+            .map(|n| {
+                let angle = here.bearing_to(self.believed(n));
+                // Positive CCW offset from the incoming direction, in (0, 2π].
+                let mut delta = angle - angle_in;
+                while delta <= 1e-12 {
+                    delta += std::f64::consts::TAU;
+                }
+                (n, delta)
+            })
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("angles are finite"))
+            .map(|(n, _)| n)
+    }
+
+    /// Routes a packet from `src` to `dest` with greedy forwarding and
+    /// face recovery.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `src` or `dest` are out of bounds.
+    pub fn route(&self, src: usize, dest: usize) -> RouteOutcome {
+        assert!(src < self.graph.len() && dest < self.graph.len(), "node out of bounds");
+        let mut path = vec![src];
+        let mut greedy_hops = 0;
+        let mut face_hops = 0;
+        let mut current = src;
+        // Face-mode state: the distance at which greedy failed, and the
+        // direction we arrived from.
+        let mut face_anchor: Option<f64> = None;
+        let mut came_from: Option<usize> = None;
+
+        while path.len() <= self.hop_limit {
+            if current == dest {
+                return RouteOutcome {
+                    status: RouteStatus::Delivered,
+                    path,
+                    greedy_hops,
+                    face_hops,
+                };
+            }
+            if self.graph.neighbors(current).is_empty() {
+                return RouteOutcome {
+                    status: RouteStatus::Isolated,
+                    path,
+                    greedy_hops,
+                    face_hops,
+                };
+            }
+            // Leave face mode as soon as we are closer than the anchor.
+            if let Some(anchor) = face_anchor {
+                let d = self.believed(current).distance_to(self.believed(dest));
+                if d < anchor - 1e-12 {
+                    face_anchor = None;
+                }
+            }
+            let next = if face_anchor.is_none() {
+                match self.greedy_next(current, dest) {
+                    Some(n) => {
+                        greedy_hops += 1;
+                        came_from = Some(current);
+                        n
+                    }
+                    None if !self.face_recovery => {
+                        // Pure greedy: a local minimum is a drop.
+                        return RouteOutcome {
+                            status: RouteStatus::HopLimit,
+                            path,
+                            greedy_hops,
+                            face_hops,
+                        };
+                    }
+                    None => {
+                        // Local minimum: enter face mode.
+                        face_anchor =
+                            Some(self.believed(current).distance_to(self.believed(dest)));
+                        let angle_in = self
+                            .believed(current)
+                            .bearing_to(self.believed(dest));
+                        match self.face_next(current, angle_in) {
+                            Some(n) => {
+                                face_hops += 1;
+                                came_from = Some(current);
+                                n
+                            }
+                            None => {
+                                return RouteOutcome {
+                                    status: RouteStatus::Isolated,
+                                    path,
+                                    greedy_hops,
+                                    face_hops,
+                                };
+                            }
+                        }
+                    }
+                }
+            } else {
+                // Continue the face traversal with the right-hand rule:
+                // sweep CCW from the edge we arrived on.
+                let prev = came_from.expect("face mode implies a predecessor");
+                let angle_in = self.believed(current).bearing_to(self.believed(prev));
+                match self.face_next(current, angle_in) {
+                    Some(n) => {
+                        face_hops += 1;
+                        came_from = Some(current);
+                        n
+                    }
+                    None => {
+                        return RouteOutcome {
+                            status: RouteStatus::Isolated,
+                            path,
+                            greedy_hops,
+                            face_hops,
+                        };
+                    }
+                }
+            };
+            path.push(next);
+            current = next;
+        }
+        RouteOutcome {
+            status: RouteStatus::HopLimit,
+            path,
+            greedy_hops,
+            face_hops,
+        }
+    }
+}
+
+/// Summary statistics of routing many packets over one graph snapshot.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeliveryStats {
+    /// Pairs attempted (only physically connected pairs are attempted).
+    pub attempted: usize,
+    /// Pairs delivered.
+    pub delivered: usize,
+    /// Mean hops over delivered packets.
+    pub mean_hops: f64,
+    /// Fraction of hops spent in face-recovery mode.
+    pub face_fraction: f64,
+    /// Mean path stretch over delivered packets: hops divided by the BFS
+    /// optimum (1.0 = every packet took a shortest path).
+    pub mean_stretch: f64,
+}
+
+impl DeliveryStats {
+    /// Delivery rate in `[0, 1]`.
+    pub fn delivery_rate(&self) -> f64 {
+        if self.attempted == 0 {
+            0.0
+        } else {
+            self.delivered as f64 / self.attempted as f64
+        }
+    }
+}
+
+/// Routes every `(src, dest)` pair in `pairs` (skipping physically
+/// disconnected ones) and aggregates the outcome.
+pub fn delivery_experiment(graph: &UnitDiskGraph, pairs: &[(usize, usize)]) -> DeliveryStats {
+    let router = GeoRouter::new(graph);
+    let mut attempted = 0;
+    let mut delivered = 0;
+    let mut hops = 0usize;
+    let mut face = 0usize;
+    let mut total_hops = 0usize;
+    let mut stretch_sum = 0.0;
+    let mut stretch_n = 0usize;
+    for &(s, d) in pairs {
+        if s == d {
+            continue;
+        }
+        let Some(optimal) = graph.shortest_hops(s, d) else {
+            continue;
+        };
+        attempted += 1;
+        let out = router.route(s, d);
+        total_hops += out.greedy_hops + out.face_hops;
+        face += out.face_hops;
+        if out.delivered() {
+            delivered += 1;
+            hops += out.hops();
+            if optimal > 0 {
+                stretch_sum += out.hops() as f64 / optimal as f64;
+                stretch_n += 1;
+            }
+        }
+    }
+    DeliveryStats {
+        attempted,
+        delivered,
+        mean_hops: if delivered == 0 {
+            0.0
+        } else {
+            hops as f64 / delivered as f64
+        },
+        face_fraction: if total_hops == 0 {
+            0.0
+        } else {
+            face as f64 / total_hops as f64
+        },
+        mean_stretch: if stretch_n == 0 {
+            0.0
+        } else {
+            stretch_sum / stretch_n as f64
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::RoutingNode;
+    use cocoa_net::geometry::Point;
+    use rand::Rng;
+
+    fn grid_graph(n: usize, spacing: f64, range: f64) -> UnitDiskGraph {
+        let mut nodes = Vec::new();
+        for i in 0..n {
+            for j in 0..n {
+                nodes.push(RoutingNode::exact(Point::new(
+                    i as f64 * spacing,
+                    j as f64 * spacing,
+                )));
+            }
+        }
+        UnitDiskGraph::new(nodes, range)
+    }
+
+    #[test]
+    fn greedy_delivers_on_dense_grid() {
+        let g = grid_graph(6, 10.0, 15.0);
+        let router = GeoRouter::new(&g);
+        let out = router.route(0, 35);
+        assert!(out.delivered(), "{out:?}");
+        assert_eq!(out.face_hops, 0, "dense grid needs no recovery");
+        assert!(out.hops() >= 5, "diagonal needs several hops");
+    }
+
+    #[test]
+    fn face_recovery_crosses_a_void() {
+        // A "U" shape: greedy from the left arm towards the right arm hits
+        // a local minimum at the top of the arm; face routing goes around.
+        let mut nodes = Vec::new();
+        // Left arm going up.
+        for i in 0..5 {
+            nodes.push(RoutingNode::exact(Point::new(0.0, f64::from(i) * 10.0)));
+        }
+        // Bottom rail.
+        for i in 1..6 {
+            nodes.push(RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)));
+        }
+        // Right arm going up.
+        for i in 1..5 {
+            nodes.push(RoutingNode::exact(Point::new(50.0, f64::from(i) * 10.0)));
+        }
+        let g = UnitDiskGraph::new(nodes, 12.0);
+        let router = GeoRouter::new(&g);
+        // From top of the left arm (index 4) to top of the right arm.
+        let dest = g.len() - 1;
+        let out = router.route(4, dest);
+        assert!(out.delivered(), "{out:?}");
+        assert!(out.face_hops > 0, "must have used face recovery: {out:?}");
+    }
+
+    #[test]
+    fn disconnected_pair_not_delivered() {
+        let nodes = vec![
+            RoutingNode::exact(Point::new(0.0, 0.0)),
+            RoutingNode::exact(Point::new(1000.0, 0.0)),
+        ];
+        let g = UnitDiskGraph::new(nodes, 50.0);
+        let router = GeoRouter::new(&g);
+        let out = router.route(0, 1);
+        assert!(!out.delivered());
+    }
+
+    #[test]
+    fn self_route_is_trivially_delivered() {
+        let g = grid_graph(2, 10.0, 15.0);
+        let out = GeoRouter::new(&g).route(1, 1);
+        assert!(out.delivered());
+        assert_eq!(out.hops(), 0);
+    }
+
+    #[test]
+    fn delivery_rate_degrades_with_position_error() {
+        use cocoa_sim::dist::Normal;
+        use cocoa_sim::rng::SeedSplitter;
+        let mut rng = SeedSplitter::new(5).stream("geo", 0);
+        let make = |sigma: f64, rng: &mut cocoa_sim::rng::DetRng| {
+            let noise = Normal::new(0.0, sigma);
+            let mut nodes = Vec::new();
+            for _ in 0..120 {
+                let p = Point::new(rng.gen::<f64>() * 200.0, rng.gen::<f64>() * 200.0);
+                let believed = Point::new(p.x + noise.sample(rng), p.y + noise.sample(rng));
+                nodes.push(RoutingNode {
+                    true_position: p,
+                    believed_position: believed,
+                });
+            }
+            UnitDiskGraph::new(nodes, 35.0)
+        };
+        let pairs: Vec<(usize, usize)> = (0..60).map(|i| (i, 119 - i)).collect();
+        let exact = delivery_experiment(&make(0.0, &mut rng), &pairs);
+        let noisy = delivery_experiment(&make(30.0, &mut rng), &pairs);
+        assert!(exact.delivery_rate() > 0.95, "exact rate {}", exact.delivery_rate());
+        assert!(
+            noisy.delivery_rate() <= exact.delivery_rate(),
+            "noise must not improve routing: {} vs {}",
+            noisy.delivery_rate(),
+            exact.delivery_rate()
+        );
+    }
+
+    #[test]
+    fn stats_handle_empty_input() {
+        let g = grid_graph(2, 10.0, 15.0);
+        let stats = delivery_experiment(&g, &[]);
+        assert_eq!(stats.delivery_rate(), 0.0);
+        assert_eq!(stats.mean_hops, 0.0);
+    }
+}
+
+#[cfg(test)]
+mod stretch_tests {
+    use super::*;
+    use crate::graph::RoutingNode;
+    use cocoa_net::geometry::Point;
+
+    #[test]
+    fn stretch_is_one_on_a_line() {
+        let nodes: Vec<RoutingNode> = (0..6)
+            .map(|i| RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)))
+            .collect();
+        let g = UnitDiskGraph::new(nodes, 12.0);
+        let stats = delivery_experiment(&g, &[(0, 5)]);
+        assert_eq!(stats.delivered, 1);
+        assert!((stats.mean_stretch - 1.0).abs() < 1e-12, "line routes are optimal");
+    }
+
+    #[test]
+    fn detours_have_stretch_above_one() {
+        // The "U" from the face-recovery test: greedy fails, face routing
+        // detours around the void, so hops exceed the BFS optimum... which
+        // here is also along the U, so build a shortcut for BFS only: a
+        // dense grid with a believed-position distortion would be complex,
+        // so assert the weaker invariant instead: stretch >= 1 always.
+        let mut nodes = Vec::new();
+        for i in 0..5 {
+            nodes.push(RoutingNode::exact(Point::new(0.0, f64::from(i) * 10.0)));
+        }
+        for i in 1..6 {
+            nodes.push(RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)));
+        }
+        for i in 1..5 {
+            nodes.push(RoutingNode::exact(Point::new(50.0, f64::from(i) * 10.0)));
+        }
+        let g = UnitDiskGraph::new(nodes, 12.0);
+        let stats = delivery_experiment(&g, &[(4, 13), (0, 13), (4, 9)]);
+        assert!(stats.delivered > 0);
+        assert!(stats.mean_stretch >= 1.0 - 1e-12, "stretch {}", stats.mean_stretch);
+    }
+
+    #[test]
+    fn shortest_hops_matches_geometry() {
+        let nodes: Vec<RoutingNode> = (0..5)
+            .map(|i| RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)))
+            .collect();
+        let g = UnitDiskGraph::new(nodes, 25.0); // reach 2 hops per step
+        assert_eq!(g.shortest_hops(0, 4), Some(2));
+        assert_eq!(g.shortest_hops(0, 0), Some(0));
+        assert_eq!(g.shortest_hops(0, 2), Some(1));
+    }
+}
+
+#[cfg(test)]
+mod greedy_only_tests {
+    use super::*;
+    use crate::graph::RoutingNode;
+    use cocoa_net::geometry::Point;
+
+    /// The "U" void again: greedy-only drops where GFG recovers.
+    #[test]
+    fn face_recovery_earns_its_keep() {
+        let mut nodes = Vec::new();
+        for i in 0..5 {
+            nodes.push(RoutingNode::exact(Point::new(0.0, f64::from(i) * 10.0)));
+        }
+        for i in 1..6 {
+            nodes.push(RoutingNode::exact(Point::new(f64::from(i) * 10.0, 0.0)));
+        }
+        for i in 1..5 {
+            nodes.push(RoutingNode::exact(Point::new(50.0, f64::from(i) * 10.0)));
+        }
+        let g = UnitDiskGraph::new(nodes, 12.0);
+        let dest = g.len() - 1;
+        let gfg = GeoRouter::new(&g).route(4, dest);
+        let greedy = GeoRouter::greedy_only(&g).route(4, dest);
+        assert!(gfg.delivered());
+        assert!(!greedy.delivered(), "greedy must drop at the void");
+        assert_eq!(greedy.face_hops, 0);
+    }
+
+    #[test]
+    fn greedy_only_still_works_on_dense_graphs() {
+        let mut nodes = Vec::new();
+        for i in 0..6 {
+            for j in 0..6 {
+                nodes.push(RoutingNode::exact(Point::new(
+                    f64::from(i) * 10.0,
+                    f64::from(j) * 10.0,
+                )));
+            }
+        }
+        let g = UnitDiskGraph::new(nodes, 15.0);
+        let out = GeoRouter::greedy_only(&g).route(0, 35);
+        assert!(out.delivered());
+    }
+}

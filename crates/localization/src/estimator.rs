@@ -1,0 +1,352 @@
+//! Window-oriented estimation logic and the three estimator modes the
+//! paper evaluates (Section 4): odometry-only, RF-only, and CoCoA (RF +
+//! odometry fusion).
+//!
+//! The CoCoA timeline drives the RF part in *windows*: at each transmit
+//! period the robot discards its posterior, accumulates the window's
+//! beacons, and — if at least three arrived — takes a fresh fix. What
+//! happens *between* windows is what distinguishes the modes:
+//!
+//! - **RF-only** freezes the last fix until the next window;
+//! - **CoCoA** dead-reckons from the last fix with odometry;
+//! - **odometry-only** never uses the radio at all.
+
+use serde::{Deserialize, Serialize};
+
+use cocoa_net::calibration::PdfTable;
+use cocoa_net::geometry::Point;
+use cocoa_net::rssi::Dbm;
+
+use crate::bayes::{BayesianLocalizer, ObservationResult};
+use crate::grid::GridConfig;
+use crate::multilateration::{MultilaterationConfig, Multilaterator};
+
+/// Which localization strategy a robot runs (paper Sections 4.1–4.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum EstimatorMode {
+    /// Dead reckoning from a known initial position (Fig. 4).
+    OdometryOnly,
+    /// Bayesian RF fixes, frozen between windows (Fig. 6).
+    RfOnly,
+    /// CoCoA: RF fixes, odometry in between (Fig. 7 onwards).
+    Cocoa,
+}
+
+impl std::fmt::Display for EstimatorMode {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EstimatorMode::OdometryOnly => "odometry-only",
+            EstimatorMode::RfOnly => "rf-only",
+            EstimatorMode::Cocoa => "cocoa",
+        };
+        f.write_str(s)
+    }
+}
+
+impl EstimatorMode {
+    /// Whether this mode listens for beacons.
+    pub fn uses_rf(&self) -> bool {
+        !matches!(self, EstimatorMode::OdometryOnly)
+    }
+
+    /// Whether this mode integrates odometry between windows.
+    pub fn uses_odometry_between_windows(&self) -> bool {
+        matches!(self, EstimatorMode::OdometryOnly | EstimatorMode::Cocoa)
+    }
+}
+
+/// Which per-window RF algorithm computes the fix. The paper implements
+/// Bayesian inference and notes (Section 5) that CoCoA "is not tied to a
+/// specific localization technique. … Other approaches could be integrated
+/// in CoCoA as well" — the multilateration baseline is exactly that.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum RfAlgorithm {
+    /// Bayesian grid inference (the paper's algorithm).
+    #[default]
+    Bayes,
+    /// Weighted least-squares multilateration (the classic baseline).
+    Multilateration,
+}
+
+impl std::fmt::Display for RfAlgorithm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RfAlgorithm::Bayes => f.write_str("bayes"),
+            RfAlgorithm::Multilateration => f.write_str("multilateration"),
+        }
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+enum Backend {
+    Bayes(BayesianLocalizer),
+    Lateration(Multilaterator),
+}
+
+/// Statistics of a windowed estimator's life so far.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct WindowStats {
+    /// Transmit windows begun.
+    pub windows: u32,
+    /// Windows that produced a fresh fix (≥ 3 beacons applied).
+    pub fixes: u32,
+    /// Beacons offered across all windows.
+    pub beacons_seen: u64,
+    /// Beacons actually applied to posteriors.
+    pub beacons_applied: u64,
+}
+
+/// The per-robot windowed RF estimator.
+///
+/// Drives a [`BayesianLocalizer`] through the CoCoA window lifecycle:
+/// `begin_window → observe_beacon* → end_window`. If a window yields fewer
+/// than three beacons, the previous fix is retained ("if certain robots do
+/// not receive any beacons, they continue with their old estimated
+/// position", paper Section 2.3).
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_localization::estimator::WindowedRfEstimator;
+/// use cocoa_localization::grid::GridConfig;
+/// use cocoa_net::calibration::{calibrate, CalibrationConfig};
+/// use cocoa_net::channel::RfChannel;
+/// use cocoa_net::geometry::{Area, Point};
+/// use cocoa_sim::rng::SeedSplitter;
+///
+/// let channel = RfChannel::default();
+/// let mut rng = SeedSplitter::new(2).stream("cal", 0);
+/// let table = calibrate(&channel, &CalibrationConfig::default(), &mut rng);
+/// let mut est = WindowedRfEstimator::new(GridConfig::new(Area::square(200.0), 2.0));
+///
+/// est.begin_window();
+/// let robot = Point::new(50.0, 50.0);
+/// for b in [Point::new(42.0, 50.0), Point::new(55.0, 58.0), Point::new(50.0, 40.0)] {
+///     let rssi = channel.sample_rssi(robot.distance_to(b), &mut rng);
+///     est.observe_beacon(&table, b, rssi);
+/// }
+/// let fix = est.end_window().expect("enough beacons");
+/// assert!(fix.distance_to(robot) < 15.0);
+/// assert_eq!(est.last_fix(), Some(fix));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WindowedRfEstimator {
+    backend: Backend,
+    last_fix: Option<Point>,
+    in_window: bool,
+    stats: WindowStats,
+}
+
+impl WindowedRfEstimator {
+    /// Creates an estimator running the paper's Bayesian algorithm.
+    pub fn new(grid: GridConfig) -> Self {
+        Self::with_algorithm(grid, RfAlgorithm::Bayes)
+    }
+
+    /// Creates an estimator with an explicit per-window algorithm.
+    pub fn with_algorithm(grid: GridConfig, algorithm: RfAlgorithm) -> Self {
+        let backend = match algorithm {
+            RfAlgorithm::Bayes => Backend::Bayes(BayesianLocalizer::new(grid)),
+            RfAlgorithm::Multilateration => Backend::Lateration(Multilaterator::new(
+                grid.area,
+                MultilaterationConfig::default(),
+            )),
+        };
+        WindowedRfEstimator {
+            backend,
+            last_fix: None,
+            in_window: false,
+            stats: WindowStats::default(),
+        }
+    }
+
+    /// The algorithm this estimator runs.
+    pub fn algorithm(&self) -> RfAlgorithm {
+        match self.backend {
+            Backend::Bayes(_) => RfAlgorithm::Bayes,
+            Backend::Lateration(_) => RfAlgorithm::Multilateration,
+        }
+    }
+
+    /// Starts a transmit window: the posterior is thrown away (paper
+    /// Section 2.3) and beacon accumulation begins.
+    pub fn begin_window(&mut self) {
+        match &mut self.backend {
+            Backend::Bayes(b) => b.reset(),
+            Backend::Lateration(l) => l.reset(),
+        }
+        self.in_window = true;
+        self.stats.windows += 1;
+    }
+
+    /// Whether a window is currently open.
+    pub fn in_window(&self) -> bool {
+        self.in_window
+    }
+
+    /// Offers one received beacon to the open window.
+    ///
+    /// Beacons arriving outside a window (e.g. stale deliveries right after
+    /// the radio slept) are counted but ignored.
+    pub fn observe_beacon(
+        &mut self,
+        table: &PdfTable,
+        beacon_pos: Point,
+        rssi: Dbm,
+    ) -> ObservationResult {
+        self.stats.beacons_seen += 1;
+        if !self.in_window {
+            return ObservationResult::Rejected;
+        }
+        let r = match &mut self.backend {
+            Backend::Bayes(b) => b.observe_beacon(table, beacon_pos, rssi),
+            Backend::Lateration(l) => {
+                if l.observe_beacon(table, beacon_pos, rssi) {
+                    ObservationResult::Applied
+                } else {
+                    ObservationResult::NoPdf
+                }
+            }
+        };
+        if r == ObservationResult::Applied {
+            self.stats.beacons_applied += 1;
+        }
+        r
+    }
+
+    /// Closes the window. Returns the fresh fix if the window produced one
+    /// (otherwise the previous fix remains in force and `None` is
+    /// returned).
+    pub fn end_window(&mut self) -> Option<Point> {
+        self.in_window = false;
+        let estimate = match &self.backend {
+            Backend::Bayes(b) => b.estimate(),
+            Backend::Lateration(l) => l.estimate(),
+        };
+        match estimate {
+            Some(fix) => {
+                self.last_fix = Some(fix);
+                self.stats.fixes += 1;
+                Some(fix)
+            }
+            None => None,
+        }
+    }
+
+    /// The most recent fix, if any window ever produced one.
+    pub fn last_fix(&self) -> Option<Point> {
+        self.last_fix
+    }
+
+    /// Posterior entropy (confidence proxy for the relay-beaconing guard).
+    /// Multilateration has no posterior; it reports infinity.
+    pub fn entropy(&self) -> f64 {
+        match &self.backend {
+            Backend::Bayes(b) => b.entropy(),
+            Backend::Lateration(_) => f64::INFINITY,
+        }
+    }
+
+    /// Lifetime statistics.
+    pub fn stats(&self) -> WindowStats {
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoa_net::calibration::{calibrate, CalibrationConfig};
+    use cocoa_net::channel::RfChannel;
+    use cocoa_net::geometry::Area;
+    use cocoa_sim::rng::SeedSplitter;
+
+    fn setup() -> (RfChannel, PdfTable, WindowedRfEstimator) {
+        let ch = RfChannel::default();
+        let mut rng = SeedSplitter::new(1).stream("cal", 0);
+        let table = calibrate(&ch, &CalibrationConfig::default(), &mut rng);
+        let est = WindowedRfEstimator::new(GridConfig::new(Area::square(200.0), 2.0));
+        (ch, table, est)
+    }
+
+    #[test]
+    fn window_with_too_few_beacons_keeps_old_fix() {
+        let (ch, table, mut est) = setup();
+        let mut rng = SeedSplitter::new(2).stream("t", 0);
+        let robot = Point::new(100.0, 100.0);
+        // First window: 3 beacons, get a fix.
+        est.begin_window();
+        for b in [
+            Point::new(92.0, 100.0),
+            Point::new(108.0, 104.0),
+            Point::new(100.0, 92.0),
+        ] {
+            let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+            est.observe_beacon(&table, b, rssi);
+        }
+        let fix1 = est.end_window().expect("fix");
+        // Second window: only 1 beacon — no new fix, old one kept.
+        est.begin_window();
+        let rssi = ch.sample_rssi(10.0, &mut rng);
+        est.observe_beacon(&table, Point::new(90.0, 100.0), rssi);
+        assert_eq!(est.end_window(), None);
+        assert_eq!(est.last_fix(), Some(fix1));
+        assert_eq!(est.stats().windows, 2);
+        assert_eq!(est.stats().fixes, 1);
+    }
+
+    #[test]
+    fn beacons_outside_window_are_ignored() {
+        let (ch, table, mut est) = setup();
+        let mut rng = SeedSplitter::new(3).stream("t", 0);
+        let rssi = ch.sample_rssi(10.0, &mut rng);
+        let r = est.observe_beacon(&table, Point::new(90.0, 100.0), rssi);
+        assert_eq!(r, ObservationResult::Rejected);
+        assert_eq!(est.stats().beacons_seen, 1);
+        assert_eq!(est.stats().beacons_applied, 0);
+        assert!(est.last_fix().is_none());
+    }
+
+    #[test]
+    fn each_window_starts_fresh() {
+        let (ch, table, mut est) = setup();
+        let mut rng = SeedSplitter::new(4).stream("t", 0);
+        let robot = Point::new(60.0, 60.0);
+        let beacons = [
+            Point::new(52.0, 60.0),
+            Point::new(68.0, 64.0),
+            Point::new(60.0, 52.0),
+        ];
+        est.begin_window();
+        for b in beacons {
+            let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+            est.observe_beacon(&table, b, rssi);
+        }
+        est.end_window().expect("fix 1");
+        // Next window near a different location converges there, not to a
+        // blend — proof the posterior was discarded.
+        let robot2 = Point::new(150.0, 150.0);
+        let beacons2 = [
+            Point::new(142.0, 150.0),
+            Point::new(158.0, 154.0),
+            Point::new(150.0, 142.0),
+        ];
+        est.begin_window();
+        for b in beacons2 {
+            let rssi = ch.sample_rssi(robot2.distance_to(b), &mut rng);
+            est.observe_beacon(&table, b, rssi);
+        }
+        let fix2 = est.end_window().expect("fix 2");
+        assert!(fix2.distance_to(robot2) < 20.0, "fix2 {fix2}");
+    }
+
+    #[test]
+    fn mode_properties() {
+        assert!(!EstimatorMode::OdometryOnly.uses_rf());
+        assert!(EstimatorMode::RfOnly.uses_rf());
+        assert!(EstimatorMode::Cocoa.uses_rf());
+        assert!(EstimatorMode::Cocoa.uses_odometry_between_windows());
+        assert!(!EstimatorMode::RfOnly.uses_odometry_between_windows());
+        assert_eq!(EstimatorMode::Cocoa.to_string(), "cocoa");
+    }
+}

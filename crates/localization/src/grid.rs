@@ -1,0 +1,328 @@
+//! The discretized position posterior.
+//!
+//! The paper's algorithm (Eqs. 1–3, after Sichitiu & Ramadurai) maintains a
+//! probability distribution of the robot's position over the bounding
+//! rectangle of the deployment area, multiplies in one constraint per
+//! received beacon, renormalizes (Bayesian inference), and finally takes
+//! the distribution's mean as the position estimate. Like every Bayesian /
+//! Markov localization implementation, we discretize the area into a grid.
+
+use serde::{Deserialize, Serialize};
+
+use cocoa_net::geometry::{Area, Point};
+
+/// Grid discretization parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GridConfig {
+    /// The deployment area the posterior covers (paper Eq. 1's bounds).
+    pub area: Area,
+    /// Cell side length, metres. 2 m over the paper's 200 m × 200 m field
+    /// gives a 100 × 100 grid; the resolution ablation bench sweeps this.
+    pub resolution_m: f64,
+}
+
+impl GridConfig {
+    /// Creates a config.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the resolution is not strictly positive or exceeds the
+    /// area's smaller side.
+    pub fn new(area: Area, resolution_m: f64) -> Self {
+        assert!(
+            resolution_m > 0.0 && resolution_m.is_finite(),
+            "resolution must be positive"
+        );
+        assert!(
+            resolution_m <= area.width().min(area.height()),
+            "resolution {resolution_m} m coarser than the area itself"
+        );
+        GridConfig { area, resolution_m }
+    }
+}
+
+/// Outcome of multiplying a constraint into the posterior.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConstraintOutcome {
+    /// The posterior was updated and renormalized.
+    Applied,
+    /// The constraint would have annihilated the posterior (total mass
+    /// ~zero) — the update was skipped and the old posterior kept. This
+    /// happens when a "bad beacon" (paper Section 4.3.1) contradicts all
+    /// prior mass.
+    Rejected,
+}
+
+/// A probability mass function over grid cells covering the area.
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_localization::grid::{GridConfig, PositionGrid};
+/// use cocoa_net::geometry::{Area, Point};
+///
+/// let mut grid = PositionGrid::new(GridConfig::new(Area::square(200.0), 2.0));
+/// // A uniform prior's mean is the area's centre.
+/// let c = grid.mean();
+/// assert!((c.x - 100.0).abs() < 1e-9 && (c.y - 100.0).abs() < 1e-9);
+/// // Concentrate mass near (50, 50).
+/// grid.apply_constraint(|p| (-(p.distance_to(Point::new(50.0, 50.0))).powi(2) / 50.0).exp());
+/// assert!(grid.mean().distance_to(Point::new(50.0, 50.0)) < 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PositionGrid {
+    config: GridConfig,
+    nx: usize,
+    ny: usize,
+    /// Cell probabilities; row-major (`iy * nx + ix`), always summing to 1.
+    cells: Vec<f64>,
+}
+
+impl PositionGrid {
+    /// Creates a grid initialized to the uniform prior — "in the beginning,
+    /// a robot is equally likely to be in any position" (paper Section 2.2).
+    pub fn new(config: GridConfig) -> Self {
+        let nx = (config.area.width() / config.resolution_m).ceil() as usize;
+        let ny = (config.area.height() / config.resolution_m).ceil() as usize;
+        let n = nx * ny;
+        PositionGrid {
+            config,
+            nx,
+            ny,
+            cells: vec![1.0 / n as f64; n],
+        }
+    }
+
+    /// Grid width in cells.
+    pub fn nx(&self) -> usize {
+        self.nx
+    }
+
+    /// Grid height in cells.
+    pub fn ny(&self) -> usize {
+        self.ny
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GridConfig {
+        &self.config
+    }
+
+    /// Resets to the uniform prior.
+    pub fn reset_uniform(&mut self) {
+        let v = 1.0 / self.cells.len() as f64;
+        self.cells.fill(v);
+    }
+
+    /// Centre of cell `(ix, iy)`.
+    pub fn cell_center(&self, ix: usize, iy: usize) -> Point {
+        let r = self.config.resolution_m;
+        Point::new(
+            self.config.area.x_min + (ix as f64 + 0.5) * r,
+            self.config.area.y_min + (iy as f64 + 0.5) * r,
+        )
+    }
+
+    /// Multiplies `constraint(cell_center)` into every cell and
+    /// renormalizes (paper Eq. 2).
+    ///
+    /// Returns [`ConstraintOutcome::Rejected`] — leaving the posterior
+    /// untouched — if the product has (near-)zero total mass or is not
+    /// finite.
+    pub fn apply_constraint(&mut self, constraint: impl Fn(Point) -> f64) -> ConstraintOutcome {
+        let mut scratch = Vec::with_capacity(self.cells.len());
+        let mut total = 0.0;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let w = constraint(self.cell_center(ix, iy));
+                let v = self.cells[iy * self.nx + ix] * w;
+                scratch.push(v);
+                total += v;
+            }
+        }
+        if !total.is_finite() || total <= f64::MIN_POSITIVE * self.cells.len() as f64 {
+            return ConstraintOutcome::Rejected;
+        }
+        for (dst, v) in self.cells.iter_mut().zip(scratch) {
+            *dst = v / total;
+        }
+        ConstraintOutcome::Applied
+    }
+
+    /// The posterior mean (paper Eq. 3) — the position estimate.
+    pub fn mean(&self) -> Point {
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for iy in 0..self.ny {
+            for ix in 0..self.nx {
+                let p = self.cells[iy * self.nx + ix];
+                if p > 0.0 {
+                    let c = self.cell_center(ix, iy);
+                    x += p * c.x;
+                    y += p * c.y;
+                }
+            }
+        }
+        Point::new(x, y)
+    }
+
+    /// The centre of the highest-probability cell (MAP estimate).
+    pub fn map_estimate(&self) -> Point {
+        let (idx, _) = self
+            .cells
+            .iter()
+            .enumerate()
+            .fold((0, f64::NEG_INFINITY), |best, (i, &v)| {
+                if v > best.1 {
+                    (i, v)
+                } else {
+                    best
+                }
+            });
+        self.cell_center(idx % self.nx, idx / self.nx)
+    }
+
+    /// Shannon entropy of the posterior, nats. The uniform prior maximizes
+    /// it; a confident fix approaches zero.
+    pub fn entropy(&self) -> f64 {
+        -self
+            .cells
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| p * p.ln())
+            .sum::<f64>()
+    }
+
+    /// Total probability mass (1.0 up to rounding; exposed for tests).
+    pub fn total_mass(&self) -> f64 {
+        self.cells.iter().sum()
+    }
+
+    /// Probability of the cell containing `p` (0 outside the area).
+    pub fn density_at(&self, p: Point) -> f64 {
+        if !self.config.area.contains(p) {
+            return 0.0;
+        }
+        let r = self.config.resolution_m;
+        let ix = (((p.x - self.config.area.x_min) / r) as usize).min(self.nx - 1);
+        let iy = (((p.y - self.config.area.y_min) / r) as usize).min(self.ny - 1);
+        self.cells[iy * self.nx + ix]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn grid(res: f64) -> PositionGrid {
+        PositionGrid::new(GridConfig::new(Area::square(200.0), res))
+    }
+
+    #[test]
+    fn uniform_prior_sums_to_one_and_centres() {
+        let g = grid(2.0);
+        assert_eq!(g.nx(), 100);
+        assert_eq!(g.ny(), 100);
+        assert!((g.total_mass() - 1.0).abs() < 1e-9);
+        assert!(g.mean().distance_to(Point::new(100.0, 100.0)) < 1e-9);
+    }
+
+    #[test]
+    fn constraint_concentrates_mass() {
+        let mut g = grid(2.0);
+        let target = Point::new(60.0, 140.0);
+        let before = g.entropy();
+        let out = g.apply_constraint(|p| (-(p.distance_to(target) / 10.0).powi(2)).exp());
+        assert_eq!(out, ConstraintOutcome::Applied);
+        assert!((g.total_mass() - 1.0).abs() < 1e-9, "renormalized");
+        assert!(g.entropy() < before, "entropy decreased");
+        assert!(g.mean().distance_to(target) < 2.0);
+        assert!(g.map_estimate().distance_to(target) < 2.0);
+    }
+
+    #[test]
+    fn repeated_constraints_sharpen_the_posterior() {
+        let mut g = grid(2.0);
+        let target = Point::new(100.0, 100.0);
+        let mut last_entropy = g.entropy();
+        for _ in 0..3 {
+            g.apply_constraint(|p| (-(p.distance_to(target) / 20.0).powi(2)).exp());
+            let e = g.entropy();
+            assert!(e < last_entropy);
+            last_entropy = e;
+        }
+    }
+
+    #[test]
+    fn annihilating_constraint_is_rejected() {
+        let mut g = grid(2.0);
+        let before = g.clone();
+        assert_eq!(g.apply_constraint(|_| 0.0), ConstraintOutcome::Rejected);
+        assert_eq!(g, before, "posterior untouched after rejection");
+        assert_eq!(
+            g.apply_constraint(|_| f64::NAN),
+            ConstraintOutcome::Rejected
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn reset_restores_uniform() {
+        let mut g = grid(2.0);
+        g.apply_constraint(|p| p.x);
+        g.reset_uniform();
+        assert!(g.mean().distance_to(Point::new(100.0, 100.0)) < 1e-9);
+        let max_entropy = (g.nx() as f64 * g.ny() as f64).ln();
+        assert!((g.entropy() - max_entropy).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cell_centers_tile_the_area() {
+        let g = grid(2.0);
+        let first = g.cell_center(0, 0);
+        assert_eq!(first, Point::new(1.0, 1.0));
+        let last = g.cell_center(g.nx() - 1, g.ny() - 1);
+        assert_eq!(last, Point::new(199.0, 199.0));
+    }
+
+    #[test]
+    fn density_at_reads_back_cells() {
+        let mut g = grid(2.0);
+        let target = Point::new(50.0, 50.0);
+        g.apply_constraint(|p| (-(p.distance_to(target) / 5.0).powi(2)).exp());
+        assert!(g.density_at(target) > g.density_at(Point::new(150.0, 150.0)));
+        assert_eq!(g.density_at(Point::new(-1.0, 0.0)), 0.0);
+    }
+
+    #[test]
+    fn intersection_of_two_ring_constraints_localizes() {
+        // Two beacons at known positions, each constraining distance:
+        // the posterior mean should land near an intersection point.
+        let mut g = grid(1.0);
+        let b1 = Point::new(80.0, 100.0);
+        let b2 = Point::new(120.0, 100.0);
+        let ring = |center: Point, radius: f64| {
+            move |p: Point| {
+                let d = p.distance_to(center);
+                (-((d - radius) / 3.0).powi(2)).exp()
+            }
+        };
+        g.apply_constraint(ring(b1, 25.0));
+        g.apply_constraint(ring(b2, 25.0));
+        // Intersections are near (100, 100 ± 15); a third beacon breaks the tie.
+        let b3 = Point::new(100.0, 130.0);
+        g.apply_constraint(ring(b3, 15.0));
+        let est = g.mean();
+        let expected = Point::new(100.0, 115.0);
+        assert!(
+            est.distance_to(expected) < 5.0,
+            "estimate {est} vs expected {expected}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "resolution")]
+    fn zero_resolution_rejected() {
+        let _ = GridConfig::new(Area::square(200.0), 0.0);
+    }
+}

@@ -1,0 +1,143 @@
+//! Property-based tests for the Bayesian localization invariants.
+
+use cocoa_localization::prelude::*;
+use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf, PdfTable};
+use cocoa_net::channel::RfChannel;
+use cocoa_net::geometry::{Area, Point};
+use cocoa_net::rssi::RssiBin;
+use cocoa_sim::rng::SeedSplitter;
+use proptest::prelude::*;
+
+fn arb_in_area() -> impl Strategy<Value = Point> {
+    (0.0..200.0f64, 0.0..200.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+proptest! {
+    /// The posterior always stays a probability distribution (mass 1,
+    /// non-negative) under arbitrary constraint sequences.
+    #[test]
+    fn posterior_stays_normalized(
+        centers in proptest::collection::vec(arb_in_area(), 1..8),
+        widths in proptest::collection::vec(1.0..60.0f64, 1..8),
+    ) {
+        let mut grid = PositionGrid::new(GridConfig::new(Area::square(200.0), 4.0));
+        for (c, w) in centers.iter().zip(widths.iter().cycle()) {
+            let c = *c;
+            let w = *w;
+            grid.apply_constraint(|p| (-(p.distance_to(c) / w).powi(2)).exp() + 1e-9);
+            prop_assert!((grid.total_mass() - 1.0).abs() < 1e-6);
+        }
+    }
+
+    /// The posterior mean always lies inside the deployment area.
+    #[test]
+    fn mean_inside_area(
+        centers in proptest::collection::vec(arb_in_area(), 0..6),
+    ) {
+        let area = Area::square(200.0);
+        let mut grid = PositionGrid::new(GridConfig::new(area, 4.0));
+        for c in &centers {
+            let c = *c;
+            grid.apply_constraint(|p| (-(p.distance_to(c) / 15.0).powi(2)).exp() + 1e-9);
+        }
+        prop_assert!(area.contains(grid.mean()));
+        prop_assert!(area.contains(grid.map_estimate()));
+    }
+
+    /// An informative constraint never increases entropy; reset restores
+    /// the maximum.
+    #[test]
+    fn entropy_monotone_under_information(c in arb_in_area(), w in 2.0..40.0f64) {
+        let mut grid = PositionGrid::new(GridConfig::new(Area::square(200.0), 4.0));
+        let max_entropy = grid.entropy();
+        grid.apply_constraint(|p| (-(p.distance_to(c) / w).powi(2)).exp() + 1e-12);
+        prop_assert!(grid.entropy() <= max_entropy + 1e-9);
+        grid.reset_uniform();
+        prop_assert!((grid.entropy() - max_entropy).abs() < 1e-9);
+    }
+
+    /// The localizer never produces an estimate from fewer than three
+    /// applied beacons, whatever the inputs.
+    #[test]
+    fn three_beacon_rule(beacons in proptest::collection::vec((arb_in_area(), -95.0..-35.0f64), 0..3)) {
+        let ch = RfChannel::default();
+        let table = calibrate(
+            &ch,
+            &CalibrationConfig { samples_per_distance: 30, ..Default::default() },
+            &mut SeedSplitter::new(5).stream("cal", 0),
+        );
+        let mut loc = BayesianLocalizer::new(GridConfig::new(Area::square(200.0), 4.0));
+        for (pos, rssi) in &beacons {
+            loc.observe_beacon(&table, *pos, cocoa_net::rssi::Dbm::new(*rssi));
+        }
+        prop_assert!(loc.beacons_applied() <= beacons.len() as u32);
+        if loc.beacons_applied() < 3 {
+            prop_assert!(loc.estimate().is_none());
+        }
+    }
+
+    /// Tighter PDFs localize at least roughly as well as looser ones for
+    /// the same beacon geometry (statistical, averaged over seeds).
+    #[test]
+    fn sharper_pdfs_do_not_hurt(seed in 0u64..30) {
+        let area = Area::square(200.0);
+        let robot = Point::new(100.0, 100.0);
+        let beacons = [
+            Point::new(85.0, 100.0),
+            Point::new(112.0, 108.0),
+            Point::new(100.0, 86.0),
+            Point::new(90.0, 112.0),
+        ];
+        let run = |sigma: f64| {
+            let table = PdfTable::from_entries(
+                (-100..-30).map(|b| {
+                    let ch = RfChannel::default();
+                    let mean = ch.distance_for_mean_rssi(RssiBin(b).center());
+                    (RssiBin(b), DistancePdf::Gaussian { mean, sigma })
+                }),
+                -80.0,
+            );
+            let ch = RfChannel::default();
+            let mut rng = SeedSplitter::new(seed).stream("probe", 0);
+            let mut loc = BayesianLocalizer::new(GridConfig::new(area, 2.0));
+            for b in beacons {
+                let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+                loc.observe_beacon(&table, b, rssi);
+            }
+            loc.estimate().map(|e| e.distance_to(robot))
+        };
+        if let (Some(sharp), Some(loose)) = (run(2.0), run(30.0)) {
+            // Allow statistical slack; the loose table must not be
+            // dramatically better.
+            prop_assert!(sharp <= loose + 6.0, "sharp {sharp} vs loose {loose}");
+        }
+    }
+
+    /// The windowed estimator's stats are internally consistent.
+    #[test]
+    fn window_stats_consistent(windows in 1u32..6, beacons_per in 0usize..6) {
+        let ch = RfChannel::default();
+        let table = calibrate(
+            &ch,
+            &CalibrationConfig { samples_per_distance: 30, ..Default::default() },
+            &mut SeedSplitter::new(9).stream("cal", 0),
+        );
+        let mut est = WindowedRfEstimator::new(GridConfig::new(Area::square(200.0), 4.0));
+        let mut rng = SeedSplitter::new(10).stream("b", 0);
+        use rand::Rng;
+        for _ in 0..windows {
+            est.begin_window();
+            for _ in 0..beacons_per {
+                let b = Point::new(rng.gen::<f64>() * 200.0, rng.gen::<f64>() * 200.0);
+                let rssi = ch.sample_rssi(b.distance_to(Point::new(100.0, 100.0)).max(0.5), &mut rng);
+                est.observe_beacon(&table, b, rssi);
+            }
+            est.end_window();
+        }
+        let stats = est.stats();
+        prop_assert_eq!(stats.windows, windows);
+        prop_assert!(stats.fixes <= u64::from(stats.windows) as u32);
+        prop_assert!(stats.beacons_applied <= stats.beacons_seen);
+        prop_assert_eq!(stats.beacons_seen, u64::from(windows) * beacons_per as u64);
+    }
+}

@@ -1,0 +1,55 @@
+//! # cocoa-mobility — robot movement and odometry substrate
+//!
+//! Implements the two motion-related models the paper adds to Glomosim
+//! (Section 3):
+//!
+//! - [`waypoint`]: the random-task movement model — move to a uniformly
+//!   random destination at a speed drawn uniformly from `[0.1, v_max]`,
+//!   then receive a new command;
+//! - [`odometry`]: dead reckoning with zero-mean Gaussian displacement
+//!   error (σ = 0.1 m/s) and angular error (σ = 10°);
+//! - [`motion`]: the combined truth + belief pipeline per robot;
+//! - [`trajectory`]: recording of true vs estimated paths (paper Fig. 5).
+//!
+//! # Examples
+//!
+//! ```
+//! use cocoa_mobility::prelude::*;
+//! use cocoa_net::geometry::{Area, Point};
+//! use cocoa_sim::rng::SeedSplitter;
+//!
+//! let split = SeedSplitter::new(1);
+//! let mut move_rng = split.stream("move", 0);
+//! let mut odo_rng = split.stream("odo", 0);
+//! let mut robot = RobotMotion::new(
+//!     WaypointConfig::paper(Area::square(200.0), 2.0),
+//!     OdometryConfig::default(),
+//!     Point::new(100.0, 100.0),
+//!     &mut move_rng,
+//! );
+//! for _ in 0..60 {
+//!     robot.step(1.0, &mut move_rng, &mut odo_rng);
+//! }
+//! // After a minute of motion the dead-reckoned estimate has drifted.
+//! assert!(robot.odometry_error() >= 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod motion;
+pub mod odometry;
+pub mod pose;
+pub mod sweep;
+pub mod trajectory;
+pub mod waypoint;
+
+/// Glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::motion::RobotMotion;
+    pub use crate::odometry::{Odometer, OdometryConfig};
+    pub use crate::pose::Pose;
+    pub use crate::sweep::{SweepConfig, SweepModel};
+    pub use crate::trajectory::{Trajectory, TrajectorySample};
+    pub use crate::waypoint::{Segment, WaypointConfig, WaypointModel};
+}

@@ -1,0 +1,169 @@
+//! Trajectory recording: the data behind paper Fig. 5 (an example odometry
+//! drift path) and the per-second error series of Figs. 4, 6, 7.
+
+use serde::{Deserialize, Serialize};
+
+use cocoa_net::geometry::Point;
+use cocoa_sim::time::SimTime;
+
+/// One recorded sample: the truth and an estimate at an instant.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TrajectorySample {
+    /// When the sample was taken.
+    pub time: SimTime,
+    /// Ground-truth position.
+    pub true_position: Point,
+    /// Estimated position.
+    pub estimated_position: Point,
+}
+
+impl TrajectorySample {
+    /// Localization error of this sample, metres.
+    pub fn error(&self) -> f64 {
+        self.true_position.distance_to(self.estimated_position)
+    }
+}
+
+/// An append-only record of one robot's true vs estimated path.
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_mobility::trajectory::Trajectory;
+/// use cocoa_net::geometry::Point;
+/// use cocoa_sim::time::SimTime;
+///
+/// let mut t = Trajectory::new();
+/// t.record(SimTime::ZERO, Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+/// assert_eq!(t.max_error(), 5.0);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Trajectory {
+    samples: Vec<TrajectorySample>,
+}
+
+impl Trajectory {
+    /// Creates an empty trajectory.
+    pub fn new() -> Self {
+        Trajectory::default()
+    }
+
+    /// Appends a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `time` precedes the last recorded sample.
+    pub fn record(&mut self, time: SimTime, true_position: Point, estimated_position: Point) {
+        if let Some(last) = self.samples.last() {
+            assert!(time >= last.time, "trajectory samples must be time-ordered");
+        }
+        self.samples.push(TrajectorySample {
+            time,
+            true_position,
+            estimated_position,
+        });
+    }
+
+    /// The recorded samples, oldest first.
+    pub fn samples(&self) -> &[TrajectorySample] {
+        &self.samples
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Mean localization error over all samples, metres (0 if empty).
+    pub fn mean_error(&self) -> f64 {
+        if self.samples.is_empty() {
+            return 0.0;
+        }
+        self.samples.iter().map(|s| s.error()).sum::<f64>() / self.samples.len() as f64
+    }
+
+    /// Largest localization error over all samples, metres (0 if empty).
+    pub fn max_error(&self) -> f64 {
+        self.samples
+            .iter()
+            .map(|s| s.error())
+            .fold(0.0, f64::max)
+    }
+
+    /// The error of the most recent sample, if any.
+    pub fn last_error(&self) -> Option<f64> {
+        self.samples.last().map(|s| s.error())
+    }
+
+    /// Renders the trajectory as CSV (`t_s,true_x,true_y,est_x,est_y,error`),
+    /// the format the examples print for plotting.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::from("t_s,true_x,true_y,est_x,est_y,error_m\n");
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{:.1},{:.3},{:.3},{:.3},{:.3},{:.3}\n",
+                s.time.as_secs_f64(),
+                s.true_position.x,
+                s.true_position.y,
+                s.estimated_position.x,
+                s.estimated_position.y,
+                s.error()
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn errors_aggregate() {
+        let mut tr = Trajectory::new();
+        tr.record(t(0), Point::new(0.0, 0.0), Point::new(0.0, 0.0));
+        tr.record(t(1), Point::new(0.0, 0.0), Point::new(3.0, 4.0));
+        tr.record(t(2), Point::new(0.0, 0.0), Point::new(0.0, 1.0));
+        assert_eq!(tr.max_error(), 5.0);
+        assert!((tr.mean_error() - 2.0).abs() < 1e-12);
+        assert_eq!(tr.last_error(), Some(1.0));
+        assert_eq!(tr.len(), 3);
+    }
+
+    #[test]
+    fn empty_trajectory_is_well_behaved() {
+        let tr = Trajectory::new();
+        assert!(tr.is_empty());
+        assert_eq!(tr.mean_error(), 0.0);
+        assert_eq!(tr.max_error(), 0.0);
+        assert_eq!(tr.last_error(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "time-ordered")]
+    fn out_of_order_record_panics() {
+        let mut tr = Trajectory::new();
+        tr.record(t(5), Point::ORIGIN, Point::ORIGIN);
+        tr.record(t(4), Point::ORIGIN, Point::ORIGIN);
+    }
+
+    #[test]
+    fn csv_has_header_and_rows() {
+        let mut tr = Trajectory::new();
+        tr.record(t(0), Point::new(1.0, 2.0), Point::new(1.5, 2.0));
+        let csv = tr.to_csv();
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert!(lines[0].starts_with("t_s,"));
+        assert!(lines[1].starts_with("0.0,1.000,2.000,1.500"));
+    }
+}

@@ -1,0 +1,34 @@
+//! # cocoa-multicast — the MRMM / ODMRP mesh multicast substrate
+//!
+//! CoCoA synchronizes its wake/sleep timeline by multicasting SYNC
+//! messages from a designated Sync robot down a mesh built by **MRMM**
+//! (Mobile Robot Mesh Multicast), an extension of the **ODMRP** mobile
+//! ad hoc multicast protocol (paper Section 2.3).
+//!
+//! - [`odmrp`]: the per-node protocol state machine (JOIN QUERY flooding,
+//!   JOIN REPLY reverse-path recruitment, forwarding-group data delivery),
+//!   switchable between plain ODMRP and the MRMM extension;
+//! - [`mrmm`]: MRMM's mobility-aware machinery — residual link-lifetime
+//!   prediction from `(position, velocity, d_rest)` and the pruning policy
+//!   that thins short-lived redundant forwarders out of the mesh;
+//! - [`mesh`]: duplicate caches and the protocol counters used for the
+//!   MRMM-vs-ODMRP forwarding-efficiency comparison.
+//!
+//! The node is sans-IO: it consumes packets and returns
+//! [`odmrp::ProtocolAction`]s; `cocoa-core`'s runner owns all timing.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod flood;
+pub mod mesh;
+pub mod mrmm;
+pub mod odmrp;
+
+/// Glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::flood::FloodNode;
+    pub use crate::mesh::{DedupCache, MeshStats};
+    pub use crate::mrmm::{link_lifetime, MobilityInfo, PathScore, PruneConfig};
+    pub use crate::odmrp::{MeshMode, OdmrpConfig, OdmrpNode, ProtocolAction};
+}

@@ -1,0 +1,100 @@
+//! Property-based tests for the mesh multicast substrate.
+
+use cocoa_multicast::prelude::*;
+use cocoa_net::geometry::{Point, Vec2};
+use cocoa_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_mobility() -> impl Strategy<Value = MobilityInfo> {
+    (
+        -200.0..200.0f64,
+        -200.0..200.0f64,
+        -3.0..3.0f64,
+        -3.0..3.0f64,
+        0.0..300.0f64,
+    )
+        .prop_map(|(x, y, vx, vy, d_rest)| MobilityInfo {
+            position: Point::new(x, y),
+            velocity: Vec2::new(vx, vy),
+            d_rest,
+        })
+}
+
+proptest! {
+    /// Link lifetime is always within [0, horizon].
+    #[test]
+    fn lifetime_bounded(a in arb_mobility(), b in arb_mobility(), range in 10.0..300.0f64, horizon in 1.0..600.0f64) {
+        let t = link_lifetime(&a, &b, range, horizon);
+        prop_assert!((0.0..=horizon).contains(&t), "lifetime {t}");
+    }
+
+    /// Link lifetime is symmetric in its endpoints.
+    #[test]
+    fn lifetime_symmetric(a in arb_mobility(), b in arb_mobility(), range in 10.0..300.0f64) {
+        let ab = link_lifetime(&a, &b, range, 300.0);
+        let ba = link_lifetime(&b, &a, range, 300.0);
+        prop_assert!((ab - ba).abs() < 1e-6, "{ab} vs {ba}");
+    }
+
+    /// Out-of-range pairs have zero lifetime; in-range stationary pairs
+    /// live to the horizon.
+    #[test]
+    fn lifetime_edge_cases(d in 0.1..500.0f64, range in 10.0..300.0f64) {
+        let a = MobilityInfo::stationary(Point::new(0.0, 0.0));
+        let b = MobilityInfo::stationary(Point::new(d, 0.0));
+        let t = link_lifetime(&a, &b, range, 120.0);
+        if d > range {
+            prop_assert_eq!(t, 0.0);
+        } else {
+            prop_assert_eq!(t, 120.0);
+        }
+    }
+
+    /// A larger range never shortens a link's predicted lifetime.
+    #[test]
+    fn lifetime_monotone_in_range(a in arb_mobility(), b in arb_mobility(), r1 in 10.0..150.0f64, extra in 0.0..150.0f64) {
+        let t1 = link_lifetime(&a, &b, r1, 300.0);
+        let t2 = link_lifetime(&a, &b, r1 + extra, 300.0);
+        prop_assert!(t2 >= t1 - 1e-9, "range {r1}->{} lifetime {t1}->{t2}", r1 + extra);
+    }
+
+    /// The dedup cache behaves like a set within the retention window:
+    /// first insert accepted, duplicates rejected.
+    #[test]
+    fn dedup_is_a_set(keys in proptest::collection::vec(0u32..50, 1..200)) {
+        let mut cache: DedupCache<u32> = DedupCache::new(SimDuration::from_secs(1_000_000));
+        let mut reference = std::collections::HashSet::new();
+        for (i, k) in keys.iter().enumerate() {
+            let fresh = cache.insert(*k, SimTime::from_secs(i as u64));
+            prop_assert_eq!(fresh, reference.insert(*k));
+        }
+        prop_assert_eq!(cache.len(), reference.len());
+    }
+
+    /// Path scores are a strict weak order: never both a < b and b < a.
+    #[test]
+    fn path_score_antisymmetric(l1 in 0.0..200.0f64, h1 in 0u8..16, l2 in 0.0..200.0f64, h2 in 0u8..16) {
+        let a = PathScore { lifetime: l1, hops: h1 };
+        let b = PathScore { lifetime: l2, hops: h2 };
+        prop_assert!(!(a.better_than(&b) && b.better_than(&a)));
+    }
+
+    /// MeshStats::merge is associative-compatible: merging equals field
+    /// sums.
+    #[test]
+    fn mesh_stats_merge(a in any::<u16>(), b in any::<u16>(), c in any::<u16>()) {
+        let mk = |v: u16| MeshStats {
+            queries_rebroadcast: u64::from(v),
+            data_forwarded: u64::from(v) * 2,
+            data_delivered: u64::from(v) * 3,
+            ..Default::default()
+        };
+        let mut merged = MeshStats::default();
+        merged.merge(&mk(a));
+        merged.merge(&mk(b));
+        merged.merge(&mk(c));
+        let total = u64::from(a) + u64::from(b) + u64::from(c);
+        prop_assert_eq!(merged.queries_rebroadcast, total);
+        prop_assert_eq!(merged.data_delivered, total * 3);
+    }
+}

@@ -1,0 +1,399 @@
+//! The offline calibration phase and the PDF Table.
+//!
+//! Before deployment, the paper runs a calibration campaign that maps every
+//! RSSI value to a probability distribution function of distance — the
+//! **PDF Table** stored at each node (Section 2.2). Their measurements
+//! showed the PDFs are Gaussian for RSSI down to −80 dBm (distances up to
+//! ~40 m) and visibly non-Gaussian beyond (Fig. 1).
+//!
+//! We reproduce the campaign against the synthetic [`RfChannel`]: sample
+//! RSSI over a sweep of ground-truth distances, bucket the samples by
+//! integer-dBm bin, and fit
+//!
+//! - a **Gaussian** distance PDF for bins at or above the channel's
+//!   Gaussian floor, and
+//! - an **empirical histogram** PDF for the noisy far-field bins,
+//!
+//! exactly mirroring the decision the authors made from their Fig. 1.
+
+use std::collections::BTreeMap;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::channel::RfChannel;
+use crate::rssi::{Dbm, RssiBin};
+
+/// Parameters of the calibration campaign.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CalibrationConfig {
+    /// Closest measured distance, metres.
+    pub d_min: f64,
+    /// Farthest measured distance, metres (clamped to the channel range
+    /// when `None`).
+    pub d_max: Option<f64>,
+    /// Spacing between measurement distances, metres.
+    pub step_m: f64,
+    /// RSSI samples collected at each distance.
+    pub samples_per_distance: usize,
+    /// Bins with fewer samples than this are dropped as unreliable.
+    pub min_samples_per_bin: usize,
+    /// Histogram cell width for empirical (non-Gaussian) PDFs, metres.
+    pub histogram_bin_m: f64,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        CalibrationConfig {
+            d_min: 0.5,
+            d_max: None,
+            step_m: 0.5,
+            samples_per_distance: 200,
+            min_samples_per_bin: 40,
+            histogram_bin_m: 2.0,
+        }
+    }
+}
+
+/// The distance PDF stored for one RSSI bin.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum DistancePdf {
+    /// A Gaussian fit — valid in the near field (paper Fig. 1(a)).
+    Gaussian {
+        /// Mean distance, metres.
+        mean: f64,
+        /// Standard deviation, metres.
+        sigma: f64,
+    },
+    /// An empirical histogram — the far field where multipath breaks the
+    /// Gaussian assumption (paper Fig. 1(b)).
+    Empirical {
+        /// Distance at the left edge of the first cell, metres.
+        origin: f64,
+        /// Cell width, metres.
+        bin_width: f64,
+        /// Normalized densities per cell (integrates to 1).
+        densities: Vec<f64>,
+        /// Sample mean, metres.
+        mean: f64,
+        /// Sample standard deviation, metres.
+        sigma: f64,
+    },
+}
+
+impl DistancePdf {
+    /// Probability density at distance `d`.
+    pub fn density(&self, d: f64) -> f64 {
+        match self {
+            DistancePdf::Gaussian { mean, sigma } => {
+                let z = (d - mean) / sigma;
+                (-0.5 * z * z).exp() / (sigma * (2.0 * std::f64::consts::PI).sqrt())
+            }
+            DistancePdf::Empirical {
+                origin,
+                bin_width,
+                densities,
+                ..
+            } => {
+                if d < *origin {
+                    return 0.0;
+                }
+                let idx = ((d - origin) / bin_width) as usize;
+                densities.get(idx).copied().unwrap_or(0.0)
+            }
+        }
+    }
+
+    /// Mean distance of the PDF, metres.
+    pub fn mean(&self) -> f64 {
+        match self {
+            DistancePdf::Gaussian { mean, .. } => *mean,
+            DistancePdf::Empirical { mean, .. } => *mean,
+        }
+    }
+
+    /// Standard deviation of the PDF, metres.
+    pub fn sigma(&self) -> f64 {
+        match self {
+            DistancePdf::Gaussian { sigma, .. } => *sigma,
+            DistancePdf::Empirical { sigma, .. } => *sigma,
+        }
+    }
+
+    /// Whether this bin kept the Gaussian form.
+    pub fn is_gaussian(&self) -> bool {
+        matches!(self, DistancePdf::Gaussian { .. })
+    }
+
+    /// A conservative upper bound on distances with non-negligible density
+    /// (used to prune grid updates).
+    pub fn support_max(&self) -> f64 {
+        match self {
+            DistancePdf::Gaussian { mean, sigma } => mean + 5.0 * sigma,
+            DistancePdf::Empirical {
+                origin,
+                bin_width,
+                densities,
+                ..
+            } => origin + bin_width * densities.len() as f64,
+        }
+    }
+}
+
+/// The PDF Table: integer-dBm RSSI bin → distance PDF.
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_net::calibration::{calibrate, CalibrationConfig};
+/// use cocoa_net::channel::RfChannel;
+/// use cocoa_sim::rng::SeedSplitter;
+///
+/// let channel = RfChannel::default();
+/// let mut rng = SeedSplitter::new(7).stream("calibration", 0);
+/// let table = calibrate(&channel, &CalibrationConfig::default(), &mut rng);
+/// // A strong beacon implies a short, tightly-bounded distance.
+/// let rssi = channel.mean_rssi(10.0);
+/// let pdf = table.lookup(rssi).expect("bin present");
+/// assert!((pdf.mean() - 10.0).abs() < 3.0);
+/// assert!(pdf.is_gaussian());
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PdfTable {
+    bins: BTreeMap<i16, DistancePdf>,
+    /// Bins at/above this RSSI kept the Gaussian form (−80 dBm for the
+    /// default channel, per the paper).
+    gaussian_floor_dbm: f64,
+}
+
+impl PdfTable {
+    /// Builds a table directly from per-bin PDFs (mainly for tests).
+    pub fn from_entries(
+        entries: impl IntoIterator<Item = (RssiBin, DistancePdf)>,
+        gaussian_floor_dbm: f64,
+    ) -> Self {
+        PdfTable {
+            bins: entries.into_iter().map(|(b, p)| (b.0, p)).collect(),
+            gaussian_floor_dbm,
+        }
+    }
+
+    /// Looks up the PDF for an observed RSSI, falling back to the nearest
+    /// bin within ±3 dB (sparse bins happen at the extremes of the sweep).
+    pub fn lookup(&self, rssi: Dbm) -> Option<&DistancePdf> {
+        let key = rssi.bin().0;
+        if let Some(pdf) = self.bins.get(&key) {
+            return Some(pdf);
+        }
+        (1..=3)
+            .flat_map(|delta| [key - delta, key + delta])
+            .find_map(|k| self.bins.get(&k))
+    }
+
+    /// Number of calibrated bins.
+    pub fn len(&self) -> usize {
+        self.bins.len()
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bins.is_empty()
+    }
+
+    /// Iterates over `(bin, pdf)` in increasing RSSI order.
+    pub fn entries(&self) -> impl Iterator<Item = (RssiBin, &DistancePdf)> {
+        self.bins.iter().map(|(&k, v)| (RssiBin(k), v))
+    }
+
+    /// The RSSI below which bins are empirical rather than Gaussian.
+    pub fn gaussian_floor(&self) -> Dbm {
+        Dbm::new(self.gaussian_floor_dbm)
+    }
+}
+
+/// Runs the calibration campaign against `channel`.
+///
+/// Sweeps ground-truth distances, samples the channel at each, buckets the
+/// samples by integer-dBm RSSI and fits a distance PDF per bin.
+///
+/// # Panics
+///
+/// Panics if the configuration is degenerate (non-positive step, zero
+/// samples, inverted range).
+pub fn calibrate<R: Rng + ?Sized>(
+    channel: &RfChannel,
+    config: &CalibrationConfig,
+    rng: &mut R,
+) -> PdfTable {
+    assert!(config.step_m > 0.0, "calibration step must be positive");
+    assert!(config.samples_per_distance > 0, "need at least one sample per distance");
+    assert!(config.histogram_bin_m > 0.0, "histogram bin must be positive");
+    let d_max = config.d_max.unwrap_or_else(|| channel.max_range());
+    assert!(config.d_min > 0.0 && config.d_min < d_max, "invalid calibration range");
+
+    // Collect (distance) samples per RSSI bin.
+    let mut by_bin: BTreeMap<i16, Vec<f64>> = BTreeMap::new();
+    let mut d = config.d_min;
+    while d <= d_max {
+        for _ in 0..config.samples_per_distance {
+            let rssi = channel.sample_rssi(d, rng);
+            // Samples below the receiver sensitivity are never actually
+            // received, so no PDF is learned for them.
+            if channel.is_detectable(rssi) {
+                by_bin.entry(rssi.bin().0).or_default().push(d);
+            }
+        }
+        d += config.step_m;
+    }
+
+    let gaussian_floor = channel.gaussian_rssi_floor().value();
+    let mut bins = BTreeMap::new();
+    for (bin, samples) in by_bin {
+        if samples.len() < config.min_samples_per_bin {
+            continue;
+        }
+        let n = samples.len() as f64;
+        let mean = samples.iter().sum::<f64>() / n;
+        let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
+        let sigma = var.sqrt().max(0.25);
+        let pdf = if f64::from(bin) >= gaussian_floor {
+            DistancePdf::Gaussian { mean, sigma }
+        } else {
+            // Histogram over the sample support.
+            let lo = samples.iter().cloned().fold(f64::INFINITY, f64::min);
+            let hi = samples.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            let width = config.histogram_bin_m;
+            let cells = (((hi - lo) / width).ceil() as usize).max(1);
+            let mut counts = vec![0usize; cells];
+            for &s in &samples {
+                let idx = (((s - lo) / width) as usize).min(cells - 1);
+                counts[idx] += 1;
+            }
+            let densities: Vec<f64> = counts
+                .iter()
+                .map(|&c| c as f64 / (n * width))
+                .collect();
+            DistancePdf::Empirical {
+                origin: lo,
+                bin_width: width,
+                densities,
+                mean,
+                sigma,
+            }
+        };
+        bins.insert(bin, pdf);
+    }
+    PdfTable {
+        bins,
+        gaussian_floor_dbm: gaussian_floor,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoa_sim::rng::SeedSplitter;
+
+    fn table() -> (RfChannel, PdfTable) {
+        let ch = RfChannel::default();
+        let mut rng = SeedSplitter::new(100).stream("calibration", 0);
+        let t = calibrate(&ch, &CalibrationConfig::default(), &mut rng);
+        (ch, t)
+    }
+
+    #[test]
+    fn near_field_bins_are_gaussian_far_field_empirical() {
+        let (ch, t) = table();
+        let strong = t.lookup(ch.mean_rssi(10.0)).expect("strong bin");
+        assert!(strong.is_gaussian(), "10 m bin should be Gaussian");
+        let weak = t.lookup(ch.mean_rssi(80.0)).expect("weak bin");
+        assert!(!weak.is_gaussian(), "80 m bin should be empirical");
+    }
+
+    #[test]
+    fn pdf_means_track_true_distance() {
+        let (ch, t) = table();
+        for d in [5.0, 10.0, 20.0, 35.0] {
+            let pdf = t.lookup(ch.mean_rssi(d)).expect("bin");
+            assert!(
+                (pdf.mean() - d).abs() < 0.35 * d + 2.0,
+                "bin for {d} m has mean {}",
+                pdf.mean()
+            );
+        }
+    }
+
+    #[test]
+    fn sigma_grows_with_distance() {
+        let (ch, t) = table();
+        let near = t.lookup(ch.mean_rssi(5.0)).unwrap().sigma();
+        let far = t.lookup(ch.mean_rssi(35.0)).unwrap().sigma();
+        assert!(far > near, "near sigma {near}, far sigma {far}");
+    }
+
+    #[test]
+    fn gaussian_density_integrates_to_one() {
+        let pdf = DistancePdf::Gaussian { mean: 10.0, sigma: 2.0 };
+        let mut integral = 0.0;
+        let step = 0.01;
+        let mut d = 0.0;
+        while d < 30.0 {
+            integral += pdf.density(d) * step;
+            d += step;
+        }
+        assert!((integral - 1.0).abs() < 1e-3, "integral {integral}");
+    }
+
+    #[test]
+    fn empirical_density_integrates_to_one() {
+        let (ch, t) = table();
+        let pdf = t.lookup(ch.mean_rssi(90.0)).expect("far bin");
+        let mut integral = 0.0;
+        let step = 0.05;
+        let mut d = 0.0;
+        while d < pdf.support_max() + 5.0 {
+            integral += pdf.density(d) * step;
+            d += step;
+        }
+        assert!((integral - 1.0).abs() < 2e-2, "integral {integral}");
+    }
+
+    #[test]
+    fn lookup_falls_back_to_nearby_bin() {
+        let t = PdfTable::from_entries(
+            [(RssiBin(-50), DistancePdf::Gaussian { mean: 5.0, sigma: 1.0 })],
+            -80.0,
+        );
+        assert!(t.lookup(Dbm::new(-50.0)).is_some());
+        assert!(t.lookup(Dbm::new(-52.4)).is_some(), "±3 dB fallback");
+        assert!(t.lookup(Dbm::new(-60.0)).is_none(), "too far to fall back");
+    }
+
+    #[test]
+    fn support_max_bounds_density() {
+        let (ch, t) = table();
+        for (_, pdf) in t.entries() {
+            let beyond = pdf.support_max() + 1.0;
+            assert!(pdf.density(beyond) < 1e-4, "density beyond support");
+        }
+        let _ = ch;
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let ch = RfChannel::default();
+        let cfg = CalibrationConfig { samples_per_distance: 50, ..Default::default() };
+        let a = calibrate(&ch, &cfg, &mut SeedSplitter::new(5).stream("c", 0));
+        let b = calibrate(&ch, &cfg, &mut SeedSplitter::new(5).stream("c", 0));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn table_covers_a_wide_rssi_span() {
+        let (_, t) = table();
+        assert!(t.len() > 30, "expected a rich table, got {} bins", t.len());
+        let bins: Vec<i16> = t.entries().map(|(b, _)| b.0).collect();
+        assert!(*bins.first().unwrap() < -85);
+        assert!(*bins.last().unwrap() > -45);
+    }
+}

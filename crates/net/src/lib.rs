@@ -1,0 +1,61 @@
+//! # cocoa-net — the wireless substrate of the CoCoA reproduction
+//!
+//! Everything between the robots and the air lives here:
+//!
+//! - [`geometry`]: points, vectors and the rectangular deployment [`geometry::Area`];
+//! - [`rssi`]: signal strengths ([`rssi::Dbm`]) and the integer-dBm bins
+//!   keying the calibration table;
+//! - [`channel`]: the log-distance + shadowing + multipath channel whose
+//!   statistics match the paper's outdoor measurements (Gaussian up to
+//!   40 m / −80 dBm, skewed beyond, >150 m detection range);
+//! - [`packet`]: the on-air vocabulary (beacons, SYNC, ODMRP control,
+//!   data) with real binary encodings and the paper's 20 + 20 byte
+//!   header accounting;
+//! - [`radio`]: the per-robot power-state machine (idle/sleep/off) with
+//!   exact energy accrual;
+//! - [`mac`]: the shared broadcast medium with overlap collisions, 10 dB
+//!   capture and half-duplex semantics;
+//! - [`energy`]: Feeney & Nilsson's 802.11 energy model (idle ≈ 900 mW,
+//!   sleep ≈ 50 mW) with per-category ledgers;
+//! - [`calibration`]: the offline campaign that builds the RSSI → distance
+//!   PDF Table of paper Section 2.2 / Fig. 1.
+//!
+//! # Examples
+//!
+//! ```
+//! use cocoa_net::prelude::*;
+//! use cocoa_sim::rng::SeedSplitter;
+//!
+//! // Sample the channel and look the observation up in the PDF table.
+//! let channel = RfChannel::default();
+//! let mut rng = SeedSplitter::new(1).stream("example", 0);
+//! let table = calibrate(&channel, &CalibrationConfig::default(), &mut rng);
+//! let observed = channel.sample_rssi(15.0, &mut rng);
+//! if let Some(pdf) = table.lookup(observed) {
+//!     assert!(pdf.density(15.0) > 0.0);
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calibration;
+pub mod channel;
+pub mod energy;
+pub mod geometry;
+pub mod mac;
+pub mod packet;
+pub mod radio;
+pub mod rssi;
+
+/// Glob-import of the most commonly used types.
+pub mod prelude {
+    pub use crate::calibration::{calibrate, CalibrationConfig, DistancePdf, PdfTable};
+    pub use crate::channel::{ChannelParams, PathLossModel, RfChannel};
+    pub use crate::energy::{EnergyLedger, EnergyParams, PowerState};
+    pub use crate::geometry::{Area, Point, Vec2};
+    pub use crate::mac::{Medium, ReceptionOutcome, TxId};
+    pub use crate::packet::{GroupId, NodeId, Packet, Payload};
+    pub use crate::radio::Radio;
+    pub use crate::rssi::{Dbm, RssiBin};
+}

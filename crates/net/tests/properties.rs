@@ -1,0 +1,177 @@
+//! Property-based tests for the wireless substrate.
+
+use bytes::Bytes;
+use cocoa_net::prelude::*;
+use cocoa_sim::rng::SeedSplitter;
+use cocoa_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+fn arb_point() -> impl Strategy<Value = Point> {
+    (-500.0..500.0f64, -500.0..500.0f64).prop_map(|(x, y)| Point::new(x, y))
+}
+
+fn arb_payload() -> impl Strategy<Value = Payload> {
+    prop_oneof![
+        arb_point().prop_map(|position| Payload::Beacon { position }),
+        (0u64..1u64 << 40, 0u64..1u64 << 30, 0u64..1u64 << 40).prop_map(
+            |(period_us, window_us, next_period_in_us)| Payload::Sync {
+                period_us,
+                window_us,
+                next_period_in_us,
+            }
+        ),
+        (
+            0u16..100,
+            0u8..32,
+            0u32..1000,
+            arb_point(),
+            -3.0..3.0f64,
+            -3.0..3.0f64,
+            0.0..300.0f64
+        )
+            .prop_map(|(g, hops, prev, position, vx, vy, d_rest)| Payload::JoinQuery {
+                group: GroupId(g),
+                hop_count: hops,
+                prev_hop: NodeId(prev),
+                position,
+                velocity: (vx, vy),
+                d_rest,
+            }),
+        (0u16..100, 0u32..1000, 0u32..1000).prop_map(|(g, s, n)| Payload::JoinReply {
+            group: GroupId(g),
+            source: NodeId(s),
+            next_hop: NodeId(n),
+        }),
+        (0u16..100, proptest::collection::vec(any::<u8>(), 0..200)).prop_map(|(g, body)| {
+            Payload::Data {
+                group: GroupId(g),
+                body: Bytes::from(body),
+            }
+        }),
+    ]
+}
+
+proptest! {
+    /// Every packet round-trips through its wire encoding.
+    #[test]
+    fn packet_roundtrip(src in 0u32..10_000, seq in any::<u32>(), payload in arb_payload()) {
+        let p = Packet::new(NodeId(src), seq, payload);
+        let decoded = Packet::decode(p.encode()).expect("well-formed packets decode");
+        prop_assert_eq!(decoded, p);
+    }
+
+    /// Wire size is headers + encoding, and encoding is deterministic.
+    #[test]
+    fn wire_size_consistent(seq in any::<u32>(), payload in arb_payload()) {
+        let p = Packet::new(NodeId(1), seq, payload);
+        prop_assert_eq!(p.wire_size(), 40 + p.encode().len());
+        prop_assert_eq!(p.encode(), p.encode());
+    }
+
+    /// Truncating an encoded packet never panics, only errors.
+    #[test]
+    fn truncated_decode_errors(payload in arb_payload(), cut_frac in 0.0..1.0f64) {
+        let p = Packet::new(NodeId(1), 1, payload);
+        let enc = p.encode();
+        let cut = ((enc.len() as f64) * cut_frac) as usize;
+        if cut < enc.len() {
+            prop_assert!(Packet::decode(enc.slice(0..cut)).is_err());
+        }
+    }
+
+    /// dBm <-> milliwatt conversion round-trips.
+    #[test]
+    fn dbm_roundtrip(v in -120.0..30.0f64) {
+        let d = Dbm::new(v);
+        let back = Dbm::from_milliwatts(d.to_milliwatts());
+        prop_assert!((back.value() - v).abs() < 1e-9);
+    }
+
+    /// Mean RSSI decreases monotonically with distance, and the inverse
+    /// mapping round-trips.
+    #[test]
+    fn channel_monotone_and_invertible(d1 in 1.0..150.0f64, d2 in 1.0..150.0f64) {
+        let ch = RfChannel::default();
+        if d1 < d2 {
+            prop_assert!(ch.mean_rssi(d1) > ch.mean_rssi(d2));
+        }
+        let back = ch.distance_for_mean_rssi(ch.mean_rssi(d1));
+        prop_assert!((back - d1).abs() / d1 < 1e-9);
+    }
+
+    /// Geometry: distance satisfies the triangle inequality and symmetry.
+    #[test]
+    fn triangle_inequality(a in arb_point(), b in arb_point(), c in arb_point()) {
+        prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-9);
+        prop_assert!((a.distance_to(b) - b.distance_to(a)).abs() < 1e-12);
+    }
+
+    /// Area clamp always lands inside, and is the identity inside.
+    #[test]
+    fn clamp_contains(p in arb_point(), side in 1.0..400.0f64) {
+        let area = Area::square(side);
+        let clamped = area.clamp(p);
+        prop_assert!(area.contains(clamped));
+        if area.contains(p) {
+            prop_assert_eq!(clamped, p);
+        }
+    }
+
+    /// Energy ledger: accrue + charge never decreases any bucket, and
+    /// total equals the sum of buckets.
+    #[test]
+    fn ledger_monotone(
+        idle_s in 0u64..1000,
+        sleep_s in 0u64..1000,
+        txs in proptest::collection::vec(0usize..2000, 0..20),
+    ) {
+        let p = EnergyParams::default();
+        let mut l = EnergyLedger::new();
+        l.accrue(&p, PowerState::Idle, SimDuration::from_secs(idle_s));
+        l.accrue(&p, PowerState::Sleep, SimDuration::from_secs(sleep_s));
+        for bytes in txs {
+            l.charge_tx(&p, bytes);
+            l.charge_rx(&p, bytes);
+        }
+        let sum = l.tx_uj + l.rx_uj + l.idle_uj + l.sleep_uj + l.wake_uj;
+        prop_assert!((l.total_uj() - sum).abs() < 1e-6);
+        prop_assert!(l.tx_uj >= 0.0 && l.rx_uj >= 0.0);
+    }
+
+    /// A lone recorded frame on the medium is always delivered.
+    #[test]
+    fn lone_frame_delivers(
+        start_us in 0u64..1_000_000,
+        rssi in -97.0..-30.0f64,
+    ) {
+        let mut m = Medium::new();
+        let pkt = Packet::new(NodeId(1), 0, Payload::Beacon { position: Point::ORIGIN });
+        let tx = m.begin_tx(
+            NodeId(1),
+            Point::ORIGIN,
+            pkt,
+            SimTime::from_micros(start_us),
+            SimDuration::from_micros(260),
+        );
+        m.record_rssi(tx, NodeId(2), Dbm::new(rssi));
+        let delivered = matches!(
+            m.outcome(tx, NodeId(2)),
+            ReceptionOutcome::Delivered { .. }
+        );
+        prop_assert!(delivered);
+    }
+
+    /// Calibration PDFs are non-negative everywhere and have positive
+    /// density near their mean.
+    #[test]
+    fn pdf_nonnegative(seed in 0u64..50, probe in 0.5..160.0f64) {
+        let ch = RfChannel::default();
+        let cfg = CalibrationConfig { samples_per_distance: 30, ..Default::default() };
+        let table = calibrate(&ch, &cfg, &mut SeedSplitter::new(seed).stream("cal", 0));
+        for (_, pdf) in table.entries() {
+            prop_assert!(pdf.density(probe) >= 0.0);
+            prop_assert!(pdf.density(pdf.mean()) > 0.0);
+            prop_assert!(pdf.sigma() > 0.0);
+        }
+    }
+}

@@ -1,0 +1,247 @@
+//! The pending-event set: a priority queue ordered by simulation time with
+//! stable FIFO tie-breaking.
+//!
+//! Glomosim (the simulator the paper used) is a classic event-list
+//! simulator; this module is the equivalent core data structure. Events
+//! scheduled for the same instant are delivered in the order they were
+//! scheduled, which keeps runs deterministic regardless of heap internals.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::time::SimTime;
+
+/// Opaque handle identifying a scheduled event, usable for cancellation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EventId(u64);
+
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    cancelled: bool,
+    payload: E,
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
+        // first. seq breaks ties FIFO.
+        other
+            .time
+            .cmp(&self.time)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+/// A time-ordered queue of simulation events carrying payloads of type `E`.
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_sim::event::EventQueue;
+/// use cocoa_sim::time::SimTime;
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_secs(2), "second");
+/// q.push(SimTime::from_secs(1), "first");
+/// let (t, e) = q.pop().unwrap();
+/// assert_eq!((t, e), (SimTime::from_secs(1), "first"));
+/// ```
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+    // Number of live (non-cancelled) events; keeps len()/is_empty() O(1).
+    live: usize,
+    cancelled: Vec<u64>,
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+            live: 0,
+            cancelled: Vec::new(),
+        }
+    }
+
+    /// Schedules `payload` for delivery at `time` and returns a handle that
+    /// can later be passed to [`EventQueue::cancel`].
+    pub fn push(&mut self, time: SimTime, payload: E) -> EventId {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled {
+            time,
+            seq,
+            cancelled: false,
+            payload,
+        });
+        self.live += 1;
+        EventId(seq)
+    }
+
+    /// Cancels a previously scheduled event.
+    ///
+    /// Cancellation is lazy: the entry stays in the heap but is skipped when
+    /// popped. Returns `true` if the id was not already cancelled or
+    /// delivered. Cancelling an unknown or already-popped id returns `false`.
+    pub fn cancel(&mut self, id: EventId) -> bool {
+        if id.0 >= self.next_seq {
+            return false;
+        }
+        if self.cancelled.contains(&id.0) {
+            return false;
+        }
+        // We cannot reach into the heap; record the id and filter on pop.
+        // `live` may briefly over-count if the event was already delivered,
+        // so guard by scanning the heap only in debug builds.
+        let present = self.heap.iter().any(|s| s.seq == id.0 && !s.cancelled);
+        if present {
+            self.cancelled.push(id.0);
+            self.live -= 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Removes and returns the earliest live event, as `(time, payload)`.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        while let Some(s) = self.heap.pop() {
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == s.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            self.live -= 1;
+            return Some((s.time, s.payload));
+        }
+        None
+    }
+
+    /// The time of the earliest live event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap
+            .iter()
+            .filter(|s| !self.cancelled.contains(&s.seq))
+            .map(|s| (s.time, s.seq))
+            .min()
+            .map(|(t, _)| t)
+    }
+
+    /// Number of live (non-cancelled, undelivered) events.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether no live events remain.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+}
+
+impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("EventQueue")
+            .field("live", &self.live)
+            .field("next_seq", &self.next_seq)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(3), 3u32);
+        q.push(SimTime::from_secs(1), 1);
+        q.push(SimTime::from_secs(2), 2);
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn ties_break_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..100u32 {
+            q.push(t, i);
+        }
+        let order: Vec<u32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cancel_skips_event() {
+        let mut q = EventQueue::new();
+        let _a = q.push(SimTime::from_secs(1), "a");
+        let b = q.push(SimTime::from_secs(2), "b");
+        let _c = q.push(SimTime::from_secs(3), "c");
+        assert!(q.cancel(b));
+        assert_eq!(q.len(), 2);
+        let order: Vec<&str> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec!["a", "c"]);
+    }
+
+    #[test]
+    fn cancel_is_idempotent_and_rejects_unknown() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        assert!(q.cancel(a));
+        assert!(!q.cancel(a));
+        assert!(!q.cancel(EventId(999)));
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn cancel_after_pop_returns_false() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        assert!(q.pop().is_some());
+        assert!(!q.cancel(a));
+    }
+
+    #[test]
+    fn peek_time_ignores_cancelled() {
+        let mut q = EventQueue::new();
+        let a = q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(1)));
+        q.cancel(a);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(2)));
+    }
+
+    #[test]
+    fn len_tracks_live_events() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        q.pop();
+        assert_eq!(q.len(), 1);
+    }
+}

@@ -1,0 +1,241 @@
+//! Lightweight structured tracing for simulation runs.
+//!
+//! A [`Trace`] is an append-only log of `(time, subsystem, message)` records
+//! with a level filter and an optional bounded capacity (ring-buffer
+//! behaviour). It is intentionally not a global logger: each run owns its
+//! trace, so parallel parameter sweeps never interleave output.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use crate::time::SimTime;
+
+/// Severity/verbosity of a trace record.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum TraceLevel {
+    /// High-volume per-event detail (packet receptions, grid updates).
+    Debug,
+    /// Normal protocol milestones (window starts, sync delivery).
+    Info,
+    /// Anomalies worth surfacing (dropped sync, empty beacon window).
+    Warn,
+}
+
+impl fmt::Display for TraceLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TraceLevel::Debug => "DEBUG",
+            TraceLevel::Info => "INFO",
+            TraceLevel::Warn => "WARN",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceRecord {
+    /// Simulation time at which the record was emitted.
+    pub time: SimTime,
+    /// Severity.
+    pub level: TraceLevel,
+    /// Emitting subsystem, e.g. `"mac"`, `"sync"`, `"bayes"`.
+    pub subsystem: &'static str,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "[{} {} {}] {}",
+            self.time, self.level, self.subsystem, self.message
+        )
+    }
+}
+
+/// An owned, filterable, optionally bounded event log.
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_sim::trace::{Trace, TraceLevel};
+/// use cocoa_sim::time::SimTime;
+///
+/// let mut trace = Trace::new(TraceLevel::Info);
+/// trace.emit(SimTime::ZERO, TraceLevel::Debug, "mac", || "dropped".into());
+/// trace.emit(SimTime::ZERO, TraceLevel::Warn, "sync", || "no sync".into());
+/// assert_eq!(trace.records().count(), 1); // Debug filtered out
+/// ```
+#[derive(Debug)]
+pub struct Trace {
+    min_level: TraceLevel,
+    capacity: Option<usize>,
+    records: VecDeque<TraceRecord>,
+    emitted: u64,
+    dropped: u64,
+}
+
+impl Trace {
+    /// Creates a trace keeping records at or above `min_level`, unbounded.
+    pub fn new(min_level: TraceLevel) -> Self {
+        Trace {
+            min_level,
+            capacity: None,
+            records: VecDeque::new(),
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// Creates a trace that retains at most `capacity` records, discarding
+    /// the oldest when full (ring-buffer behaviour).
+    pub fn with_capacity(min_level: TraceLevel, capacity: usize) -> Self {
+        Trace {
+            min_level,
+            capacity: Some(capacity),
+            records: VecDeque::with_capacity(capacity.min(4096)),
+            emitted: 0,
+            dropped: 0,
+        }
+    }
+
+    /// A trace that records nothing (filter above the highest level is not
+    /// expressible, so this keeps Warn only with zero capacity).
+    pub fn disabled() -> Self {
+        Trace::with_capacity(TraceLevel::Warn, 0)
+    }
+
+    /// Emits a record if `level` passes the filter. The message closure is
+    /// only invoked when the record is kept, so hot paths pay nothing when
+    /// filtered.
+    pub fn emit(
+        &mut self,
+        time: SimTime,
+        level: TraceLevel,
+        subsystem: &'static str,
+        message: impl FnOnce() -> String,
+    ) {
+        if level < self.min_level {
+            return;
+        }
+        self.emitted += 1;
+        if self.capacity == Some(0) {
+            self.dropped += 1;
+            return;
+        }
+        if let Some(cap) = self.capacity {
+            if self.records.len() == cap {
+                self.records.pop_front();
+                self.dropped += 1;
+            }
+        }
+        self.records.push_back(TraceRecord {
+            time,
+            level,
+            subsystem,
+            message: message(),
+        });
+    }
+
+    /// Iterates over retained records in emission order.
+    pub fn records(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.records.iter()
+    }
+
+    /// Total records that passed the level filter (including discarded ones).
+    pub fn emitted(&self) -> u64 {
+        self.emitted
+    }
+
+    /// Records discarded due to the capacity bound.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Retained records from `subsystem` only.
+    pub fn by_subsystem<'a>(
+        &'a self,
+        subsystem: &'a str,
+    ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
+        self.records.iter().filter(move |r| r.subsystem == subsystem)
+    }
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Trace::new(TraceLevel::Info)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(s: u64) -> SimTime {
+        SimTime::from_secs(s)
+    }
+
+    #[test]
+    fn level_filter_applies() {
+        let mut t = Trace::new(TraceLevel::Warn);
+        t.emit(at(0), TraceLevel::Debug, "a", || "x".into());
+        t.emit(at(0), TraceLevel::Info, "a", || "y".into());
+        t.emit(at(0), TraceLevel::Warn, "a", || "z".into());
+        assert_eq!(t.records().count(), 1);
+        assert_eq!(t.records().next().unwrap().message, "z");
+    }
+
+    #[test]
+    fn capacity_evicts_oldest() {
+        let mut t = Trace::with_capacity(TraceLevel::Debug, 2);
+        for i in 0..5 {
+            t.emit(at(i), TraceLevel::Info, "s", || format!("m{i}"));
+        }
+        let msgs: Vec<_> = t.records().map(|r| r.message.as_str()).collect();
+        assert_eq!(msgs, vec!["m3", "m4"]);
+        assert_eq!(t.dropped(), 3);
+        assert_eq!(t.emitted(), 5);
+    }
+
+    #[test]
+    fn disabled_records_nothing_but_counts() {
+        let mut t = Trace::disabled();
+        t.emit(at(0), TraceLevel::Warn, "s", || "m".into());
+        assert_eq!(t.records().count(), 0);
+        assert_eq!(t.emitted(), 1);
+    }
+
+    #[test]
+    fn filtered_messages_are_not_built() {
+        let mut t = Trace::new(TraceLevel::Warn);
+        let mut built = false;
+        t.emit(at(0), TraceLevel::Debug, "s", || {
+            built = true;
+            String::new()
+        });
+        assert!(!built);
+    }
+
+    #[test]
+    fn by_subsystem_filters() {
+        let mut t = Trace::new(TraceLevel::Debug);
+        t.emit(at(0), TraceLevel::Info, "mac", || "1".into());
+        t.emit(at(0), TraceLevel::Info, "sync", || "2".into());
+        t.emit(at(1), TraceLevel::Info, "mac", || "3".into());
+        assert_eq!(t.by_subsystem("mac").count(), 2);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let r = TraceRecord {
+            time: at(1),
+            level: TraceLevel::Info,
+            subsystem: "mac",
+            message: "hello".into(),
+        };
+        let s = r.to_string();
+        assert!(s.contains("INFO") && s.contains("mac") && s.contains("hello"));
+    }
+}

@@ -1,0 +1,71 @@
+//! The offline calibration phase (paper Section 2.2, Fig. 1).
+//!
+//! ```sh
+//! cargo run --release --example calibration
+//! ```
+//!
+//! Runs the calibration campaign against the synthetic outdoor channel and
+//! prints the PDF Table: one row per RSSI bin with the fitted distance
+//! PDF's parameters, plus ASCII plots of the two example PDFs the paper
+//! shows (Gaussian at −52 dBm, non-Gaussian at −86 dBm).
+
+use cocoa_suite::net::calibration::{calibrate, CalibrationConfig, DistancePdf};
+use cocoa_suite::net::channel::RfChannel;
+use cocoa_suite::net::rssi::RssiBin;
+use cocoa_suite::sim::rng::SeedSplitter;
+
+fn ascii_plot(pdf: &DistancePdf, width: usize) -> String {
+    let max_d = pdf.support_max().min(160.0);
+    let samples: Vec<(f64, f64)> = (0..width)
+        .map(|i| {
+            let d = 0.5 + max_d * i as f64 / width as f64;
+            (d, pdf.density(d))
+        })
+        .collect();
+    let peak = samples.iter().map(|s| s.1).fold(f64::MIN_POSITIVE, f64::max);
+    let mut out = String::new();
+    for rows in (1..=8).rev() {
+        let threshold = peak * rows as f64 / 8.0;
+        let line: String = samples
+            .iter()
+            .map(|&(_, v)| if v >= threshold { '#' } else { ' ' })
+            .collect();
+        out.push_str(&format!("  |{line}\n"));
+    }
+    out.push_str(&format!(
+        "  +{}\n   0 m{:>width$.0} m\n",
+        "-".repeat(width),
+        max_d,
+        width = width - 3
+    ));
+    out
+}
+
+fn main() {
+    let channel = RfChannel::default();
+    let mut rng = SeedSplitter::new(7).stream("calibration", 0);
+    let table = calibrate(&channel, &CalibrationConfig::default(), &mut rng);
+
+    println!("PDF Table: {} calibrated RSSI bins", table.len());
+    println!("Gaussian regime floor: {}", table.gaussian_floor());
+    println!("\n  RSSI bin    form       mean [m]  sigma [m]");
+    for (bin, pdf) in table.entries() {
+        println!(
+            "  {:>8}    {:<9}  {:>7.1}  {:>7.1}",
+            bin.to_string(),
+            if pdf.is_gaussian() { "gaussian" } else { "empirical" },
+            pdf.mean(),
+            pdf.sigma()
+        );
+    }
+
+    for (bin, caption) in [
+        (RssiBin(-52), "Fig. 1(a): RSSI = -52 dBm — Gaussian"),
+        (RssiBin(-86), "Fig. 1(b): RSSI = -86 dBm — non-Gaussian (multipath)"),
+    ] {
+        if let Some(pdf) = table.lookup(bin.center()) {
+            println!("\n{caption}");
+            print!("{}", ascii_plot(pdf, 64));
+        }
+    }
+}

@@ -1,0 +1,55 @@
+//! Energy budgeting: choosing the beacon period `T` (paper Section 4.3.1).
+//!
+//! ```sh
+//! cargo run --release --example energy_budget
+//! ```
+//!
+//! Sweeps the beacon period and prints, for each `T`, the localization
+//! accuracy and the team energy with and without CoCoA's sleep
+//! coordination — the operating curve an operator uses to pick `T`. The
+//! paper lands on T between 50 and 100 s; this example shows the same
+//! trade-off on a downsized run.
+
+use cocoa_suite::core::experiment::{fig9_period, ExperimentScale};
+use cocoa_suite::sim::time::SimDuration;
+
+fn main() {
+    let scale = ExperimentScale {
+        seed: 11,
+        duration: SimDuration::from_secs(600),
+        num_robots: 50,
+    };
+    println!(
+        "Sweeping beacon period T ({} robots, {} simulated)...\n",
+        scale.num_robots, scale.duration
+    );
+    let fig = fig9_period(scale, &[10, 50, 100, 300]);
+    println!("{}", fig.render());
+
+    // A simple operating-point recommendation, the way Section 4.3.1
+    // reasons: the smallest T whose error is within 25% of the best and
+    // whose energy is within 2x of the cheapest.
+    let best_err = fig
+        .points
+        .iter()
+        .map(|p| p.mean_error_m)
+        .fold(f64::INFINITY, f64::min);
+    let cheapest = fig
+        .points
+        .iter()
+        .map(|p| p.energy_coordinated_j)
+        .fold(f64::INFINITY, f64::min);
+    let pick = fig.points.iter().find(|p| {
+        p.mean_error_m <= best_err * 1.25 && p.energy_coordinated_j <= cheapest * 2.0
+    });
+    match pick {
+        Some(p) => println!(
+            "recommended operating point: T = {} s ({:.1} m, {:.0} J, {:.1}x savings)",
+            p.period_s,
+            p.mean_error_m,
+            p.energy_coordinated_j,
+            p.savings_factor()
+        ),
+        None => println!("no single T satisfies both constraints; pick per application"),
+    }
+}

@@ -1,0 +1,76 @@
+//! A single robot's odometry drift: the data behind paper Fig. 5.
+//!
+//! ```sh
+//! cargo run --release --example odometry_drift [> path.csv]
+//! ```
+//!
+//! Drives one robot through the random-task movement model for ten
+//! minutes, recording the true path and the dead-reckoned path, then
+//! prints the trajectory as CSV plus a summary of how the two diverge.
+
+use cocoa_suite::mobility::prelude::*;
+use cocoa_suite::mobility::sweep::{SweepConfig, SweepModel};
+use cocoa_suite::net::geometry::{Area, Point};
+use cocoa_suite::sim::rng::SeedSplitter;
+use cocoa_suite::sim::time::SimTime;
+
+fn main() {
+    let split = SeedSplitter::new(5);
+    let mut move_rng = split.stream("move", 0);
+    let mut odo_rng = split.stream("odo", 0);
+    let area = Area::square(200.0);
+    let mut robot = RobotMotion::new(
+        WaypointConfig::paper(area, 2.0),
+        OdometryConfig::default(),
+        Point::new(100.0, 100.0),
+        &mut move_rng,
+    );
+
+    let mut trajectory = Trajectory::new();
+    trajectory.record(
+        SimTime::ZERO,
+        robot.true_position(),
+        robot.odometry_pose().position,
+    );
+    for tick in 1..=600u64 {
+        robot.step(1.0, &mut move_rng, &mut odo_rng);
+        trajectory.record(
+            SimTime::from_secs(tick),
+            robot.true_position(),
+            robot.odometry_pose().position,
+        );
+    }
+
+    print!("{}", trajectory.to_csv());
+    eprintln!("\n# Fig. 5 style summary (one robot, 10 min, v_max = 2 m/s)");
+    eprintln!("# legs completed : {}", robot.waypoints().legs_completed());
+    eprintln!("# mean error     : {:.1} m", trajectory.mean_error());
+    eprintln!("# final error    : {:.1} m", trajectory.last_error().unwrap_or(0.0));
+    eprintln!("# max error      : {:.1} m", trajectory.max_error());
+    eprintln!("# (real position and odometry estimate diverge without bound;");
+    eprintln!("#  every turn adds angular error, every metre adds displacement error)");
+
+    // The same odometer on a systematic lawnmower sweep: long straight
+    // lanes accumulate heading drift differently than random tasks.
+    let mut sweep = SweepModel::new(SweepConfig::new(area, 10.0, 2.0), &mut move_rng);
+    let mut sweep_odo = Odometer::new(OdometryConfig::default(), sweep.pose());
+    let mut sweep_traj = Trajectory::new();
+    for tick in 0..=600u64 {
+        if tick > 0 {
+            let (_, segments) = sweep.step(1.0);
+            for s in &segments {
+                sweep_odo.observe(s, &mut odo_rng);
+            }
+        }
+        sweep_traj.record(
+            SimTime::from_secs(tick),
+            sweep.pose().position,
+            sweep_odo.estimated_pose().position,
+        );
+    }
+    eprintln!("#");
+    eprintln!("# same odometer, lawnmower sweep instead of random tasks:");
+    eprintln!("# lanes completed : {}", sweep.lanes_completed());
+    eprintln!("# mean error      : {:.1} m", sweep_traj.mean_error());
+    eprintln!("# final error     : {:.1} m", sweep_traj.last_error().unwrap_or(0.0));
+}

@@ -1,0 +1,25 @@
+//! # cocoa-suite — umbrella crate for the CoCoA reproduction
+//!
+//! Re-exports every crate of the workspace so examples and integration
+//! tests can depend on one name. See the repository `README.md` for the
+//! architecture overview, `DESIGN.md` for the system inventory and
+//! `EXPERIMENTS.md` for the paper-vs-measured record.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use cocoa_suite::core::prelude::*;
+//!
+//! let metrics = run(&Scenario::builder().seed(7).build());
+//! println!("CoCoA mean error: {:.1} m", metrics.mean_error_over_time());
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use cocoa_core as core;
+pub use cocoa_georouting as georouting;
+pub use cocoa_localization as localization;
+pub use cocoa_mobility as mobility;
+pub use cocoa_multicast as multicast;
+pub use cocoa_net as net;
+pub use cocoa_sim as sim;

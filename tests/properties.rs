@@ -1,0 +1,107 @@
+//! Property-based tests over the full simulation: invariants that must
+//! hold for *any* scenario, not just the paper's.
+
+use cocoa_suite::core::prelude::*;
+use cocoa_suite::sim::time::SimDuration;
+use proptest::prelude::*;
+
+fn arb_scenario() -> impl Strategy<Value = Scenario> {
+    (
+        any::<u64>(),                 // seed
+        4usize..16,                   // robots
+        0usize..8,                    // equipped (clamped below)
+        60u64..180,                   // duration s
+        15u64..60,                    // period s
+        prop_oneof![
+            Just(EstimatorMode::OdometryOnly),
+            Just(EstimatorMode::RfOnly),
+            Just(EstimatorMode::Cocoa),
+        ],
+        any::<bool>(), // coordination
+        0.3..3.0f64,   // v_max
+    )
+        .prop_map(
+            |(seed, robots, equipped, duration, period, mode, coordination, v_max)| {
+                let equipped = if mode.uses_rf() {
+                    equipped.clamp(1, robots)
+                } else {
+                    0
+                };
+                Scenario::builder()
+                    .seed(seed)
+                    .robots(robots)
+                    .equipped(equipped)
+                    .duration(SimDuration::from_secs(duration))
+                    .beacon_period(SimDuration::from_secs(period))
+                    .mode(mode)
+                    .coordination(coordination)
+                    .v_max(v_max)
+                    .grid_resolution(8.0) // keep property runs cheap
+                    .build()
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Core conservation laws of a run: energy buckets are non-negative,
+    /// errors are finite and non-negative, counters are consistent.
+    #[test]
+    fn run_invariants(scenario in arb_scenario()) {
+        let m = run(&scenario);
+        // Error series well-formed and strictly time-ordered.
+        let mut last_t = -1.0;
+        for p in &m.error_series {
+            prop_assert!(p.mean_error_m.is_finite() && p.mean_error_m >= 0.0);
+            prop_assert!(p.t_s > last_t);
+            last_t = p.t_s;
+            prop_assert!(p.robots > 0);
+        }
+        // Energy ledgers.
+        for l in &m.energy.per_robot {
+            prop_assert!(l.tx_uj >= 0.0 && l.rx_uj >= 0.0);
+            prop_assert!(l.idle_uj >= 0.0 && l.sleep_uj >= 0.0 && l.wake_uj >= 0.0);
+        }
+        prop_assert_eq!(m.energy.per_robot.len(), scenario.num_robots);
+        // Traffic counters.
+        prop_assert!(m.traffic.beacons_received <= m.traffic.beacons_sent * scenario.num_robots as u64);
+        if !scenario.mode.uses_rf() {
+            prop_assert_eq!(m.traffic.beacons_sent, 0);
+            prop_assert_eq!(m.energy.total_j(), 0.0);
+        }
+        // Final states cover the team and stay in the area.
+        prop_assert_eq!(m.final_states.len(), scenario.num_robots);
+        for r in &m.final_states {
+            prop_assert!(scenario.area.contains(r.true_position));
+            prop_assert!(scenario.area.contains(r.estimate));
+        }
+    }
+
+    /// Determinism: any scenario runs to identical metrics twice.
+    #[test]
+    fn any_scenario_is_deterministic(scenario in arb_scenario()) {
+        let a = run(&scenario);
+        let b = run(&scenario);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Coordination only ever reduces energy (sleeping can't cost more
+    /// than idling), and never changes the beacons sent.
+    #[test]
+    fn coordination_saves_energy_universally(scenario in arb_scenario()) {
+        prop_assume!(scenario.mode.uses_rf());
+        let mut on = scenario.clone();
+        on.coordination = true;
+        let mut off = scenario.clone();
+        off.coordination = false;
+        let m_on = run(&on);
+        let m_off = run(&off);
+        prop_assert!(
+            m_on.energy.total_j() <= m_off.energy.total_j() + 1e-6,
+            "{} J with sleep vs {} J without",
+            m_on.energy.total_j(),
+            m_off.energy.total_j()
+        );
+    }
+}
