@@ -56,9 +56,15 @@ fn benches(c: &mut Criterion) {
     );
     println!(
         "{}",
-        render_ablation("Ablation — grid resolution", &ablation_grid_resolution(scale))
+        render_ablation(
+            "Ablation — grid resolution",
+            &ablation_grid_resolution(scale)
+        )
     );
-    println!("{}", render_ablation("Ablation — SYNC service", &ablation_sync(scale)));
+    println!(
+        "{}",
+        render_ablation("Ablation — SYNC service", &ablation_sync(scale))
+    );
     println!(
         "{}",
         render_ablation(
@@ -79,7 +85,10 @@ fn benches(c: &mut Criterion) {
     );
     println!(
         "{}",
-        render_ablation("Ablation — packet loss robustness", &ablation_packet_loss(scale))
+        render_ablation(
+            "Ablation — packet loss robustness",
+            &ablation_packet_loss(scale)
+        )
     );
     mesh_mode_comparison(scale);
 

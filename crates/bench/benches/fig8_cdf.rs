@@ -19,7 +19,11 @@ fn benches(c: &mut Criterion) {
         .equipped(scale.num_robots / 2)
         .duration(scale.duration)
         .beacon_period(SimDuration::from_secs(20))
-        .snapshots([SimTime::from_secs(25), SimTime::from_secs(39), SimTime::from_secs(50)])
+        .snapshots([
+            SimTime::from_secs(25),
+            SimTime::from_secs(39),
+            SimTime::from_secs(50),
+        ])
         .mode(EstimatorMode::Cocoa)
         .build();
     c.bench_function("sim_cocoa_with_snapshots", |b| b.iter(|| run(&scenario)));

@@ -31,7 +31,9 @@ fn benches(c: &mut Criterion) {
         .coordination(false)
         .mode(EstimatorMode::Cocoa)
         .build();
-    c.bench_function("sim_cocoa_uncoordinated_60s", |b| b.iter(|| run(&uncoordinated)));
+    c.bench_function("sim_cocoa_uncoordinated_60s", |b| {
+        b.iter(|| run(&uncoordinated))
+    });
 }
 
 criterion_group! {

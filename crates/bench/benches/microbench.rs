@@ -2,16 +2,19 @@
 //! sampling, the event queue, packet codecs, link-lifetime prediction and
 //! geographic routing.
 
+use std::collections::BTreeMap;
+
 use cocoa_bench::banner;
-use cocoa_localization::bayes::BayesianLocalizer;
+use cocoa_georouting::graph::{RoutingNode, UnitDiskGraph};
+use cocoa_georouting::route::GeoRouter;
+use cocoa_localization::bayes::{radial_constraints_for_grid, BayesianLocalizer};
 use cocoa_localization::grid::GridConfig;
 use cocoa_multicast::mrmm::{link_lifetime, MobilityInfo};
-use cocoa_net::calibration::{calibrate, CalibrationConfig};
+use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf};
 use cocoa_net::channel::RfChannel;
 use cocoa_net::geometry::{Area, Point, Vec2};
 use cocoa_net::packet::{NodeId, Packet, Payload};
-use cocoa_georouting::graph::{RoutingNode, UnitDiskGraph};
-use cocoa_georouting::route::GeoRouter;
+use cocoa_net::rssi::Dbm;
 use cocoa_sim::event::EventQueue;
 use cocoa_sim::rng::SeedSplitter;
 use cocoa_sim::time::SimTime;
@@ -24,13 +27,60 @@ fn benches(c: &mut Criterion) {
     let mut cal_rng = SeedSplitter::new(1).stream("cal", 0);
     let table = calibrate(&channel, &CalibrationConfig::default(), &mut cal_rng);
 
-    // Bayesian grid update: one beacon constraint over a 100x100 grid.
-    let mut loc = BayesianLocalizer::new(GridConfig::new(Area::square(200.0), 2.0));
+    // Bayesian grid update: one beacon constraint over a 100x100 grid —
+    // the generic (naive) closure path vs the radial fast path, on the
+    // same table, grid and RSSI stream. The ratio of these two is the
+    // headline number BENCH_grid.json reports.
+    let grid_cfg = GridConfig::new(Area::square(200.0), 2.0);
+    let radial = radial_constraints_for_grid(&table, &grid_cfg);
+    let mut loc = BayesianLocalizer::new(grid_cfg);
     let mut rng = SeedSplitter::new(2).stream("bench", 0);
     c.bench_function("bayes_observe_beacon_100x100", |b| {
         b.iter(|| {
             let rssi = channel.sample_rssi(20.0, &mut rng);
             loc.observe_beacon(&table, Point::new(90.0, 110.0), rssi)
+        })
+    });
+
+    let mut loc_radial = BayesianLocalizer::new(grid_cfg);
+    let mut rng_radial = SeedSplitter::new(2).stream("bench", 0);
+    c.bench_function("bayes_observe_beacon_100x100_radial", |b| {
+        b.iter(|| {
+            let rssi = channel.sample_rssi(20.0, &mut rng_radial);
+            loc_radial.observe_beacon_radial(&radial, Point::new(90.0, 110.0), rssi)
+        })
+    });
+
+    // PDF-table lookup: the dense-vector table vs the seed's
+    // BTreeMap-with-±3-probing layout, rebuilt here from the same entries.
+    let probing: BTreeMap<i16, DistancePdf> =
+        table.entries().map(|(b, p)| (b.0, p.clone())).collect();
+    let probe_lookup = |rssi: Dbm| -> Option<&DistancePdf> {
+        let key = rssi.bin().0;
+        if let Some(pdf) = probing.get(&key) {
+            return Some(pdf);
+        }
+        (1..=3)
+            .flat_map(|delta| [key - delta, key + delta])
+            .find_map(|k| probing.get(&k))
+    };
+    // Sweep a fixed RSSI ramp so both hit the same mix of exact hits,
+    // fallbacks and misses.
+    let rssis: Vec<Dbm> = (0..64).map(|i| Dbm::new(-95.0 + f64::from(i))).collect();
+    c.bench_function("pdftable_lookup_dense_64", |b| {
+        b.iter(|| {
+            rssis
+                .iter()
+                .filter(|&&r| table.lookup(black_box(r)).is_some())
+                .count()
+        })
+    });
+    c.bench_function("pdftable_lookup_probing_64", |b| {
+        b.iter(|| {
+            rssis
+                .iter()
+                .filter(|&&r| probe_lookup(black_box(r)).is_some())
+                .count()
         })
     });
 
@@ -52,7 +102,13 @@ fn benches(c: &mut Criterion) {
         })
     });
 
-    let beacon = Packet::new(NodeId(3), 9, Payload::Beacon { position: Point::new(1.5, 2.5) });
+    let beacon = Packet::new(
+        NodeId(3),
+        9,
+        Payload::Beacon {
+            position: Point::new(1.5, 2.5),
+        },
+    );
     c.bench_function("packet_encode_decode_beacon", |b| {
         b.iter(|| Packet::decode(black_box(&beacon).encode()).expect("roundtrip"))
     });

@@ -12,9 +12,8 @@
 use cocoa_bench::figure_scale;
 use cocoa_core::experiment::{
     ablation_grid_resolution, ablation_packet_loss, ablation_propagation, ablation_relay_beaconing,
-    ablation_rf_algorithm, ablation_sync, ablation_tx_power,
-    fig10_equipped, fig1_calibration, fig4_odometry, fig6_rf_only, fig7_comparison, fig8_cdf,
-    fig9_period, render_ablation,
+    ablation_rf_algorithm, ablation_sync, ablation_tx_power, fig10_equipped, fig1_calibration,
+    fig4_odometry, fig6_rf_only, fig7_comparison, fig8_cdf, fig9_period, render_ablation,
 };
 use cocoa_core::prelude::*;
 use cocoa_georouting::prelude::*;
@@ -49,7 +48,9 @@ fn geo_routing_experiment() {
     let gc = UnitDiskGraph::new(cocoa, 50.0);
     let mut rng = SeedSplitter::new(scale.seed).stream("pairs", 0);
     let n = ge.len();
-    let pairs: Vec<(usize, usize)> = (0..400).map(|_| (rng.gen_range(0..n), rng.gen_range(0..n))).collect();
+    let pairs: Vec<(usize, usize)> = (0..400)
+        .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+        .collect();
     let se = delivery_experiment(&ge, &pairs);
     let sc = delivery_experiment(&gc, &pairs);
     println!(
@@ -89,7 +90,9 @@ fn main() {
         let fig = fig7_comparison(scale);
         println!("{}", fig.render());
         if let Some((cocoa, rf)) = fig.headline() {
-            println!("headline @ 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m (paper: 6.5 vs ~33)\n");
+            println!(
+                "headline @ 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m (paper: 6.5 vs ~33)\n"
+            );
         }
     }
     if want("fig8") {
@@ -106,13 +109,46 @@ fn main() {
         println!("{}", fig10_equipped(scale, &sweep).render());
     }
     if want("ablations") {
-        println!("{}", render_ablation("Ablation — relay beaconing", &ablation_relay_beaconing(scale)));
-        println!("{}", render_ablation("Ablation — grid resolution", &ablation_grid_resolution(scale)));
-        println!("{}", render_ablation("Ablation — SYNC service", &ablation_sync(scale)));
-        println!("{}", render_ablation("Ablation — beacon tx power", &ablation_tx_power(scale)));
-        println!("{}", render_ablation("Ablation — RF algorithm (Section 5 baseline)", &ablation_rf_algorithm(scale)));
-        println!("{}", render_ablation("Ablation — propagation model", &ablation_propagation(scale)));
-        println!("{}", render_ablation("Ablation — packet loss robustness", &ablation_packet_loss(scale)));
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation — relay beaconing",
+                &ablation_relay_beaconing(scale)
+            )
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation — grid resolution",
+                &ablation_grid_resolution(scale)
+            )
+        );
+        println!(
+            "{}",
+            render_ablation("Ablation — SYNC service", &ablation_sync(scale))
+        );
+        println!(
+            "{}",
+            render_ablation("Ablation — beacon tx power", &ablation_tx_power(scale))
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation — RF algorithm (Section 5 baseline)",
+                &ablation_rf_algorithm(scale)
+            )
+        );
+        println!(
+            "{}",
+            render_ablation("Ablation — propagation model", &ablation_propagation(scale))
+        );
+        println!(
+            "{}",
+            render_ablation(
+                "Ablation — packet loss robustness",
+                &ablation_packet_loss(scale)
+            )
+        );
     }
     if want("geo") {
         geo_routing_experiment();

@@ -1,0 +1,130 @@
+//! Performance smoke benchmark: times the localization hot kernels and a
+//! quick-scale Figure 7 run, prints a summary, and writes the numbers to
+//! `BENCH_grid.json` for CI to archive.
+//!
+//! ```sh
+//! cargo run --release -p cocoa-bench --bin perf
+//! ```
+//!
+//! Unlike the Criterion microbenchmarks this is a single fast pass (a few
+//! seconds end to end), intended as a regression tripwire: the JSON records
+//! ops/s for the naive and radial Bayesian grid updates (and their ratio),
+//! the dense and probing PDF-table lookups, and the wall time of the
+//! quick-scale Figure 7 comparison.
+
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+use cocoa_core::experiment::{fig7_comparison, ExperimentScale};
+use cocoa_localization::bayes::{radial_constraints_for_grid, BayesianLocalizer};
+use cocoa_localization::grid::GridConfig;
+use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf};
+use cocoa_net::channel::RfChannel;
+use cocoa_net::geometry::{Area, Point};
+use cocoa_net::rssi::Dbm;
+use cocoa_sim::rng::SeedSplitter;
+
+/// Runs `f` repeatedly until at least ~200 ms have elapsed (after one
+/// warm-up call) and returns ops per second.
+fn ops_per_sec(mut f: impl FnMut()) -> f64 {
+    f();
+    let mut iters = 1u64;
+    loop {
+        let t0 = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t0.elapsed().as_secs_f64();
+        if dt >= 0.2 {
+            return iters as f64 / dt;
+        }
+        iters = (iters * 4).max((0.25 / dt.max(1e-9)) as u64);
+    }
+}
+
+fn fmt_ops(v: f64) -> String {
+    if v >= 1e6 {
+        format!("{:.2} Mops/s", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.1} kops/s", v / 1e3)
+    } else {
+        format!("{v:.1} ops/s")
+    }
+}
+
+fn main() {
+    let channel = RfChannel::default();
+    let mut cal_rng = SeedSplitter::new(1).stream("cal", 0);
+    let table = calibrate(&channel, &CalibrationConfig::default(), &mut cal_rng);
+    let grid_cfg = GridConfig::new(Area::square(200.0), 2.0);
+    let radial = radial_constraints_for_grid(&table, &grid_cfg);
+    let beacon = Point::new(90.0, 110.0);
+
+    // Bayesian grid update, 100x100 cells: generic closure path vs radial
+    // fast path, fed the same RSSI stream.
+    let mut loc = BayesianLocalizer::new(grid_cfg);
+    let mut rng = SeedSplitter::new(2).stream("bench", 0);
+    let grid_naive = ops_per_sec(|| {
+        let rssi = channel.sample_rssi(20.0, &mut rng);
+        loc.observe_beacon(&table, beacon, rssi);
+    });
+    let mut loc_radial = BayesianLocalizer::new(grid_cfg);
+    let mut rng_radial = SeedSplitter::new(2).stream("bench", 0);
+    let grid_radial = ops_per_sec(|| {
+        let rssi = channel.sample_rssi(20.0, &mut rng_radial);
+        loc_radial.observe_beacon_radial(&radial, beacon, rssi);
+    });
+    let speedup = grid_radial / grid_naive;
+
+    // PDF-table lookup over a 64-value RSSI ramp: dense vector vs the
+    // seed's BTreeMap-with-probing layout rebuilt from the same entries.
+    let rssis: Vec<Dbm> = (0..64).map(|i| Dbm::new(-95.0 + f64::from(i))).collect();
+    let lookup_dense = ops_per_sec(|| {
+        let hits = rssis.iter().filter(|&&r| table.lookup(r).is_some()).count();
+        assert!(hits > 0);
+    }) * rssis.len() as f64;
+    let probing: BTreeMap<i16, DistancePdf> =
+        table.entries().map(|(b, p)| (b.0, p.clone())).collect();
+    let probe_lookup = |rssi: Dbm| -> Option<&DistancePdf> {
+        let key = rssi.bin().0;
+        probing.get(&key).or_else(|| {
+            (1..=3)
+                .flat_map(|delta| [key - delta, key + delta])
+                .find_map(|k| probing.get(&k))
+        })
+    };
+    let lookup_probing = ops_per_sec(|| {
+        let hits = rssis.iter().filter(|&&r| probe_lookup(r).is_some()).count();
+        assert!(hits > 0);
+    }) * rssis.len() as f64;
+
+    // Quick-scale Figure 7 (CoCoA vs RF-only vs odometry comparison) as an
+    // end-to-end smoke run through the bounded sweep executor.
+    let t0 = Instant::now();
+    let fig7 = fig7_comparison(ExperimentScale::quick());
+    let fig7_secs = t0.elapsed().as_secs_f64();
+    let fig7_headline = fig7.headline();
+
+    println!("grid update (naive):   {}", fmt_ops(grid_naive));
+    println!(
+        "grid update (radial):  {}  ({speedup:.1}x)",
+        fmt_ops(grid_radial)
+    );
+    println!("pdf lookup (dense):    {}", fmt_ops(lookup_dense));
+    println!("pdf lookup (probing):  {}", fmt_ops(lookup_probing));
+    println!("fig7 quick scale:      {fig7_secs:.2} s");
+    if let Some((cocoa, rf)) = fig7_headline {
+        println!("fig7 headline @ 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m");
+    }
+
+    let json = format!(
+        "{{\n  \"grid_update_naive_ops_per_sec\": {grid_naive:.1},\n  \
+         \"grid_update_radial_ops_per_sec\": {grid_radial:.1},\n  \
+         \"grid_update_radial_speedup\": {speedup:.2},\n  \
+         \"pdf_lookup_dense_ops_per_sec\": {lookup_dense:.1},\n  \
+         \"pdf_lookup_probing_ops_per_sec\": {lookup_probing:.1},\n  \
+         \"fig7_quick_wall_secs\": {fig7_secs:.3}\n}}\n"
+    );
+    std::fs::write("BENCH_grid.json", &json).expect("write BENCH_grid.json");
+    println!("wrote BENCH_grid.json");
+}

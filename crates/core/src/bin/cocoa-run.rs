@@ -56,33 +56,57 @@ fn parse_args() -> Result<Args, String> {
         };
         match flag.as_str() {
             "--seed" => {
-                b.seed(value("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?);
+                b.seed(
+                    value("--seed")?
+                        .parse()
+                        .map_err(|e| format!("--seed: {e}"))?,
+                );
             }
             "--robots" => {
-                b.robots(value("--robots")?.parse().map_err(|e| format!("--robots: {e}"))?);
+                b.robots(
+                    value("--robots")?
+                        .parse()
+                        .map_err(|e| format!("--robots: {e}"))?,
+                );
             }
             "--equipped" => {
-                b.equipped(value("--equipped")?.parse().map_err(|e| format!("--equipped: {e}"))?);
+                b.equipped(
+                    value("--equipped")?
+                        .parse()
+                        .map_err(|e| format!("--equipped: {e}"))?,
+                );
             }
             "--duration" => {
-                let s: u64 = value("--duration")?.parse().map_err(|e| format!("--duration: {e}"))?;
+                let s: u64 = value("--duration")?
+                    .parse()
+                    .map_err(|e| format!("--duration: {e}"))?;
                 b.duration(SimDuration::from_secs(s));
             }
             "--period" => {
-                let s: u64 = value("--period")?.parse().map_err(|e| format!("--period: {e}"))?;
+                let s: u64 = value("--period")?
+                    .parse()
+                    .map_err(|e| format!("--period: {e}"))?;
                 b.beacon_period(SimDuration::from_secs(s));
             }
             "--window" => {
-                let s: u64 = value("--window")?.parse().map_err(|e| format!("--window: {e}"))?;
+                let s: u64 = value("--window")?
+                    .parse()
+                    .map_err(|e| format!("--window: {e}"))?;
                 b.transmit_window(SimDuration::from_secs(s));
             }
             "--beacons" => {
                 b.beacons_per_window(
-                    value("--beacons")?.parse().map_err(|e| format!("--beacons: {e}"))?,
+                    value("--beacons")?
+                        .parse()
+                        .map_err(|e| format!("--beacons: {e}"))?,
                 );
             }
             "--vmax" => {
-                b.v_max(value("--vmax")?.parse().map_err(|e| format!("--vmax: {e}"))?);
+                b.v_max(
+                    value("--vmax")?
+                        .parse()
+                        .map_err(|e| format!("--vmax: {e}"))?,
+                );
             }
             "--mode" => match value("--mode")?.as_str() {
                 "cocoa" => {
@@ -106,10 +130,16 @@ fn parse_args() -> Result<Args, String> {
                 other => return Err(format!("unknown algorithm '{other}'")),
             },
             "--grid" => {
-                b.grid_resolution(value("--grid")?.parse().map_err(|e| format!("--grid: {e}"))?);
+                b.grid_resolution(
+                    value("--grid")?
+                        .parse()
+                        .map_err(|e| format!("--grid: {e}"))?,
+                );
             }
             "--snapshot" => {
-                let s: f64 = value("--snapshot")?.parse().map_err(|e| format!("--snapshot: {e}"))?;
+                let s: f64 = value("--snapshot")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot: {e}"))?;
                 snapshots.push(SimTime::from_secs_f64(s));
             }
             "--no-coordination" => {

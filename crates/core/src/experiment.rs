@@ -63,18 +63,13 @@ impl ExperimentScale {
     }
 }
 
-/// Runs scenarios in parallel threads, preserving input order.
+/// Runs scenarios on the bounded sweep executor, preserving input order.
+///
+/// Each simulation is single-threaded and deterministic; the executor
+/// caps concurrency at the machine's core count instead of spawning one
+/// thread per scenario.
 fn run_parallel(scenarios: Vec<Scenario>) -> Vec<RunMetrics> {
-    std::thread::scope(|scope| {
-        let handles: Vec<_> = scenarios
-            .iter()
-            .map(|s| scope.spawn(move || run(s)))
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("simulation run panicked"))
-            .collect()
-    })
+    crate::executor::map_bounded(scenarios, run)
 }
 
 /// A labelled `(x, y)` series — one curve of a figure.
@@ -243,10 +238,18 @@ impl Fig1Calibration {
              (b) RSSI {} dBm: {} PDF, peak at {:.1} m\n",
             self.table_bins,
             self.near.rssi_dbm,
-            if self.near.gaussian { "Gaussian" } else { "empirical" },
+            if self.near.gaussian {
+                "Gaussian"
+            } else {
+                "empirical"
+            },
             dn,
             self.far.rssi_dbm,
-            if self.far.gaussian { "Gaussian" } else { "empirical" },
+            if self.far.gaussian {
+                "Gaussian"
+            } else {
+                "empirical"
+            },
             df,
         )
     }
@@ -754,7 +757,10 @@ pub fn ablation_rf_algorithm(scale: ExperimentScale) -> Vec<AblationRow> {
     let results = run_parallel(scenarios);
     results
         .iter()
-        .zip(["bayesian inference (paper)", "wls multilateration (baseline)"])
+        .zip([
+            "bayesian inference (paper)",
+            "wls multilateration (baseline)",
+        ])
         .map(|(m, label)| ablation_row(label, m))
         .collect()
 }
@@ -813,8 +819,14 @@ pub fn ablation_packet_loss(scale: ExperimentScale) -> Vec<AblationRow> {
 pub fn ablation_propagation(scale: ExperimentScale) -> Vec<AblationRow> {
     use cocoa_net::channel::{ChannelParams, PathLossModel};
     let models = [
-        ("log-distance n=3.0", PathLossModel::LogDistance { exponent: 3.0 }),
-        ("log-distance n=2.4", PathLossModel::LogDistance { exponent: 2.4 }),
+        (
+            "log-distance n=3.0",
+            PathLossModel::LogDistance { exponent: 3.0 },
+        ),
+        (
+            "log-distance n=2.4",
+            PathLossModel::LogDistance { exponent: 2.4 },
+        ),
         (
             "two-ray ground h=0.5m",
             PathLossModel::TwoRayGround {

@@ -166,7 +166,10 @@ impl RunMetrics {
         if self.error_series.is_empty() {
             return 0.0;
         }
-        self.error_series.iter().map(|p| p.mean_error_m).sum::<f64>()
+        self.error_series
+            .iter()
+            .map(|p| p.mean_error_m)
+            .sum::<f64>()
             / self.error_series.len() as f64
     }
 
@@ -251,10 +254,7 @@ mod tests {
 
     #[test]
     fn snapshot_cdf() {
-        let s = ErrorSnapshot::new(
-            SimTime::from_secs(804),
-            vec![5.0, 1.0, 3.0, 9.0, 7.0],
-        );
+        let s = ErrorSnapshot::new(SimTime::from_secs(804), vec![5.0, 1.0, 3.0, 9.0, 7.0]);
         assert_eq!(s.errors_m, vec![1.0, 3.0, 5.0, 7.0, 9.0]);
         assert!((s.fraction_below(5.0) - 0.6).abs() < 1e-12);
         assert_eq!(s.fraction_below(0.5), 0.0);

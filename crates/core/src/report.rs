@@ -166,17 +166,20 @@ mod tests {
         let (s, m) = small_run();
         let csv = snapshots_csv(&m);
         // One header + one row per unequipped robot per snapshot.
-        assert_eq!(
-            csv.lines().count(),
-            1 + (s.num_robots - s.num_equipped)
-        );
+        assert_eq!(csv.lines().count(), 1 + (s.num_robots - s.num_equipped));
     }
 
     #[test]
     fn markdown_mentions_the_essentials() {
         let (s, m) = small_run();
         let md = markdown_summary(&s, &m);
-        for needle in ["CoCoA run summary", "localization", "energy", "sync", "Snapshots"] {
+        for needle in [
+            "CoCoA run summary",
+            "localization",
+            "energy",
+            "sync",
+            "Snapshots",
+        ] {
             assert!(md.contains(needle), "missing {needle}");
         }
     }

@@ -8,14 +8,14 @@
 //! SYNC dissemination of Fig. 3, and produces the error/energy metrics of
 //! Section 4.
 
-
+use cocoa_localization::bayes::radial_constraints_for_grid;
 use cocoa_localization::estimator::{EstimatorMode, WindowedRfEstimator};
 use cocoa_localization::grid::GridConfig;
 use cocoa_mobility::motion::RobotMotion;
 use cocoa_mobility::pose::{normalize_angle, Pose};
 use cocoa_mobility::waypoint::WaypointConfig;
 use cocoa_multicast::odmrp::{OdmrpNode, ProtocolAction};
-use cocoa_net::calibration::{calibrate, CalibrationConfig, PdfTable};
+use cocoa_net::calibration::{calibrate, CalibrationConfig, PdfTable, RadialConstraintTable};
 use cocoa_net::channel::RfChannel;
 use cocoa_net::energy::PowerState;
 use cocoa_net::geometry::Point;
@@ -73,7 +73,11 @@ enum Event {
     /// A member's deferred JOIN REPLY.
     MeshReply { robot: usize, source: NodeId },
     /// A node's deferred JOIN QUERY rebroadcast decision.
-    MeshRebroadcast { robot: usize, source: NodeId, seq: u32 },
+    MeshRebroadcast {
+        robot: usize,
+        source: NodeId,
+        seq: u32,
+    },
     /// Reclaim old frames from the medium.
     MediumGc,
     /// Record a per-robot error snapshot (Fig. 8 CDFs).
@@ -84,6 +88,9 @@ struct World {
     scenario: Scenario,
     channel: RfChannel,
     table: PdfTable,
+    /// Pre-sampled radial constraint profiles (one per calibrated RSSI
+    /// bin, floor baked in), shared by every robot's Bayesian update.
+    radial: RadialConstraintTable,
     medium: Medium,
     robots: Vec<Robot>,
     move_rngs: Vec<DetRng>,
@@ -123,9 +130,8 @@ impl World {
         if !self.scenario.relay_beaconing || !r.has_fix {
             return false;
         }
-        r.last_fix_window.is_some_and(|w| {
-            window.saturating_sub(w) <= self.scenario.relay_max_fix_age_windows
-        })
+        r.last_fix_window
+            .is_some_and(|w| window.saturating_sub(w) <= self.scenario.relay_max_fix_age_windows)
     }
 }
 
@@ -172,6 +178,11 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         &channel,
         &CalibrationConfig::default(),
         &mut split.stream("calibration", 0),
+    );
+    // One radial constraint cache per run, shared by every robot.
+    let radial = radial_constraints_for_grid(
+        &table,
+        &GridConfig::new(scenario.area, scenario.grid_resolution_m),
     );
 
     // --- Team construction. ---
@@ -243,6 +254,7 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         scenario: scenario.clone(),
         channel,
         table,
+        radial,
         medium: Medium::new(),
         robots,
         move_rngs,
@@ -262,11 +274,20 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
     let horizon = SimTime::ZERO + scenario.duration;
     let mut engine: Engine<Event> = Engine::new(horizon);
     engine.schedule_at(SimTime::ZERO + scenario.tick, Event::MoveTick);
-    engine.schedule_at(SimTime::ZERO + scenario.metrics_interval, Event::MetricsSample);
+    engine.schedule_at(
+        SimTime::ZERO + scenario.metrics_interval,
+        Event::MetricsSample,
+    );
     if world.uses_rf() {
         engine.schedule_at(SimTime::ZERO, Event::WindowStart { index: 0 });
         for i in 0..world.robots.len() {
-            engine.schedule_at(SimTime::ZERO, Event::RobotWake { robot: i, window: 0 });
+            engine.schedule_at(
+                SimTime::ZERO,
+                Event::RobotWake {
+                    robot: i,
+                    window: 0,
+                },
+            );
         }
         engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(10), Event::MediumGc);
     }
@@ -321,7 +342,8 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             let dt = world.scenario.tick.as_secs_f64();
             for i in 0..world.robots.len() {
                 let r = &mut world.robots[i];
-                r.motion.step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
+                r.motion
+                    .step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
             }
             engine.schedule_in(world.scenario.tick, Event::MoveTick);
         }
@@ -429,7 +451,11 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                     }
                     let pos = r.beacon_position(world.mode(), &world.scenario.area);
                     world.traffic.beacons_sent += 1;
-                    Packet::new(r.id, now.as_micros() as u32, Payload::Beacon { position: pos })
+                    Packet::new(
+                        r.id,
+                        now.as_micros() as u32,
+                        Payload::Beacon { position: pos },
+                    )
                 }
                 TxIntent::Mesh(p) => {
                     if !world.robots[robot].radio.can_receive() {
@@ -461,7 +487,9 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             let mode = world.mode();
             let area = world.scenario.area;
             let info = world.robots[robot].mobility_info(mode, &area);
-            if let Some(packet) = world.robots[robot].mesh.make_rebroadcast(now, source, seq, &info)
+            if let Some(packet) = world.robots[robot]
+                .mesh
+                .make_rebroadcast(now, source, seq, &info)
             {
                 transmit(engine, world, robot, packet, now);
             }
@@ -500,8 +528,11 @@ fn robot_wake(
         let usable = scenario_window - BEACON_LEAD_IN;
         let slot = usable / u64::from(k);
         for i in 0..k {
-            let jitter =
-                uniform(0.0, (slot.as_secs_f64() * 0.8).max(1e-4), &mut world.jitter_rng);
+            let jitter = uniform(
+                0.0,
+                (slot.as_secs_f64() * 0.8).max(1e-4),
+                &mut world.jitter_rng,
+            );
             let intended = window_start
                 + BEACON_LEAD_IN
                 + slot * u64::from(i)
@@ -520,7 +551,9 @@ fn robot_wake(
     }
     // Schedule the end-of-window processing.
     let intended_end = window_start + scenario_window + world.scenario.guard_band;
-    let fire = world.robots[robot].clock.actual_fire_time(intended_end, now);
+    let fire = world.robots[robot]
+        .clock
+        .actual_fire_time(intended_end, now);
     if fire <= engine.horizon() {
         engine.schedule_at(fire, Event::RobotWindowEnd { robot, window });
     } else {
@@ -545,9 +578,11 @@ fn robot_window_end(
                 r.has_fix = true;
                 r.last_fix_window = Some(window);
                 world.traffic.fixes += 1;
-                world.trace.emit(now, TraceLevel::Debug, "localization", || {
-                    format!("robot {} fixed at {} in window {window}", robot, fix)
-                });
+                world
+                    .trace
+                    .emit(now, TraceLevel::Debug, "localization", || {
+                        format!("robot {} fixed at {} in window {window}", robot, fix)
+                    });
                 if mode == EstimatorMode::Cocoa {
                     // RF fixes position; heading is re-anchored from the
                     // displacement observed between consecutive fixes.
@@ -695,7 +730,7 @@ fn dispatch(
             let r = &mut world.robots[robot];
             if let Some(rf) = r.rf.as_mut() {
                 world.traffic.beacons_received += 1;
-                rf.observe_beacon(&world.table, *position, rssi);
+                rf.observe_beacon_radial(&world.table, &world.radial, *position, rssi);
             }
         }
         Payload::Sync { .. } => {
@@ -737,8 +772,7 @@ fn dispatch(
                         engine.schedule_in(after, Event::MeshReply { robot, source });
                     }
                     ProtocolAction::ScheduleRebroadcast { source, seq, after } => {
-                        engine
-                            .schedule_in(after, Event::MeshRebroadcast { robot, source, seq });
+                        engine.schedule_in(after, Event::MeshRebroadcast { robot, source, seq });
                     }
                 }
             }

@@ -95,8 +95,7 @@ impl Scenario {
 
     /// Number of beacon periods that fit in the run.
     pub fn num_windows(&self) -> u64 {
-        SimDuration::from_micros(self.duration.as_micros())
-            .div_duration(self.beacon_period)
+        SimDuration::from_micros(self.duration.as_micros()).div_duration(self.beacon_period)
     }
 
     /// Validates cross-field invariants.
@@ -133,7 +132,10 @@ impl Scenario {
             return Err("guard band too large for the beacon period".into());
         }
         if !(0.0..1.0).contains(&self.packet_loss) {
-            return Err(format!("packet loss {} must be in [0, 1)", self.packet_loss));
+            return Err(format!(
+                "packet loss {} must be in [0, 1)",
+                self.packet_loss
+            ));
         }
         Ok(())
     }

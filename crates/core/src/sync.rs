@@ -47,7 +47,10 @@ impl DriftingClock {
     /// Creates a clock with the given fractional skew, synchronized at
     /// time zero.
     pub fn new(skew: f64) -> Self {
-        assert!(skew.is_finite() && skew.abs() < 0.01, "unphysical skew {skew}");
+        assert!(
+            skew.is_finite() && skew.abs() < 0.01,
+            "unphysical skew {skew}"
+        );
         DriftingClock {
             skew,
             error_s: 0.0,

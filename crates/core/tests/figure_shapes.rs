@@ -72,7 +72,10 @@ fn fig9_shape_energy_tradeoff() {
     let (a, b) = (&f.points[0], &f.points[1]);
     assert!(b.energy_coordinated_j < a.energy_coordinated_j);
     assert!(b.savings_factor() > a.savings_factor());
-    assert!(b.steady_error_m >= a.steady_error_m * 0.8, "accuracy should not improve much with larger T");
+    assert!(
+        b.steady_error_m >= a.steady_error_m * 0.8,
+        "accuracy should not improve much with larger T"
+    );
     // Uncoordinated energy barely depends on T (radios always idle).
     let drift = (a.energy_uncoordinated_j - b.energy_uncoordinated_j).abs();
     assert!(drift < 0.05 * a.energy_uncoordinated_j);

@@ -66,9 +66,7 @@ fn one_equipped_robot_is_not_enough_for_fixes() {
 #[test]
 fn window_nearly_filling_the_period() {
     // t = 25 s of a 30 s period: radios barely sleep; still correct.
-    let s = tiny()
-        .transmit_window(SimDuration::from_secs(25))
-        .build();
+    let s = tiny().transmit_window(SimDuration::from_secs(25)).build();
     let m = run(&s);
     assert!(m.traffic.fixes > 0);
     let team = m.energy.team();
@@ -107,7 +105,7 @@ fn zero_clock_skew_is_perfectly_aligned() {
 
 #[test]
 fn metrics_interval_coarser_than_tick() {
-    let mut b = tiny();
+    let b = tiny();
     b.build(); // defaults fine; change interval via scenario clone
     let mut s = b.build();
     s.metrics_interval = SimDuration::from_secs(10);

@@ -149,9 +149,7 @@ impl UnitDiskGraph {
                 // Witnesses must be neighbours of u (they must be within
                 // radio range to be known about).
                 for &w in &self.adjacency[u] {
-                    if w != v
-                        && self.nodes[w].believed_position.distance_sq_to(mid) < radius_sq
-                    {
+                    if w != v && self.nodes[w].believed_position.distance_sq_to(mid) < radius_sq {
                         continue 'edges;
                     }
                 }

@@ -21,5 +21,7 @@ pub mod route;
 /// Glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::graph::{RoutingNode, UnitDiskGraph};
-    pub use crate::route::{delivery_experiment, DeliveryStats, GeoRouter, RouteOutcome, RouteStatus};
+    pub use crate::route::{
+        delivery_experiment, DeliveryStats, GeoRouter, RouteOutcome, RouteStatus,
+    };
 }

@@ -126,7 +126,10 @@ impl<'a> GeoRouter<'a> {
     ///
     /// Panics if `src` or `dest` are out of bounds.
     pub fn route(&self, src: usize, dest: usize) -> RouteOutcome {
-        assert!(src < self.graph.len() && dest < self.graph.len(), "node out of bounds");
+        assert!(
+            src < self.graph.len() && dest < self.graph.len(),
+            "node out of bounds"
+        );
         let mut path = vec![src];
         let mut greedy_hops = 0;
         let mut face_hops = 0;
@@ -178,11 +181,8 @@ impl<'a> GeoRouter<'a> {
                     }
                     None => {
                         // Local minimum: enter face mode.
-                        face_anchor =
-                            Some(self.believed(current).distance_to(self.believed(dest)));
-                        let angle_in = self
-                            .believed(current)
-                            .bearing_to(self.believed(dest));
+                        face_anchor = Some(self.believed(current).distance_to(self.believed(dest)));
+                        let angle_in = self.believed(current).bearing_to(self.believed(dest));
                         match self.face_next(current, angle_in) {
                             Some(n) => {
                                 face_hops += 1;
@@ -409,7 +409,11 @@ mod tests {
         let pairs: Vec<(usize, usize)> = (0..60).map(|i| (i, 119 - i)).collect();
         let exact = delivery_experiment(&make(0.0, &mut rng), &pairs);
         let noisy = delivery_experiment(&make(30.0, &mut rng), &pairs);
-        assert!(exact.delivery_rate() > 0.95, "exact rate {}", exact.delivery_rate());
+        assert!(
+            exact.delivery_rate() > 0.95,
+            "exact rate {}",
+            exact.delivery_rate()
+        );
         assert!(
             noisy.delivery_rate() <= exact.delivery_rate(),
             "noise must not improve routing: {} vs {}",
@@ -441,7 +445,10 @@ mod stretch_tests {
         let g = UnitDiskGraph::new(nodes, 12.0);
         let stats = delivery_experiment(&g, &[(0, 5)]);
         assert_eq!(stats.delivered, 1);
-        assert!((stats.mean_stretch - 1.0).abs() < 1e-12, "line routes are optimal");
+        assert!(
+            (stats.mean_stretch - 1.0).abs() < 1e-12,
+            "line routes are optimal"
+        );
     }
 
     #[test]
@@ -464,7 +471,11 @@ mod stretch_tests {
         let g = UnitDiskGraph::new(nodes, 12.0);
         let stats = delivery_experiment(&g, &[(4, 13), (0, 13), (4, 9)]);
         assert!(stats.delivered > 0);
-        assert!(stats.mean_stretch >= 1.0 - 1e-12, "stretch {}", stats.mean_stretch);
+        assert!(
+            stats.mean_stretch >= 1.0 - 1e-12,
+            "stretch {}",
+            stats.mean_stretch
+        );
     }
 
     #[test]

@@ -9,7 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cocoa_net::calibration::PdfTable;
+use cocoa_net::calibration::{PdfTable, RadialConstraintTable};
 use cocoa_net::geometry::Point;
 use cocoa_net::rssi::Dbm;
 
@@ -22,7 +22,24 @@ pub const MIN_BEACONS_FOR_ESTIMATE: u32 = 3;
 /// beacon cannot annihilate the true position's cell. Expressed relative
 /// to a uniform density over a 200 m scale: small enough to not blur fixes,
 /// large enough to keep the posterior proper.
-const CONSTRAINT_FLOOR: f64 = 1e-6;
+///
+/// Public so that precomputed radial constraint tables
+/// ([`RadialConstraintTable`]) can bake the same floor into their cached
+/// profiles.
+pub const CONSTRAINT_FLOOR: f64 = 1e-6;
+
+/// Builds the per-experiment radial constraint cache for `table`, sized to
+/// `grid`: one floored [`RadialProfile`](cocoa_net::calibration::RadialProfile)
+/// per calibrated RSSI bin, sampled at sub-cell resolution out to the
+/// area's diagonal. Build it once and share it by reference across every
+/// robot and transmit round.
+pub fn radial_constraints_for_grid(table: &PdfTable, grid: &GridConfig) -> RadialConstraintTable {
+    // Sub-cell sampling: fine enough for the clamped minimum sigma of the
+    // calibration fits (0.25 m) and always at least 4 samples per cell.
+    let step = (grid.resolution_m * 0.25).min(0.05);
+    let diag = (grid.area.width().powi(2) + grid.area.height().powi(2)).sqrt();
+    RadialConstraintTable::new(table, step, diag, CONSTRAINT_FLOOR)
+}
 
 /// What happened to one beacon observation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -89,9 +106,32 @@ impl BayesianLocalizer {
         let Some(pdf) = table.lookup(rssi) else {
             return ObservationResult::NoPdf;
         };
-        let outcome = self.grid.apply_constraint(|cell| {
-            pdf.density(cell.distance_to(beacon_pos)) + CONSTRAINT_FLOOR
-        });
+        let outcome = self
+            .grid
+            .apply_constraint(|cell| pdf.density(cell.distance_to(beacon_pos)) + CONSTRAINT_FLOOR);
+        self.record(outcome)
+    }
+
+    /// Incorporates one beacon through the radial fast path: the constraint
+    /// comes from `radial`'s pre-sampled profile for the observed RSSI
+    /// (same bin-fallback rule as [`PdfTable::lookup`]) and is applied via
+    /// [`PositionGrid::apply_radial_constraint`] — no per-cell `exp`, no
+    /// allocation.
+    pub fn observe_beacon_radial(
+        &mut self,
+        radial: &RadialConstraintTable,
+        beacon_pos: Point,
+        rssi: Dbm,
+    ) -> ObservationResult {
+        self.beacons_seen += 1;
+        let Some(profile) = radial.lookup(rssi) else {
+            return ObservationResult::NoPdf;
+        };
+        let outcome = self.grid.apply_radial_constraint(beacon_pos, profile);
+        self.record(outcome)
+    }
+
+    fn record(&mut self, outcome: ConstraintOutcome) -> ObservationResult {
         match outcome {
             ConstraintOutcome::Applied => {
                 self.beacons_applied += 1;
@@ -236,7 +276,8 @@ mod tests {
                 let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
                 loc.observe_beacon(&table, b, rssi);
             }
-            loc.estimate().map_or(f64::INFINITY, |e| e.distance_to(robot))
+            loc.estimate()
+                .map_or(f64::INFINITY, |e| e.distance_to(robot))
         };
         assert!(
             near_err < far_err,
@@ -290,10 +331,43 @@ mod tests {
     }
 
     #[test]
+    fn radial_path_tracks_generic_path() {
+        let (ch, table) = setup();
+        let grid_cfg = GridConfig::new(Area::square(200.0), 2.0);
+        let radial = radial_constraints_for_grid(&table, &grid_cfg);
+        let mut rng = SeedSplitter::new(900).stream("t", 0);
+        let robot = Point::new(120.0, 80.0);
+        let mut generic = BayesianLocalizer::new(grid_cfg);
+        let mut fast = BayesianLocalizer::new(grid_cfg);
+        for b in [
+            Point::new(110.0, 80.0),
+            Point::new(126.0, 90.0),
+            Point::new(120.0, 68.0),
+            Point::new(40.0, 170.0),
+        ] {
+            let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+            let a = generic.observe_beacon(&table, b, rssi);
+            let r = fast.observe_beacon_radial(&radial, b, rssi);
+            assert_eq!(a, r, "paths disagree on outcome for beacon {b}");
+        }
+        let (ea, er) = (generic.estimate().unwrap(), fast.estimate().unwrap());
+        assert!(
+            ea.distance_to(er) < 0.25,
+            "estimates diverged: generic {ea} vs radial {er}"
+        );
+    }
+
+    #[test]
     fn outlier_beacon_does_not_annihilate_posterior() {
         // A synthetic table whose PDF puts essentially all mass at 5 m.
         let table = PdfTable::from_entries(
-            [(RssiBin(-50), DistancePdf::Gaussian { mean: 5.0, sigma: 0.5 })],
+            [(
+                RssiBin(-50),
+                DistancePdf::Gaussian {
+                    mean: 5.0,
+                    sigma: 0.5,
+                },
+            )],
             -80.0,
         );
         let mut loc = localizer();

@@ -282,7 +282,11 @@ mod tests {
                 f.update_range(a, robot.distance_to(a), 2.0);
             }
         }
-        assert!(f.estimate().distance_to(robot) < 3.0, "est {}", f.estimate());
+        assert!(
+            f.estimate().distance_to(robot) < 3.0,
+            "est {}",
+            f.estimate()
+        );
         assert!(f.uncertainty() < initial_unc / 5.0);
     }
 
@@ -465,6 +469,9 @@ mod tests {
             }
         }
         assert!(f.estimate().distance_to(robot) < 10.0);
-        assert_eq!(f.update_from_beacon(&table, robot, Dbm::new(30.0)), EkfUpdate::NoPdf);
+        assert_eq!(
+            f.update_from_beacon(&table, robot, Dbm::new(30.0)),
+            EkfUpdate::NoPdf
+        );
     }
 }

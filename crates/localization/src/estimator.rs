@@ -13,7 +13,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use cocoa_net::calibration::PdfTable;
+use cocoa_net::calibration::{PdfTable, RadialConstraintTable};
 use cocoa_net::geometry::Point;
 use cocoa_net::rssi::Dbm;
 
@@ -200,6 +200,38 @@ impl WindowedRfEstimator {
         }
         let r = match &mut self.backend {
             Backend::Bayes(b) => b.observe_beacon(table, beacon_pos, rssi),
+            Backend::Lateration(l) => {
+                if l.observe_beacon(table, beacon_pos, rssi) {
+                    ObservationResult::Applied
+                } else {
+                    ObservationResult::NoPdf
+                }
+            }
+        };
+        if r == ObservationResult::Applied {
+            self.stats.beacons_applied += 1;
+        }
+        r
+    }
+
+    /// Offers one received beacon, using the precomputed radial constraint
+    /// cache for the Bayesian backend (the zero-allocation fast path).
+    ///
+    /// The multilateration backend has no radial form and falls back to the
+    /// PDF table, so the two arguments must describe the same calibration.
+    pub fn observe_beacon_radial(
+        &mut self,
+        table: &PdfTable,
+        radial: &RadialConstraintTable,
+        beacon_pos: Point,
+        rssi: Dbm,
+    ) -> ObservationResult {
+        self.stats.beacons_seen += 1;
+        if !self.in_window {
+            return ObservationResult::Rejected;
+        }
+        let r = match &mut self.backend {
+            Backend::Bayes(b) => b.observe_beacon_radial(radial, beacon_pos, rssi),
             Backend::Lateration(l) => {
                 if l.observe_beacon(table, beacon_pos, rssi) {
                     ObservationResult::Applied

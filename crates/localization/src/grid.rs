@@ -9,6 +9,7 @@
 
 use serde::{Deserialize, Serialize};
 
+use cocoa_net::calibration::RadialProfile;
 use cocoa_net::geometry::{Area, Point};
 
 /// Grid discretization parameters.
@@ -69,13 +70,58 @@ pub enum ConstraintOutcome {
 /// grid.apply_constraint(|p| (-(p.distance_to(Point::new(50.0, 50.0))).powi(2) / 50.0).exp());
 /// assert!(grid.mean().distance_to(Point::new(50.0, 50.0)) < 2.0);
 /// ```
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct PositionGrid {
     config: GridConfig,
     nx: usize,
     ny: usize,
     /// Cell probabilities; row-major (`iy * nx + ix`), always summing to 1.
     cells: Vec<f64>,
+    /// Cell-centre x coordinates, indexed by `ix`.
+    #[serde(skip)]
+    xs: Vec<f64>,
+    /// Cell-centre y coordinates, indexed by `iy`.
+    #[serde(skip)]
+    ys: Vec<f64>,
+    /// Reusable buffer for the unnormalized product during an update, so
+    /// the per-beacon hot path allocates nothing.
+    #[serde(skip)]
+    scratch: Vec<f64>,
+    /// Reusable buffer of per-column squared x-distances to the current
+    /// constraint centre.
+    #[serde(skip)]
+    dx2: Vec<f64>,
+    /// Reusable per-row buffer of pre-scaled profile coordinates.
+    #[serde(skip)]
+    row_t: Vec<f64>,
+}
+
+/// Sums with four independent accumulators so the reduction is not one
+/// serial chain of additions (and can use SIMD adds). The rounding differs
+/// from a left-to-right sum by O(n·ε) — irrelevant at the posterior's
+/// tolerances.
+fn sum_4lane(xs: &[f64]) -> f64 {
+    let mut acc = [0.0f64; 4];
+    let chunks = xs.chunks_exact(4);
+    let rem = chunks.remainder();
+    for c in chunks {
+        acc[0] += c[0];
+        acc[1] += c[1];
+        acc[2] += c[2];
+        acc[3] += c[3];
+    }
+    (acc[0] + acc[1]) + (acc[2] + acc[3]) + rem.iter().sum::<f64>()
+}
+
+/// Equality is over the posterior itself; scratch buffers and the derived
+/// axis tables are excluded.
+impl PartialEq for PositionGrid {
+    fn eq(&self, other: &Self) -> bool {
+        self.config == other.config
+            && self.nx == other.nx
+            && self.ny == other.ny
+            && self.cells == other.cells
+    }
 }
 
 impl PositionGrid {
@@ -85,11 +131,23 @@ impl PositionGrid {
         let nx = (config.area.width() / config.resolution_m).ceil() as usize;
         let ny = (config.area.height() / config.resolution_m).ceil() as usize;
         let n = nx * ny;
+        let r = config.resolution_m;
+        let xs = (0..nx)
+            .map(|ix| config.area.x_min + (ix as f64 + 0.5) * r)
+            .collect();
+        let ys = (0..ny)
+            .map(|iy| config.area.y_min + (iy as f64 + 0.5) * r)
+            .collect();
         PositionGrid {
             config,
             nx,
             ny,
             cells: vec![1.0 / n as f64; n],
+            xs,
+            ys,
+            scratch: Vec::with_capacity(n),
+            dx2: Vec::with_capacity(nx),
+            row_t: Vec::with_capacity(nx),
         }
     }
 
@@ -115,38 +173,106 @@ impl PositionGrid {
     }
 
     /// Centre of cell `(ix, iy)`.
+    #[inline]
     pub fn cell_center(&self, ix: usize, iy: usize) -> Point {
-        let r = self.config.resolution_m;
-        Point::new(
-            self.config.area.x_min + (ix as f64 + 0.5) * r,
-            self.config.area.y_min + (iy as f64 + 0.5) * r,
-        )
+        Point::new(self.xs[ix], self.ys[iy])
+    }
+
+    /// Commits the unnormalized product held in `scratch` (total mass
+    /// `total`) to the posterior, or rejects it as degenerate.
+    fn commit(&mut self, scratch: &[f64], total: f64) -> ConstraintOutcome {
+        if !total.is_finite() || total <= f64::MIN_POSITIVE * self.cells.len() as f64 {
+            return ConstraintOutcome::Rejected;
+        }
+        let inv_total = 1.0 / total;
+        for (dst, &v) in self.cells.iter_mut().zip(scratch) {
+            *dst = v * inv_total;
+        }
+        ConstraintOutcome::Applied
     }
 
     /// Multiplies `constraint(cell_center)` into every cell and
     /// renormalizes (paper Eq. 2).
     ///
+    /// This is the generic (reference) path: it evaluates the closure at
+    /// every cell centre. Constraints that depend on the cell only through
+    /// its distance to a point should go through
+    /// [`apply_radial_constraint`](Self::apply_radial_constraint).
+    ///
     /// Returns [`ConstraintOutcome::Rejected`] — leaving the posterior
     /// untouched — if the product has (near-)zero total mass or is not
     /// finite.
     pub fn apply_constraint(&mut self, constraint: impl Fn(Point) -> f64) -> ConstraintOutcome {
-        let mut scratch = Vec::with_capacity(self.cells.len());
+        let mut scratch = std::mem::take(&mut self.scratch);
+        scratch.clear();
+        scratch.reserve(self.cells.len());
         let mut total = 0.0;
         for iy in 0..self.ny {
-            for ix in 0..self.nx {
-                let w = constraint(self.cell_center(ix, iy));
-                let v = self.cells[iy * self.nx + ix] * w;
+            let y = self.ys[iy];
+            let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+            for (ix, &cell) in row.iter().enumerate() {
+                let w = constraint(Point::new(self.xs[ix], y));
+                let v = cell * w;
                 scratch.push(v);
                 total += v;
             }
         }
-        if !total.is_finite() || total <= f64::MIN_POSITIVE * self.cells.len() as f64 {
-            return ConstraintOutcome::Rejected;
+        let outcome = self.commit(&scratch, total);
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Multiplies a radial constraint — `profile.density(‖cell − center‖)`
+    /// — into every cell and renormalizes.
+    ///
+    /// The fast path of the Bayesian update: squared x-offsets are computed
+    /// once per column, squared y-offsets once per row, and the density
+    /// comes from a pre-sampled 1-D [`RadialProfile`] lookup instead of a
+    /// per-cell `exp`/histogram evaluation. All buffers are persistent, so
+    /// a beacon update allocates nothing.
+    ///
+    /// Equivalent (within float rounding) to
+    /// `apply_constraint(|p| profile.density(p.distance_to(center)))`,
+    /// including the [`ConstraintOutcome::Rejected`] behaviour.
+    pub fn apply_radial_constraint(
+        &mut self,
+        center: Point,
+        profile: &RadialProfile,
+    ) -> ConstraintOutcome {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let mut dx2 = std::mem::take(&mut self.dx2);
+        let mut row_t = std::mem::take(&mut self.row_t);
+        scratch.clear();
+        scratch.resize(self.cells.len(), 0.0);
+        dx2.clear();
+        dx2.extend(self.xs.iter().map(|&x| {
+            let dx = x - center.x;
+            dx * dx
+        }));
+        row_t.clear();
+        row_t.resize(self.nx, 0.0);
+        let inv_step = profile.inv_step();
+        for iy in 0..self.ny {
+            let dy = self.ys[iy] - center.y;
+            let dy2 = dy * dy;
+            let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+            let out = &mut scratch[iy * self.nx..(iy + 1) * self.nx];
+            // Stage 1 — branch-free and auto-vectorizable: pre-scaled
+            // profile coordinates for the whole row.
+            for (t, &dx2) in row_t.iter_mut().zip(&dx2) {
+                *t = (dx2 + dy2).sqrt() * inv_step;
+            }
+            // Stage 2 — the (gather-bound) interpolation and product.
+            for ((dst, &cell), &t) in out.iter_mut().zip(row).zip(&row_t) {
+                *dst = cell * profile.density_scaled(t);
+            }
         }
-        for (dst, v) in self.cells.iter_mut().zip(scratch) {
-            *dst = v / total;
-        }
-        ConstraintOutcome::Applied
+        let total = sum_4lane(&scratch);
+        let outcome = self.commit(&scratch, total);
+        self.scratch = scratch;
+        self.dx2 = dx2;
+        self.row_t = row_t;
+        outcome
     }
 
     /// The posterior mean (paper Eq. 3) — the position estimate.
@@ -168,17 +294,17 @@ impl PositionGrid {
 
     /// The centre of the highest-probability cell (MAP estimate).
     pub fn map_estimate(&self) -> Point {
-        let (idx, _) = self
-            .cells
-            .iter()
-            .enumerate()
-            .fold((0, f64::NEG_INFINITY), |best, (i, &v)| {
-                if v > best.1 {
-                    (i, v)
-                } else {
-                    best
-                }
-            });
+        let (idx, _) =
+            self.cells
+                .iter()
+                .enumerate()
+                .fold((0, f64::NEG_INFINITY), |best, (i, &v)| {
+                    if v > best.1 {
+                        (i, v)
+                    } else {
+                        best
+                    }
+                });
         self.cell_center(idx % self.nx, idx / self.nx)
     }
 
@@ -324,5 +450,65 @@ mod tests {
     #[should_panic(expected = "resolution")]
     fn zero_resolution_rejected() {
         let _ = GridConfig::new(Area::square(200.0), 0.0);
+    }
+
+    #[test]
+    fn radial_constraint_matches_generic_per_cell() {
+        use cocoa_net::calibration::RadialProfile;
+        let center = Point::new(63.0, 141.0);
+        let profile = RadialProfile::from_fn(0.25, 300.0, |d| (-((d - 30.0) / 8.0).powi(2)).exp())
+            .offset(1e-6);
+        let mut generic = grid(2.0);
+        let mut radial = grid(2.0);
+        // Two rounds so the scratch-buffer reuse is also exercised.
+        for _ in 0..2 {
+            let a = generic.apply_constraint(|p| profile.density(p.distance_to(center)));
+            let b = radial.apply_radial_constraint(center, &profile);
+            assert_eq!(a, b);
+            assert_eq!(a, ConstraintOutcome::Applied);
+            for iy in 0..generic.ny() {
+                for ix in 0..generic.nx() {
+                    let pa = generic.density_at(generic.cell_center(ix, iy));
+                    let pb = radial.density_at(radial.cell_center(ix, iy));
+                    assert!(
+                        (pa - pb).abs() < 1e-9,
+                        "cell ({ix},{iy}): generic {pa} vs radial {pb}"
+                    );
+                }
+            }
+        }
+        assert!((radial.total_mass() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radial_rejection_leaves_posterior_untouched() {
+        use cocoa_net::calibration::RadialProfile;
+        let mut g = grid(2.0);
+        let target = Point::new(60.0, 140.0);
+        g.apply_constraint(|p| (-(p.distance_to(target) / 10.0).powi(2)).exp());
+        let before = g.clone();
+        let zero = RadialProfile::from_fn(1.0, 300.0, |_| 0.0);
+        assert_eq!(
+            g.apply_radial_constraint(target, &zero),
+            ConstraintOutcome::Rejected
+        );
+        assert_eq!(g, before, "posterior untouched after radial rejection");
+        let nan = RadialProfile::from_fn(1.0, 300.0, |_| f64::NAN);
+        assert_eq!(
+            g.apply_radial_constraint(target, &nan),
+            ConstraintOutcome::Rejected
+        );
+        assert_eq!(g, before);
+    }
+
+    #[test]
+    fn equality_ignores_scratch_state() {
+        use cocoa_net::calibration::RadialProfile;
+        let fresh = grid(2.0);
+        let mut used = grid(2.0);
+        let zero = RadialProfile::from_fn(1.0, 300.0, |_| 0.0);
+        // A rejected update leaves the posterior alone but dirties scratch.
+        used.apply_radial_constraint(Point::new(10.0, 10.0), &zero);
+        assert_eq!(fresh, used);
     }
 }

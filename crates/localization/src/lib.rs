@@ -29,6 +29,6 @@ pub mod prelude {
     pub use crate::bayes::{BayesianLocalizer, ObservationResult, MIN_BEACONS_FOR_ESTIMATE};
     pub use crate::ekf::{EkfConfig, EkfLocalizer, EkfUpdate};
     pub use crate::estimator::{EstimatorMode, RfAlgorithm, WindowStats, WindowedRfEstimator};
-    pub use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
     pub use crate::grid::{ConstraintOutcome, GridConfig, PositionGrid};
+    pub use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
 }

@@ -103,8 +103,16 @@ impl Multilaterator {
         // always inside the convex hull.
         let wsum: f64 = self.observations.iter().map(|o| o.weight).sum();
         let mut p = Point::new(
-            self.observations.iter().map(|o| o.anchor.x * o.weight).sum::<f64>() / wsum,
-            self.observations.iter().map(|o| o.anchor.y * o.weight).sum::<f64>() / wsum,
+            self.observations
+                .iter()
+                .map(|o| o.anchor.x * o.weight)
+                .sum::<f64>()
+                / wsum,
+            self.observations
+                .iter()
+                .map(|o| o.anchor.y * o.weight)
+                .sum::<f64>()
+                / wsum,
         );
         for _ in 0..self.config.max_iterations {
             // Gauss–Newton on r_i(p) = |p - a_i| - d_i with weights w_i:
@@ -180,7 +188,11 @@ mod tests {
         ];
         let m = with_exact_ranges(robot, &anchors);
         let est = m.estimate().expect("enough anchors");
-        assert!(est.distance_to(robot) < 0.01, "error {}", est.distance_to(robot));
+        assert!(
+            est.distance_to(robot) < 0.01,
+            "error {}",
+            est.distance_to(robot)
+        );
     }
 
     #[test]
@@ -303,7 +315,9 @@ mod tests {
                 lateration.observe_beacon(&table, a, rssi);
             }
             bayes_total += bayes.estimate().map_or(150.0, |e| e.distance_to(robot));
-            lateration_total += lateration.estimate().map_or(150.0, |e| e.distance_to(robot));
+            lateration_total += lateration
+                .estimate()
+                .map_or(150.0, |e| e.distance_to(robot));
         }
         let bayes_mean = bayes_total / trials as f64;
         let lateration_mean = lateration_total / trials as f64;

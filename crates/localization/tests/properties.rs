@@ -1,10 +1,12 @@
 //! Property-based tests for the Bayesian localization invariants.
 
+use cocoa_localization::bayes::CONSTRAINT_FLOOR;
+use cocoa_localization::grid::ConstraintOutcome;
 use cocoa_localization::prelude::*;
-use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf, PdfTable};
+use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf, PdfTable, RadialProfile};
 use cocoa_net::channel::RfChannel;
 use cocoa_net::geometry::{Area, Point};
-use cocoa_net::rssi::RssiBin;
+use cocoa_net::rssi::{Dbm, RssiBin};
 use cocoa_sim::rng::SeedSplitter;
 use proptest::prelude::*;
 
@@ -111,6 +113,101 @@ proptest! {
             // dramatically better.
             prop_assert!(sharp <= loose + 6.0, "sharp {sharp} vs loose {loose}");
         }
+    }
+
+    /// The radial fast path computes exactly the posterior the generic
+    /// closure path computes, cell for cell, for arbitrary beacon
+    /// positions (including outside the area), profile shapes and grid
+    /// resolutions.
+    #[test]
+    fn radial_constraint_equals_generic_per_cell(
+        cx in -20.0..220.0f64,
+        cy in -20.0..220.0f64,
+        res in 1.0..8.0f64,
+        mean in 2.0..90.0f64,
+        sigma in 0.25..25.0f64,
+        step in 0.02..0.5f64,
+    ) {
+        let pdf = DistancePdf::Gaussian { mean, sigma };
+        let profile = pdf.radial_profile(step, 340.0).offset(CONSTRAINT_FLOOR);
+        let center = Point::new(cx, cy);
+        let mut generic = PositionGrid::new(GridConfig::new(Area::square(200.0), res));
+        let mut radial = generic.clone();
+        // Two applications so scratch-buffer reuse is in play.
+        for _ in 0..2 {
+            let oa = generic.apply_constraint(|p| profile.density(p.distance_to(center)));
+            let ob = radial.apply_radial_constraint(center, &profile);
+            prop_assert_eq!(oa, ob);
+            for iy in 0..generic.ny() {
+                for ix in 0..generic.nx() {
+                    let pa = generic.density_at(generic.cell_center(ix, iy));
+                    let pb = radial.density_at(radial.cell_center(ix, iy));
+                    prop_assert!(
+                        (pa - pb).abs() < 1e-9,
+                        "cell ({},{}): generic {} vs radial {}", ix, iy, pa, pb
+                    );
+                }
+            }
+        }
+    }
+
+    /// Same equivalence through a *calibrated* PDF table: whatever bin an
+    /// observed RSSI resolves to, its sampled profile drives the radial
+    /// path to the generic path's posterior.
+    #[test]
+    fn radial_matches_generic_for_calibrated_bins(
+        rssi in -95.0..-40.0f64,
+        cx in 0.0..200.0f64,
+        cy in 0.0..200.0f64,
+        res in 2.0..6.0f64,
+    ) {
+        let ch = RfChannel::default();
+        let table = calibrate(
+            &ch,
+            &CalibrationConfig { samples_per_distance: 30, ..Default::default() },
+            &mut SeedSplitter::new(11).stream("cal", 0),
+        );
+        prop_assume!(table.lookup(Dbm::new(rssi)).is_some());
+        let pdf = table.lookup(Dbm::new(rssi)).unwrap();
+        let profile = pdf.radial_profile(0.05, 340.0).offset(CONSTRAINT_FLOOR);
+        let center = Point::new(cx, cy);
+        let mut generic = PositionGrid::new(GridConfig::new(Area::square(200.0), res));
+        let mut radial = generic.clone();
+        let oa = generic.apply_constraint(|p| profile.density(p.distance_to(center)));
+        let ob = radial.apply_radial_constraint(center, &profile);
+        prop_assert_eq!(oa, ob);
+        for iy in 0..generic.ny() {
+            for ix in 0..generic.nx() {
+                let pa = generic.density_at(generic.cell_center(ix, iy));
+                let pb = radial.density_at(radial.cell_center(ix, iy));
+                prop_assert!((pa - pb).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Degenerate constraints are rejected identically by both paths and
+    /// leave the posterior bit-for-bit untouched.
+    #[test]
+    fn radial_rejection_behaviour_identical(
+        cx in 0.0..200.0f64,
+        cy in 0.0..200.0f64,
+        res in 1.0..8.0f64,
+        informative in any::<bool>(),
+    ) {
+        let center = Point::new(cx, cy);
+        let mut generic = PositionGrid::new(GridConfig::new(Area::square(200.0), res));
+        if informative {
+            generic.apply_constraint(|p| (-(p.distance_to(center) / 20.0).powi(2)).exp() + 1e-9);
+        }
+        let mut radial = generic.clone();
+        let before = generic.clone();
+        let zero = RadialProfile::from_fn(0.5, 340.0, |_| 0.0);
+        let oa = generic.apply_constraint(|p| zero.density(p.distance_to(center)));
+        let ob = radial.apply_radial_constraint(center, &zero);
+        prop_assert_eq!(oa, ConstraintOutcome::Rejected);
+        prop_assert_eq!(ob, ConstraintOutcome::Rejected);
+        prop_assert_eq!(&generic, &before);
+        prop_assert_eq!(&radial, &before);
     }
 
     /// The windowed estimator's stats are internally consistent.

@@ -142,7 +142,10 @@ impl Odometer {
         } else {
             segment.distance
         };
-        self.estimate = self.estimate.turned(measured_turn).advanced(measured_distance);
+        self.estimate = self
+            .estimate
+            .turned(measured_turn)
+            .advanced(measured_distance);
         self.distance_integrated += measured_distance;
         self.observations += 1;
     }
@@ -151,9 +154,9 @@ impl Odometer {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::waypoint::{WaypointConfig, WaypointModel};
     use cocoa_net::geometry::{Area, Point};
     use cocoa_sim::rng::SeedSplitter;
-    use crate::waypoint::{WaypointConfig, WaypointModel};
 
     #[test]
     fn noiseless_odometer_tracks_exactly() {
@@ -195,13 +198,19 @@ mod tests {
                     early = pose.position.distance_to(odo.estimated_pose().position);
                 }
             }
-            let late = model.pose().position.distance_to(odo.estimated_pose().position);
+            let late = model
+                .pose()
+                .position
+                .distance_to(odo.estimated_pose().position);
             total_early += early;
             total_late += late;
         }
         let early = total_early / robots as f64;
         let late = total_late / robots as f64;
-        assert!(late > early, "error should grow: {early} m @1min vs {late} m @30min");
+        assert!(
+            late > early,
+            "error should grow: {early} m @1min vs {late} m @30min"
+        );
         assert!(late > 50.0, "30-minute drift should be large, got {late} m");
     }
 
@@ -219,7 +228,10 @@ mod tests {
             }
         }
         odo.reset_to(model.pose());
-        let err = model.pose().position.distance_to(odo.estimated_pose().position);
+        let err = model
+            .pose()
+            .position
+            .distance_to(odo.estimated_pose().position);
         assert_eq!(err, 0.0);
     }
 
@@ -233,18 +245,28 @@ mod tests {
         for t in 0..trials {
             let mut rng = SeedSplitter::new(900 + t).stream("odo", 0);
             let mut odo = Odometer::new(
-                OdometryConfig { displacement_sigma: 0.1, angular_sigma: 0.0, heading_drift_sigma: 0.0 },
+                OdometryConfig {
+                    displacement_sigma: 0.1,
+                    angular_sigma: 0.0,
+                    heading_drift_sigma: 0.0,
+                },
                 Pose::at(Point::ORIGIN),
             );
             for _ in 0..n {
-                odo.observe(&Segment { turn: 0.0, distance: 1.0, duration: 1.0 }, &mut rng);
+                odo.observe(
+                    &Segment {
+                        turn: 0.0,
+                        distance: 1.0,
+                        duration: 1.0,
+                    },
+                    &mut rng,
+                );
             }
             final_errors.push(odo.estimated_pose().position.x - n as f64);
         }
         let mean = final_errors.iter().sum::<f64>() / trials as f64;
-        let sd = (final_errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>()
-            / trials as f64)
-            .sqrt();
+        let sd =
+            (final_errors.iter().map(|e| (e - mean).powi(2)).sum::<f64>() / trials as f64).sqrt();
         let expected = 0.1 * (n as f64).sqrt(); // 2.0
         assert!(mean.abs() < 0.5, "bias {mean}");
         assert!((sd - expected).abs() < 0.4, "sd {sd}, expected {expected}");
@@ -255,7 +277,14 @@ mod tests {
         let mut rng = SeedSplitter::new(3).stream("odo", 0);
         let mut odo = Odometer::new(OdometryConfig::noiseless(), Pose::at(Point::ORIGIN));
         for _ in 0..10 {
-            odo.observe(&Segment { turn: 0.1, distance: 2.0, duration: 1.0 }, &mut rng);
+            odo.observe(
+                &Segment {
+                    turn: 0.1,
+                    distance: 2.0,
+                    duration: 1.0,
+                },
+                &mut rng,
+            );
         }
         assert_eq!(odo.observations(), 10);
         assert!((odo.distance_integrated() - 20.0).abs() < 1e-9);

@@ -86,7 +86,9 @@ pub struct SweepModel {
 impl SweepModel {
     /// Starts the sweep at a random lane on the western edge.
     pub fn new<R: Rng + ?Sized>(config: SweepConfig, rng: &mut R) -> Self {
-        let lanes = (config.area.height() / config.lane_spacing_m).floor().max(1.0);
+        let lanes = (config.area.height() / config.lane_spacing_m)
+            .floor()
+            .max(1.0);
         let lane = uniform(0.0, lanes, rng).floor();
         let lane_y = config.area.y_min + (lane + 0.5) * config.lane_spacing_m;
         let lane_y = lane_y.min(config.area.y_max);
@@ -138,12 +140,16 @@ impl SweepModel {
             let along = (target_x - self.pose.position.x) * self.direction;
             if along > 1e-9 {
                 // Run along the lane.
-                let desired_heading = if self.direction > 0.0 { 0.0 } else { std::f64::consts::PI };
+                let desired_heading = if self.direction > 0.0 {
+                    0.0
+                } else {
+                    std::f64::consts::PI
+                };
                 let turn = normalize_angle(desired_heading - self.pose.heading);
                 let seg_time = remaining.min(along / self.config.speed);
                 let distance = self.config.speed * seg_time;
-                self.pose = Pose::new(self.pose.position, self.pose.heading + turn)
-                    .advanced(distance);
+                self.pose =
+                    Pose::new(self.pose.position, self.pose.heading + turn).advanced(distance);
                 self.pose.position = self.config.area.clamp(self.pose.position);
                 segments.push(Segment {
                     turn,
@@ -165,8 +171,8 @@ impl SweepModel {
                 let turn = normalize_angle(desired_heading - self.pose.heading);
                 let seg_time = remaining.min(hop / self.config.speed);
                 let distance = self.config.speed * seg_time;
-                self.pose = Pose::new(self.pose.position, self.pose.heading + turn)
-                    .advanced(distance);
+                self.pose =
+                    Pose::new(self.pose.position, self.pose.heading + turn).advanced(distance);
                 self.pose.position = self.config.area.clamp(self.pose.position);
                 segments.push(Segment {
                     turn,
@@ -221,7 +227,10 @@ mod tests {
         for _ in 0..300 {
             let (_, segments) = m.step(1.0);
             let total: f64 = segments.iter().map(|s| s.duration).sum();
-            assert!((total - 1.0).abs() < 1e-9 || total <= 1.0, "covered {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9 || total <= 1.0,
+                "covered {total}"
+            );
         }
     }
 
@@ -255,7 +264,10 @@ mod tests {
                 odo.observe(s, &mut rng);
             }
             let err = pose.position.distance_to(odo.estimated_pose().position);
-            assert!(err < 1e-6, "noiseless odometer must track the sweep, err {err}");
+            assert!(
+                err < 1e-6,
+                "noiseless odometer must track the sweep, err {err}"
+            );
         }
     }
 

@@ -89,10 +89,7 @@ impl Trajectory {
 
     /// Largest localization error over all samples, metres (0 if empty).
     pub fn max_error(&self) -> f64 {
-        self.samples
-            .iter()
-            .map(|s| s.error())
-            .fold(0.0, f64::max)
+        self.samples.iter().map(|s| s.error()).fold(0.0, f64::max)
     }
 
     /// The error of the most recent sample, if any.

@@ -226,7 +226,11 @@ mod tests {
         let (mut m, mut rng) = model(1, 2.0);
         for _ in 0..5_000 {
             let (pose, _) = m.step(1.0, &mut rng);
-            assert!(Area::square(200.0).contains(pose.position), "escaped at {}", pose.position);
+            assert!(
+                Area::square(200.0).contains(pose.position),
+                "escaped at {}",
+                pose.position
+            );
         }
     }
 
@@ -273,7 +277,10 @@ mod tests {
         for _ in 0..500 {
             let (_, segments) = m.step(1.0, &mut rng);
             let total: f64 = segments.iter().map(|s| s.duration).sum();
-            assert!((total - 1.0).abs() < 1e-9, "segment durations sum to {total}");
+            assert!(
+                (total - 1.0).abs() < 1e-9,
+                "segment durations sum to {total}"
+            );
         }
     }
 

@@ -120,8 +120,12 @@ mod tests {
         let mut node = FloodNode::new(NodeId(1), GroupId(1), true);
         let data = src.originate_data(t(0), Bytes::from_static(b"sync"));
         let acts = node.handle_packet(t(0), &data);
-        assert!(acts.iter().any(|a| matches!(a, ProtocolAction::Deliver { .. })));
-        assert!(acts.iter().any(|a| matches!(a, ProtocolAction::Broadcast { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Deliver { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Broadcast { .. })));
         assert_eq!(node.stats().data_forwarded, 1);
     }
 
@@ -141,8 +145,12 @@ mod tests {
         let mut relay = FloodNode::new(NodeId(1), GroupId(1), false);
         let data = src.originate_data(t(0), Bytes::from_static(b"x"));
         let acts = relay.handle_packet(t(0), &data);
-        assert!(!acts.iter().any(|a| matches!(a, ProtocolAction::Deliver { .. })));
-        assert!(acts.iter().any(|a| matches!(a, ProtocolAction::Broadcast { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Deliver { .. })));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Broadcast { .. })));
     }
 
     #[test]

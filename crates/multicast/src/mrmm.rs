@@ -277,11 +277,23 @@ mod tests {
 
     #[test]
     fn path_score_ordering() {
-        let long = PathScore { lifetime: 60.0, hops: 5 };
-        let short = PathScore { lifetime: 10.0, hops: 2 };
+        let long = PathScore {
+            lifetime: 60.0,
+            hops: 5,
+        };
+        let short = PathScore {
+            lifetime: 10.0,
+            hops: 2,
+        };
         assert!(long.better_than(&short), "lifetime dominates hops");
-        let a = PathScore { lifetime: 60.0, hops: 2 };
-        let b = PathScore { lifetime: 60.0, hops: 4 };
+        let a = PathScore {
+            lifetime: 60.0,
+            hops: 2,
+        };
+        let b = PathScore {
+            lifetime: 60.0,
+            hops: 4,
+        };
         assert!(a.better_than(&b), "hops break ties");
         assert!(!b.better_than(&a));
     }
@@ -289,14 +301,20 @@ mod tests {
     #[test]
     fn prune_policy() {
         let cfg = PruneConfig::default();
-        assert!(cfg.should_prune(5.0, 3), "short-lived redundant node prunes");
+        assert!(
+            cfg.should_prune(5.0, 3),
+            "short-lived redundant node prunes"
+        );
         assert!(!cfg.should_prune(5.0, 1), "sole covering node never prunes");
         assert!(!cfg.should_prune(120.0, 5), "long-lived node never prunes");
     }
 
     #[test]
     fn leg_time_handles_stationary() {
-        assert_eq!(MobilityInfo::stationary(at(0.0, 0.0)).leg_time(), f64::INFINITY);
+        assert_eq!(
+            MobilityInfo::stationary(at(0.0, 0.0)).leg_time(),
+            f64::INFINITY
+        );
         let m = MobilityInfo {
             position: at(0.0, 0.0),
             velocity: Vec2::new(3.0, 4.0),

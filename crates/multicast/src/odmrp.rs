@@ -259,7 +259,9 @@ impl OdmrpNode {
                     velocity: cocoa_net::geometry::Vec2::new(velocity.0, velocity.1),
                     d_rest: *d_rest,
                 };
-                self.on_join_query(now, packet.src, packet.seq, *hop_count, *prev_hop, &sender, my)
+                self.on_join_query(
+                    now, packet.src, packet.seq, *hop_count, *prev_hop, &sender, my,
+                )
             }
             Payload::JoinReply {
                 group,
@@ -358,7 +360,8 @@ impl OdmrpNode {
         // Bound the per-round bookkeeping.
         if self.rounds.len() > 256 {
             let keep_seq = seq;
-            self.rounds.retain(|(_, s), _| keep_seq.wrapping_sub(*s) < 8);
+            self.rounds
+                .retain(|(_, s), _| keep_seq.wrapping_sub(*s) < 8);
         }
         actions
     }
@@ -373,19 +376,13 @@ impl OdmrpNode {
         seq: u32,
         my: &MobilityInfo,
     ) -> Option<Packet> {
-        let copies = self
-            .rounds
-            .get(&(source, seq))
-            .map_or(1, |r| r.copies);
+        let copies = self.rounds.get(&(source, seq)).map_or(1, |r| r.copies);
         let route = self.routes.get(&source)?;
         if route.seq != seq {
             return None; // a newer round superseded this one
         }
         if self.config.mode == MeshMode::Mrmm
-            && self
-                .config
-                .prune
-                .should_prune(route.score.lifetime, copies)
+            && self.config.prune.should_prune(route.score.lifetime, copies)
         {
             self.stats.queries_suppressed += 1;
             return None;
@@ -425,7 +422,12 @@ impl OdmrpNode {
         ))
     }
 
-    fn on_join_reply(&mut self, now: SimTime, source: NodeId, next_hop: NodeId) -> Vec<ProtocolAction> {
+    fn on_join_reply(
+        &mut self,
+        now: SimTime,
+        source: NodeId,
+        next_hop: NodeId,
+    ) -> Vec<ProtocolAction> {
         if next_hop != self.id || source == self.id {
             return Vec::new(); // overheard, or we are the source (mesh root)
         }
@@ -537,9 +539,7 @@ mod tests {
         assert!(acts
             .iter()
             .any(|a| matches!(a, ProtocolAction::ScheduleReply { .. })));
-        let reply = member
-            .make_reply(t(0), NodeId(0))
-            .expect("member replies");
+        let reply = member.make_reply(t(0), NodeId(0)).expect("member replies");
         // The reply names the relay; delivering it makes the relay FG and
         // produces an upstream reply naming the source.
         let acts = relay.handle_packet(t(0), &reply, &mob(75.0));
@@ -575,11 +575,13 @@ mod tests {
         assert!(acts
             .iter()
             .any(|a| matches!(a, ProtocolAction::Broadcast { .. })));
-        assert!(!acts.iter().any(|a| matches!(a, ProtocolAction::Deliver { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Deliver { .. })));
         let acts = member.handle_packet(t(1), &data, &mob(150.0));
-        assert!(acts.iter().any(
-            |a| matches!(a, ProtocolAction::Deliver { source, .. } if *source == NodeId(0))
-        ));
+        assert!(acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Deliver { source, .. } if *source == NodeId(0))));
         assert_eq!(member.stats().data_delivered, 1);
     }
 
@@ -729,7 +731,9 @@ mod tests {
             relay.handle_packet(t(0), &copy, &my);
         }
         assert!(
-            relay.make_rebroadcast(t(0), NodeId(0), q.seq, &my).is_none(),
+            relay
+                .make_rebroadcast(t(0), NodeId(0), q.seq, &my)
+                .is_none(),
             "short-lived redundant node prunes itself"
         );
         assert_eq!(relay.stats().queries_suppressed, 1);
@@ -742,7 +746,9 @@ mod tests {
         let my = moving(75.0, 2.0, 1000.0);
         let q = src.originate_query(t(0), &moving(0.0, -2.0, 1000.0));
         relay.handle_packet(t(0), &q, &my); // exactly one copy
-        assert!(relay.make_rebroadcast(t(0), NodeId(0), q.seq, &my).is_some());
+        assert!(relay
+            .make_rebroadcast(t(0), NodeId(0), q.seq, &my)
+            .is_some());
     }
 
     #[test]
@@ -762,8 +768,12 @@ mod tests {
         let q2 = src.originate_query(t(10), &mob(0.0));
         relay.handle_packet(t(10), &q2, &mob(75.0));
         // The deferred rebroadcast of round 0 is stale now.
-        assert!(relay.make_rebroadcast(t(10), NodeId(0), q1.seq, &mob(75.0)).is_none());
-        assert!(relay.make_rebroadcast(t(10), NodeId(0), q2.seq, &mob(75.0)).is_some());
+        assert!(relay
+            .make_rebroadcast(t(10), NodeId(0), q1.seq, &mob(75.0))
+            .is_none());
+        assert!(relay
+            .make_rebroadcast(t(10), NodeId(0), q2.seq, &mob(75.0))
+            .is_some());
     }
 
     #[test]
@@ -771,7 +781,9 @@ mod tests {
         let (mut src, mut relay, _) = build_small_mesh(MeshMode::Mrmm);
         let data = src.originate_data(t(2), Bytes::from_static(b"x"));
         let acts = relay.handle_packet(t(2), &data, &mob(75.0));
-        assert!(!acts.iter().any(|a| matches!(a, ProtocolAction::Deliver { .. })));
+        assert!(!acts
+            .iter()
+            .any(|a| matches!(a, ProtocolAction::Deliver { .. })));
     }
 
     #[test]

@@ -140,7 +140,39 @@ impl DistancePdf {
     }
 }
 
+/// Widest bin-distance the lookup fallback will bridge, dB.
+const MAX_FALLBACK_DB: i16 = 3;
+
+/// Resolves an observed RSSI to the calibrated bin a lookup should use:
+/// the exact bin when present, otherwise — within ±[`MAX_FALLBACK_DB`] —
+/// the present bin whose centre is nearest the *continuous* RSSI value,
+/// ties broken towards the stronger bin. Shared by [`PdfTable`] and
+/// [`RadialConstraintTable`] so the two stay bit-for-bit consistent.
+fn nearest_present_bin(rssi: Dbm, present: impl Fn(i16) -> bool) -> Option<i16> {
+    let key = rssi.bin().0;
+    if present(key) {
+        return Some(key);
+    }
+    let mut best: Option<(f64, i16)> = None;
+    for k in (key - MAX_FALLBACK_DB)..=(key + MAX_FALLBACK_DB) {
+        if k == key || !present(k) {
+            continue;
+        }
+        let dist = (f64::from(k) - rssi.value()).abs();
+        let replace = best.is_none_or(|(bd, bk)| dist < bd || (dist == bd && k > bk));
+        if replace {
+            best = Some((dist, k));
+        }
+    }
+    best.map(|(_, k)| k)
+}
+
 /// The PDF Table: integer-dBm RSSI bin → distance PDF.
+///
+/// Stored as a dense vector indexed by bin offset from the weakest
+/// calibrated bin, so the hot-path [`lookup`](PdfTable::lookup) is an
+/// index computation instead of a tree walk (calibrated tables span a
+/// contiguous ~50 dB, so density is essentially free).
 ///
 /// # Examples
 ///
@@ -160,7 +192,9 @@ impl DistancePdf {
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct PdfTable {
-    bins: BTreeMap<i16, DistancePdf>,
+    /// Weakest calibrated bin; `slots[i]` holds bin `min_bin + i`.
+    min_bin: i16,
+    slots: Vec<Option<DistancePdf>>,
     /// Bins at/above this RSSI kept the Gaussian form (−80 dBm for the
     /// default channel, per the paper).
     gaussian_floor_dbm: f64,
@@ -172,42 +206,242 @@ impl PdfTable {
         entries: impl IntoIterator<Item = (RssiBin, DistancePdf)>,
         gaussian_floor_dbm: f64,
     ) -> Self {
+        let bins: BTreeMap<i16, DistancePdf> = entries.into_iter().map(|(b, p)| (b.0, p)).collect();
+        Self::from_sorted(bins, gaussian_floor_dbm)
+    }
+
+    fn from_sorted(bins: BTreeMap<i16, DistancePdf>, gaussian_floor_dbm: f64) -> Self {
+        let (min_bin, max_bin) = match (bins.keys().next(), bins.keys().next_back()) {
+            (Some(&lo), Some(&hi)) => (lo, hi),
+            _ => {
+                return PdfTable {
+                    min_bin: 0,
+                    slots: Vec::new(),
+                    gaussian_floor_dbm,
+                }
+            }
+        };
+        let mut slots = vec![None; (max_bin - min_bin) as usize + 1];
+        for (k, pdf) in bins {
+            slots[(k - min_bin) as usize] = Some(pdf);
+        }
         PdfTable {
-            bins: entries.into_iter().map(|(b, p)| (b.0, p)).collect(),
+            min_bin,
+            slots,
             gaussian_floor_dbm,
         }
     }
 
+    /// The PDF stored for exactly `bin`, with no fallback.
+    #[inline]
+    pub fn get(&self, bin: RssiBin) -> Option<&DistancePdf> {
+        let idx = usize::try_from(bin.0 - self.min_bin).ok()?;
+        self.slots.get(idx)?.as_ref()
+    }
+
+    /// The calibrated bin an observed RSSI resolves to: the exact bin when
+    /// calibrated, otherwise the nearest calibrated bin within ±3 dB of the
+    /// continuous RSSI value (ties towards the stronger bin). Deterministic
+    /// and symmetric — sparse bins happen at the extremes of the sweep.
+    pub fn resolve(&self, rssi: Dbm) -> Option<RssiBin> {
+        nearest_present_bin(rssi, |k| self.get(RssiBin(k)).is_some()).map(RssiBin)
+    }
+
     /// Looks up the PDF for an observed RSSI, falling back to the nearest
-    /// bin within ±3 dB (sparse bins happen at the extremes of the sweep).
+    /// bin within ±3 dB (see [`resolve`](PdfTable::resolve)).
     pub fn lookup(&self, rssi: Dbm) -> Option<&DistancePdf> {
-        let key = rssi.bin().0;
-        if let Some(pdf) = self.bins.get(&key) {
-            return Some(pdf);
-        }
-        (1..=3)
-            .flat_map(|delta| [key - delta, key + delta])
-            .find_map(|k| self.bins.get(&k))
+        self.resolve(rssi).and_then(|b| self.get(b))
     }
 
     /// Number of calibrated bins.
     pub fn len(&self) -> usize {
-        self.bins.len()
+        self.slots.iter().flatten().count()
     }
 
     /// Whether the table is empty.
     pub fn is_empty(&self) -> bool {
-        self.bins.is_empty()
+        self.slots.iter().all(Option::is_none)
     }
 
     /// Iterates over `(bin, pdf)` in increasing RSSI order.
     pub fn entries(&self) -> impl Iterator<Item = (RssiBin, &DistancePdf)> {
-        self.bins.iter().map(|(&k, v)| (RssiBin(k), v))
+        self.slots
+            .iter()
+            .enumerate()
+            .filter_map(move |(i, s)| s.as_ref().map(|p| (RssiBin(self.min_bin + i as i16), p)))
     }
 
     /// The RSSI below which bins are empirical rather than Gaussian.
     pub fn gaussian_floor(&self) -> Dbm {
         Dbm::new(self.gaussian_floor_dbm)
+    }
+}
+
+/// A 1-D radial density profile: `f(d)` pre-sampled on a uniform distance
+/// lattice, evaluated by linear interpolation.
+///
+/// This is the engine behind the radial fast path of the Bayesian grid:
+/// a beacon constraint depends on the cell only through its distance to
+/// the beacon, so the per-cell transcendental work (`exp`, histogram
+/// indexing) collapses into one profile lookup. Distances beyond the last
+/// sample clamp to the final value, so a profile built out to the area
+/// diagonal with a floor baked in behaves like `pdf.density(d) + floor`
+/// everywhere the grid can ask.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadialProfile {
+    step: f64,
+    inv_step: f64,
+    /// `values[k]` = profile value at distance `k * step`.
+    values: Vec<f64>,
+}
+
+impl RadialProfile {
+    /// Samples `f` at `0, step, 2·step, …` out to at least `max_d`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a non-positive/non-finite `step` or a negative `max_d`.
+    pub fn from_fn(step: f64, max_d: f64, f: impl Fn(f64) -> f64) -> Self {
+        assert!(
+            step > 0.0 && step.is_finite(),
+            "profile step must be positive"
+        );
+        assert!(
+            max_d >= 0.0 && max_d.is_finite(),
+            "profile extent must be non-negative"
+        );
+        let n = (max_d / step).ceil() as usize + 1;
+        let values = (0..=n).map(|k| f(k as f64 * step)).collect();
+        RadialProfile {
+            step,
+            inv_step: 1.0 / step,
+            values,
+        }
+    }
+
+    /// The profile value at distance `d` (linear interpolation between
+    /// lattice points; clamped to the end values outside `[0, max_distance]`).
+    #[inline]
+    pub fn density(&self, d: f64) -> f64 {
+        if d <= 0.0 {
+            return self.values[0];
+        }
+        self.density_scaled(d * self.inv_step)
+    }
+
+    /// The profile value at the pre-scaled lattice coordinate `t = d / step`
+    /// (i.e. `density(t * step)`, without re-dividing by the step).
+    ///
+    /// The grid fast path computes `t` for a whole row in a vectorizable
+    /// pass (`t = ‖cell − center‖ · inv_step`) and then resolves densities
+    /// through this entry point; for any `t ≥ 0` the result is identical to
+    /// [`density`](Self::density) of the corresponding distance.
+    #[inline]
+    pub fn density_scaled(&self, t: f64) -> f64 {
+        let i = t as usize;
+        if i + 1 >= self.values.len() {
+            return self.values[self.values.len() - 1];
+        }
+        let a = self.values[i];
+        a + (self.values[i + 1] - a) * (t - i as f64)
+    }
+
+    /// `1 / step` — the factor converting a distance to a lattice
+    /// coordinate for [`density_scaled`](Self::density_scaled).
+    #[inline]
+    pub fn inv_step(&self) -> f64 {
+        self.inv_step
+    }
+
+    /// Adds a constant floor to every sample (used to bake the Bayesian
+    /// constraint floor into the cached profile).
+    pub fn offset(mut self, floor: f64) -> Self {
+        for v in &mut self.values {
+            *v += floor;
+        }
+        self
+    }
+
+    /// Distance between lattice points, metres.
+    pub fn step(&self) -> f64 {
+        self.step
+    }
+
+    /// Distance of the last lattice point, metres.
+    pub fn max_distance(&self) -> f64 {
+        (self.values.len() - 1) as f64 * self.step
+    }
+
+    /// Number of lattice points.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether the profile has no lattice points (never true for profiles
+    /// built by this module).
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+impl DistancePdf {
+    /// Pre-samples this PDF's density into a [`RadialProfile`] on a `step`
+    /// lattice reaching at least `max_d`.
+    pub fn radial_profile(&self, step: f64, max_d: f64) -> RadialProfile {
+        RadialProfile::from_fn(step, max_d, |d| self.density(d))
+    }
+}
+
+/// One floored [`RadialProfile`] per calibrated RSSI bin, sharing the
+/// [`PdfTable`]'s dense layout and its exact lookup-fallback rule.
+///
+/// Built once per experiment from the calibrated table and shared by
+/// reference across every robot and transmit round — profile construction
+/// is O(bins × samples) but amortizes to nothing over a run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RadialConstraintTable {
+    min_bin: i16,
+    profiles: Vec<Option<RadialProfile>>,
+}
+
+impl RadialConstraintTable {
+    /// Samples every bin of `table` on a `step` lattice out to `max_d`
+    /// (typically the deployment area's diagonal), adding `floor` to every
+    /// sample.
+    pub fn new(table: &PdfTable, step: f64, max_d: f64, floor: f64) -> Self {
+        let min_bin = table.entries().next().map_or(0, |(b, _)| b.0);
+        let max_bin = table.entries().last().map_or(0, |(b, _)| b.0);
+        let mut profiles = vec![None; (max_bin - min_bin) as usize + 1];
+        for (bin, pdf) in table.entries() {
+            profiles[(bin.0 - min_bin) as usize] =
+                Some(pdf.radial_profile(step, max_d).offset(floor));
+        }
+        RadialConstraintTable { min_bin, profiles }
+    }
+
+    /// The profile stored for exactly `bin`, with no fallback.
+    #[inline]
+    pub fn get(&self, bin: RssiBin) -> Option<&RadialProfile> {
+        let idx = usize::try_from(bin.0 - self.min_bin).ok()?;
+        self.profiles.get(idx)?.as_ref()
+    }
+
+    /// Looks up the profile for an observed RSSI with the same fallback
+    /// rule as [`PdfTable::resolve`] — the two tables always agree on which
+    /// bin serves a given RSSI.
+    pub fn lookup(&self, rssi: Dbm) -> Option<&RadialProfile> {
+        nearest_present_bin(rssi, |k| self.get(RssiBin(k)).is_some())
+            .and_then(|k| self.get(RssiBin(k)))
+    }
+
+    /// Number of cached profiles.
+    pub fn len(&self) -> usize {
+        self.profiles.iter().flatten().count()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.profiles.iter().all(Option::is_none)
     }
 }
 
@@ -226,10 +460,19 @@ pub fn calibrate<R: Rng + ?Sized>(
     rng: &mut R,
 ) -> PdfTable {
     assert!(config.step_m > 0.0, "calibration step must be positive");
-    assert!(config.samples_per_distance > 0, "need at least one sample per distance");
-    assert!(config.histogram_bin_m > 0.0, "histogram bin must be positive");
+    assert!(
+        config.samples_per_distance > 0,
+        "need at least one sample per distance"
+    );
+    assert!(
+        config.histogram_bin_m > 0.0,
+        "histogram bin must be positive"
+    );
     let d_max = config.d_max.unwrap_or_else(|| channel.max_range());
-    assert!(config.d_min > 0.0 && config.d_min < d_max, "invalid calibration range");
+    assert!(
+        config.d_min > 0.0 && config.d_min < d_max,
+        "invalid calibration range"
+    );
 
     // Collect (distance) samples per RSSI bin.
     let mut by_bin: BTreeMap<i16, Vec<f64>> = BTreeMap::new();
@@ -269,10 +512,7 @@ pub fn calibrate<R: Rng + ?Sized>(
                 let idx = (((s - lo) / width) as usize).min(cells - 1);
                 counts[idx] += 1;
             }
-            let densities: Vec<f64> = counts
-                .iter()
-                .map(|&c| c as f64 / (n * width))
-                .collect();
+            let densities: Vec<f64> = counts.iter().map(|&c| c as f64 / (n * width)).collect();
             DistancePdf::Empirical {
                 origin: lo,
                 bin_width: width,
@@ -283,10 +523,7 @@ pub fn calibrate<R: Rng + ?Sized>(
         };
         bins.insert(bin, pdf);
     }
-    PdfTable {
-        bins,
-        gaussian_floor_dbm: gaussian_floor,
-    }
+    PdfTable::from_sorted(bins, gaussian_floor)
 }
 
 #[cfg(test)]
@@ -333,7 +570,10 @@ mod tests {
 
     #[test]
     fn gaussian_density_integrates_to_one() {
-        let pdf = DistancePdf::Gaussian { mean: 10.0, sigma: 2.0 };
+        let pdf = DistancePdf::Gaussian {
+            mean: 10.0,
+            sigma: 2.0,
+        };
         let mut integral = 0.0;
         let step = 0.01;
         let mut d = 0.0;
@@ -361,12 +601,127 @@ mod tests {
     #[test]
     fn lookup_falls_back_to_nearby_bin() {
         let t = PdfTable::from_entries(
-            [(RssiBin(-50), DistancePdf::Gaussian { mean: 5.0, sigma: 1.0 })],
+            [(
+                RssiBin(-50),
+                DistancePdf::Gaussian {
+                    mean: 5.0,
+                    sigma: 1.0,
+                },
+            )],
             -80.0,
         );
         assert!(t.lookup(Dbm::new(-50.0)).is_some());
         assert!(t.lookup(Dbm::new(-52.4)).is_some(), "±3 dB fallback");
         assert!(t.lookup(Dbm::new(-60.0)).is_none(), "too far to fall back");
+    }
+
+    #[test]
+    fn lookup_fallback_is_symmetric_and_nearest() {
+        // Two calibrated bins straddling a gap: the fallback must pick the
+        // bin nearest the *continuous* RSSI, not favour the weaker side.
+        let t = PdfTable::from_entries(
+            [
+                (
+                    RssiBin(-52),
+                    DistancePdf::Gaussian {
+                        mean: 9.0,
+                        sigma: 1.0,
+                    },
+                ),
+                (
+                    RssiBin(-48),
+                    DistancePdf::Gaussian {
+                        mean: 5.0,
+                        sigma: 1.0,
+                    },
+                ),
+            ],
+            -80.0,
+        );
+        // −49.6 is 1.6 dB from −48 and 2.4 dB from −52.
+        assert_eq!(t.resolve(Dbm::new(-49.6)), Some(RssiBin(-48)));
+        // The mirrored observation resolves to the mirrored bin.
+        assert_eq!(t.resolve(Dbm::new(-50.4)), Some(RssiBin(-52)));
+        // A dead-centre tie goes to the stronger bin, deterministically.
+        assert_eq!(t.resolve(Dbm::new(-50.0)), Some(RssiBin(-48)));
+    }
+
+    #[test]
+    fn get_is_exact_and_resolve_matches_lookup() {
+        let (ch, t) = table();
+        for tenth in -950..-400 {
+            let rssi = Dbm::new(f64::from(tenth) / 10.0);
+            let via_lookup = t.lookup(rssi).map(|p| p as *const _);
+            let via_resolve = t
+                .resolve(rssi)
+                .and_then(|b| t.get(b))
+                .map(|p| p as *const _);
+            assert_eq!(via_lookup, via_resolve, "at {rssi:?}");
+        }
+        let _ = ch;
+    }
+
+    #[test]
+    fn radial_profile_matches_pdf_on_lattice_and_interpolates() {
+        let pdf = DistancePdf::Gaussian {
+            mean: 10.0,
+            sigma: 2.0,
+        };
+        let profile = pdf.radial_profile(0.05, 40.0);
+        assert!(profile.max_distance() >= 40.0);
+        for k in 0..profile.len() {
+            let d = k as f64 * profile.step();
+            // `d * (1/step)` does not round back to exactly `k`, so allow
+            // the one-ulp interpolation residue.
+            let err = (profile.density(d) - pdf.density(d)).abs();
+            assert!(err < 1e-12, "lattice point {d}: err {err}");
+        }
+        // Off-lattice points are within the linear-interpolation error bound.
+        let mut d = 0.012;
+        while d < 40.0 {
+            let err = (profile.density(d) - pdf.density(d)).abs();
+            assert!(err < 1e-4, "interp error {err} at {d}");
+            d += 0.0173;
+        }
+        // Beyond the lattice the profile clamps to the tail value.
+        assert_eq!(
+            profile.density(1e6),
+            profile.density(profile.max_distance())
+        );
+    }
+
+    #[test]
+    fn radial_profile_offset_bakes_in_floor() {
+        let pdf = DistancePdf::Gaussian {
+            mean: 10.0,
+            sigma: 2.0,
+        };
+        let profile = pdf.radial_profile(0.1, 30.0).offset(1e-6);
+        assert!((profile.density(10.0) - (pdf.density(10.0) + 1e-6)).abs() < 1e-15);
+        assert!((profile.density(29.9) - (pdf.density(29.9) + 1e-6)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn radial_table_agrees_with_pdf_table_resolution() {
+        let (_, t) = table();
+        let step = 0.01;
+        let radial = RadialConstraintTable::new(&t, step, 300.0, 1e-6);
+        assert_eq!(radial.len(), t.len());
+        for tenth in -950..-400 {
+            let rssi = Dbm::new(f64::from(tenth) / 10.0);
+            match (t.resolve(rssi), radial.lookup(rssi)) {
+                (Some(bin), Some(profile)) => {
+                    // Probe on the sampling lattice so only the identity of
+                    // the PDF (not interpolation error) is under test.
+                    let pdf = t.get(bin).expect("resolved bin present");
+                    let d = (pdf.mean() / step).round() * step;
+                    let err = (profile.density(d) - (pdf.density(d) + 1e-6)).abs();
+                    assert!(err < 1e-9, "profile diverges from pdf at {rssi:?}");
+                }
+                (None, None) => {}
+                (a, b) => panic!("tables disagree at {rssi:?}: {a:?} vs {}", b.is_some()),
+            }
+        }
     }
 
     #[test]
@@ -382,7 +737,10 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let ch = RfChannel::default();
-        let cfg = CalibrationConfig { samples_per_distance: 50, ..Default::default() };
+        let cfg = CalibrationConfig {
+            samples_per_distance: 50,
+            ..Default::default()
+        };
         let a = calibrate(&ch, &cfg, &mut SeedSplitter::new(5).stream("c", 0));
         let b = calibrate(&ch, &cfg, &mut SeedSplitter::new(5).stream("c", 0));
         assert_eq!(a, b);

@@ -52,8 +52,8 @@ impl PathLossModel {
                 antenna_height_m,
                 wavelength_m,
             } => {
-                let crossover = 4.0 * std::f64::consts::PI * antenna_height_m * antenna_height_m
-                    / wavelength_m;
+                let crossover =
+                    4.0 * std::f64::consts::PI * antenna_height_m * antenna_height_m / wavelength_m;
                 if d <= crossover {
                     20.0 * d.log10()
                 } else {
@@ -73,8 +73,8 @@ impl PathLossModel {
                 antenna_height_m,
                 wavelength_m,
             } => {
-                let crossover = 4.0 * std::f64::consts::PI * antenna_height_m * antenna_height_m
-                    / wavelength_m;
+                let crossover =
+                    4.0 * std::f64::consts::PI * antenna_height_m * antenna_height_m / wavelength_m;
                 let loss_at_crossover = 20.0 * crossover.log10();
                 if loss_db <= loss_at_crossover {
                     10f64.powf(loss_db / 20.0)
@@ -173,12 +173,18 @@ impl RfChannel {
             PathLossModel::LogDistance { exponent } => {
                 assert!(exponent > 0.0, "path-loss exponent must be positive");
             }
-            PathLossModel::TwoRayGround { antenna_height_m, wavelength_m } => {
+            PathLossModel::TwoRayGround {
+                antenna_height_m,
+                wavelength_m,
+            } => {
                 assert!(antenna_height_m > 0.0, "antenna height must be positive");
                 assert!(wavelength_m > 0.0, "wavelength must be positive");
             }
         }
-        assert!(params.shadowing_sigma_db >= 0.0, "shadowing sigma must be non-negative");
+        assert!(
+            params.shadowing_sigma_db >= 0.0,
+            "shadowing sigma must be non-negative"
+        );
         assert!(
             params.shadowing_sigma_slope_db_per_m >= 0.0,
             "shadowing slope must be non-negative"
@@ -187,8 +193,14 @@ impl RfChannel {
             (0.0..=1.0).contains(&params.multipath_fade_prob),
             "fade probability must be within [0, 1]"
         );
-        assert!(params.multipath_onset_m > 0.0, "multipath onset must be positive");
-        assert!(params.multipath_fade_mean_db > 0.0, "fade mean must be positive");
+        assert!(
+            params.multipath_onset_m > 0.0,
+            "multipath onset must be positive"
+        );
+        assert!(
+            params.multipath_fade_mean_db > 0.0,
+            "fade mean must be positive"
+        );
         RfChannel { params }
     }
 
@@ -310,15 +322,23 @@ mod tests {
         let mut rng = SeedSplitter::new(11).stream("test", 0);
         let d = 10.0;
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| ch.sample_rssi(d, &mut rng).value()).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| ch.sample_rssi(d, &mut rng).value())
+            .collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         let sd = var.sqrt();
-        let skew: f64 =
-            samples.iter().map(|s| ((s - mean) / sd).powi(3)).sum::<f64>() / n as f64;
+        let skew: f64 = samples
+            .iter()
+            .map(|s| ((s - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n as f64;
         assert!((mean - ch.mean_rssi(d).value()).abs() < 0.1, "mean {mean}");
         assert!((sd - ch.shadowing_sigma(d)).abs() < 0.1, "sd {sd}");
-        assert!(skew.abs() < 0.1, "near field should be symmetric, skew {skew}");
+        assert!(
+            skew.abs() < 0.1,
+            "near field should be symmetric, skew {skew}"
+        );
     }
 
     #[test]
@@ -327,12 +347,17 @@ mod tests {
         let mut rng = SeedSplitter::new(12).stream("test", 0);
         let d = 80.0;
         let n = 20_000;
-        let samples: Vec<f64> = (0..n).map(|_| ch.sample_rssi(d, &mut rng).value()).collect();
+        let samples: Vec<f64> = (0..n)
+            .map(|_| ch.sample_rssi(d, &mut rng).value())
+            .collect();
         let mean: f64 = samples.iter().sum::<f64>() / n as f64;
         let var: f64 = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n as f64;
         let sd = var.sqrt();
-        let skew: f64 =
-            samples.iter().map(|s| ((s - mean) / sd).powi(3)).sum::<f64>() / n as f64;
+        let skew: f64 = samples
+            .iter()
+            .map(|s| ((s - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n as f64;
         // Deep fades pull the left tail: clearly negative skewness.
         assert!(skew < -0.3, "far field should be left-skewed, got {skew}");
         // Mean drops below the pure path-loss prediction.
@@ -448,7 +473,10 @@ mod two_ray_tests {
         let ch = two_ray();
         let table = calibrate(
             &ch,
-            &CalibrationConfig { samples_per_distance: 60, ..Default::default() },
+            &CalibrationConfig {
+                samples_per_distance: 60,
+                ..Default::default()
+            },
             &mut SeedSplitter::new(4).stream("cal", 0),
         );
         assert!(table.len() > 15, "bins {}", table.len());

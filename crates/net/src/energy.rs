@@ -175,7 +175,10 @@ mod tests {
         let small = p.tx_cost_uj(50);
         let large = p.tx_cost_uj(150);
         assert!((large - small - 1.9 * 100.0).abs() < 1e-9);
-        assert!(p.rx_cost_uj(100) < p.tx_cost_uj(100), "rx is cheaper than tx");
+        assert!(
+            p.rx_cost_uj(100) < p.tx_cost_uj(100),
+            "rx is cheaper than tx"
+        );
     }
 
     #[test]

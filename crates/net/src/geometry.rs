@@ -307,10 +307,7 @@ mod tests {
         assert!(a.contains(Point::new(0.0, 0.0)));
         assert!(a.contains(Point::new(200.0, 200.0)));
         assert!(!a.contains(Point::new(-0.1, 10.0)));
-        assert_eq!(
-            a.clamp(Point::new(-5.0, 300.0)),
-            Point::new(0.0, 200.0)
-        );
+        assert_eq!(a.clamp(Point::new(-5.0, 300.0)), Point::new(0.0, 200.0));
         assert_eq!(a.center(), Point::new(100.0, 100.0));
         assert!((a.diagonal() - 200.0 * 2f64.sqrt()).abs() < 1e-9);
     }

@@ -240,8 +240,7 @@ impl Medium {
         let before = self.active.len();
         self.active.retain(|t| t.end >= keep_after);
         if self.active.len() != before {
-            let live: std::collections::HashSet<TxId> =
-                self.active.iter().map(|t| t.id).collect();
+            let live: std::collections::HashSet<TxId> = self.active.iter().map(|t| t.id).collect();
             self.rssi.retain(|(tx, _), _| live.contains(tx));
         }
     }
@@ -303,7 +302,13 @@ mod tests {
     fn comparable_overlapping_frames_collide() {
         let mut m = Medium::new();
         let a = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
-        let b = m.begin_tx(NodeId(2), Point::new(5.0, 0.0), beacon(2, 0), at(100), us(260));
+        let b = m.begin_tx(
+            NodeId(2),
+            Point::new(5.0, 0.0),
+            beacon(2, 0),
+            at(100),
+            us(260),
+        );
         m.record_rssi(a, NodeId(3), Dbm::new(-60.0));
         m.record_rssi(b, NodeId(3), Dbm::new(-62.0)); // within 10 dB
         assert_eq!(
@@ -325,7 +330,13 @@ mod tests {
     fn much_stronger_frame_captures() {
         let mut m = Medium::new();
         let strong = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
-        let weak = m.begin_tx(NodeId(2), Point::new(50.0, 0.0), beacon(2, 0), at(50), us(260));
+        let weak = m.begin_tx(
+            NodeId(2),
+            Point::new(50.0, 0.0),
+            beacon(2, 0),
+            at(50),
+            us(260),
+        );
         m.record_rssi(strong, NodeId(3), Dbm::new(-50.0));
         m.record_rssi(weak, NodeId(3), Dbm::new(-75.0));
         assert!(matches!(
@@ -345,8 +356,14 @@ mod tests {
         let b = m.begin_tx(NodeId(2), Point::ORIGIN, beacon(2, 0), at(260), us(260));
         m.record_rssi(a, NodeId(3), Dbm::new(-60.0));
         m.record_rssi(b, NodeId(3), Dbm::new(-60.0));
-        assert!(matches!(m.outcome(a, NodeId(3)), ReceptionOutcome::Delivered { .. }));
-        assert!(matches!(m.outcome(b, NodeId(3)), ReceptionOutcome::Delivered { .. }));
+        assert!(matches!(
+            m.outcome(a, NodeId(3)),
+            ReceptionOutcome::Delivered { .. }
+        ));
+        assert!(matches!(
+            m.outcome(b, NodeId(3)),
+            ReceptionOutcome::Delivered { .. }
+        ));
     }
 
     #[test]
@@ -354,7 +371,13 @@ mod tests {
         let mut m = Medium::new();
         let a = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
         // Node 2 transmits overlapping with a's airtime.
-        let _b = m.begin_tx(NodeId(2), Point::new(5.0, 0.0), beacon(2, 0), at(100), us(260));
+        let _b = m.begin_tx(
+            NodeId(2),
+            Point::new(5.0, 0.0),
+            beacon(2, 0),
+            at(100),
+            us(260),
+        );
         m.record_rssi(a, NodeId(2), Dbm::new(-40.0));
         assert_eq!(m.outcome(a, NodeId(2)), ReceptionOutcome::HalfDuplex);
     }
@@ -365,9 +388,18 @@ mod tests {
         let a = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
         // Far-away node transmits concurrently but below this receiver's
         // sensitivity: no RSSI recorded for it.
-        let _b = m.begin_tx(NodeId(2), Point::new(500.0, 0.0), beacon(2, 0), at(0), us(260));
+        let _b = m.begin_tx(
+            NodeId(2),
+            Point::new(500.0, 0.0),
+            beacon(2, 0),
+            at(0),
+            us(260),
+        );
         m.record_rssi(a, NodeId(3), Dbm::new(-60.0));
-        assert!(matches!(m.outcome(a, NodeId(3)), ReceptionOutcome::Delivered { .. }));
+        assert!(matches!(
+            m.outcome(a, NodeId(3)),
+            ReceptionOutcome::Delivered { .. }
+        ));
     }
 
     #[test]
@@ -406,6 +438,9 @@ mod tests {
         let a = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
         m.record_rssi(a, NodeId(2), Dbm::new(-60.0));
         m.gc(at(5_000)); // within retention
-        assert!(matches!(m.outcome(a, NodeId(2)), ReceptionOutcome::Delivered { .. }));
+        assert!(matches!(
+            m.outcome(a, NodeId(2)),
+            ReceptionOutcome::Delivered { .. }
+        ));
     }
 }

@@ -389,8 +389,16 @@ mod tests {
     #[test]
     fn kind_names_are_stable() {
         let kinds = [
-            Payload::Beacon { position: Point::ORIGIN }.kind_name(),
-            Payload::Sync { period_us: 0, window_us: 0, next_period_in_us: 0 }.kind_name(),
+            Payload::Beacon {
+                position: Point::ORIGIN,
+            }
+            .kind_name(),
+            Payload::Sync {
+                period_us: 0,
+                window_us: 0,
+                next_period_in_us: 0,
+            }
+            .kind_name(),
         ];
         assert_eq!(kinds, ["beacon", "sync"]);
     }

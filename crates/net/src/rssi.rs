@@ -52,7 +52,10 @@ impl Dbm {
     ///
     /// Panics if `mw` is not strictly positive.
     pub fn from_milliwatts(mw: f64) -> Self {
-        assert!(mw > 0.0, "power must be positive to express in dBm, got {mw}");
+        assert!(
+            mw > 0.0,
+            "power must be positive to express in dBm, got {mw}"
+        );
         Dbm(10.0 * mw.log10())
     }
 

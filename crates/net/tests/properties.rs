@@ -29,14 +29,16 @@ fn arb_payload() -> impl Strategy<Value = Payload> {
             -3.0..3.0f64,
             0.0..300.0f64
         )
-            .prop_map(|(g, hops, prev, position, vx, vy, d_rest)| Payload::JoinQuery {
-                group: GroupId(g),
-                hop_count: hops,
-                prev_hop: NodeId(prev),
-                position,
-                velocity: (vx, vy),
-                d_rest,
-            }),
+            .prop_map(
+                |(g, hops, prev, position, vx, vy, d_rest)| Payload::JoinQuery {
+                    group: GroupId(g),
+                    hop_count: hops,
+                    prev_hop: NodeId(prev),
+                    position,
+                    velocity: (vx, vy),
+                    d_rest,
+                }
+            ),
         (0u16..100, 0u32..1000, 0u32..1000).prop_map(|(g, s, n)| Payload::JoinReply {
             group: GroupId(g),
             source: NodeId(s),

@@ -35,7 +35,10 @@ impl Normal {
     /// Panics if `sigma` is negative or either parameter is not finite.
     pub fn new(mean: f64, sigma: f64) -> Self {
         assert!(mean.is_finite(), "normal mean must be finite");
-        assert!(sigma.is_finite() && sigma >= 0.0, "normal sigma must be finite and >= 0");
+        assert!(
+            sigma.is_finite() && sigma >= 0.0,
+            "normal sigma must be finite and >= 0"
+        );
         Normal { mean, sigma }
     }
 
@@ -92,7 +95,10 @@ impl Exponential {
     ///
     /// Panics if `mean` is not strictly positive and finite.
     pub fn new(mean: f64) -> Self {
-        assert!(mean.is_finite() && mean > 0.0, "exponential mean must be positive");
+        assert!(
+            mean.is_finite() && mean > 0.0,
+            "exponential mean must be positive"
+        );
         Exponential { mean }
     }
 
@@ -114,7 +120,10 @@ impl Exponential {
 ///
 /// Panics if `lo >= hi` or the bounds are not finite.
 pub fn uniform<R: Rng + ?Sized>(lo: f64, hi: f64, rng: &mut R) -> f64 {
-    assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid uniform bounds [{lo}, {hi})");
+    assert!(
+        lo.is_finite() && hi.is_finite() && lo < hi,
+        "invalid uniform bounds [{lo}, {hi})"
+    );
     lo + (hi - lo) * rng.gen::<f64>()
 }
 
@@ -128,7 +137,11 @@ mod tests {
         let mean = samples.iter().sum::<f64>() / n;
         let var = samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / n;
         let sd = var.sqrt();
-        let skew = samples.iter().map(|s| ((s - mean) / sd).powi(3)).sum::<f64>() / n;
+        let skew = samples
+            .iter()
+            .map(|s| ((s - mean) / sd).powi(3))
+            .sum::<f64>()
+            / n;
         (mean, sd, skew)
     }
 

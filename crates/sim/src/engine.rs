@@ -118,7 +118,11 @@ impl<E> Engine<E> {
     ///
     /// Returns `false` when the queue is exhausted, the next event lies
     /// beyond the horizon, or the engine was stopped.
-    pub fn step<S>(&mut self, state: &mut S, mut handler: impl FnMut(&mut Self, &mut S, E)) -> bool {
+    pub fn step<S>(
+        &mut self,
+        state: &mut S,
+        mut handler: impl FnMut(&mut Self, &mut S, E),
+    ) -> bool {
         if self.stopped {
             return false;
         }
@@ -169,7 +173,9 @@ mod tests {
         eng.schedule_at(SimTime::from_secs(5), 5);
         eng.schedule_at(SimTime::from_secs(1), 1);
         let mut seen = Vec::new();
-        eng.run(&mut seen, |eng, seen, e| seen.push((eng.now().as_secs(), e)));
+        eng.run(&mut seen, |eng, seen, e| {
+            seen.push((eng.now().as_secs(), e))
+        });
         assert_eq!(seen, vec![(1, 1), (5, 5)]);
         assert_eq!(eng.events_processed(), 2);
     }

@@ -68,7 +68,9 @@ impl SeedSplitter {
             tag ^= u64::from(*b);
             tag = tag.wrapping_mul(0x1000_0000_01b3);
         }
-        let base = splitmix64(self.master ^ splitmix64(tag) ^ splitmix64(index.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5)));
+        let base = splitmix64(
+            self.master ^ splitmix64(tag) ^ splitmix64(index.wrapping_mul(0xA5A5_A5A5_A5A5_A5A5)),
+        );
         let mut seed = [0u8; 32];
         for (i, chunk) in seed.chunks_exact_mut(8).enumerate() {
             let word = splitmix64(base.wrapping_add(i as u64 + 1));

@@ -165,7 +165,10 @@ impl Histogram {
     ///
     /// Panics if the range is empty/not finite or `bins` is zero.
     pub fn new(lo: f64, hi: f64, bins: usize) -> Self {
-        assert!(lo.is_finite() && hi.is_finite() && lo < hi, "invalid histogram range");
+        assert!(
+            lo.is_finite() && hi.is_finite() && lo < hi,
+            "invalid histogram range"
+        );
         assert!(bins > 0, "histogram needs at least one bin");
         Histogram {
             lo,

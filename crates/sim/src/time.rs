@@ -28,7 +28,9 @@ pub const MICROS_PER_SEC: u64 = 1_000_000;
 /// let later = t + SimDuration::from_millis(250);
 /// assert_eq!(later.as_secs_f64(), 1.75);
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimTime(u64);
 
 /// A span of simulation time (always non-negative).
@@ -41,7 +43,9 @@ pub struct SimTime(u64);
 /// let d = SimDuration::from_secs(3);
 /// assert_eq!(d * 2, SimDuration::from_secs(6));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -72,7 +76,10 @@ impl SimTime {
     ///
     /// Panics if `s` is negative or not finite.
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "SimTime requires finite non-negative seconds, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "SimTime requires finite non-negative seconds, got {s}"
+        );
         SimTime((s * MICROS_PER_SEC as f64).round() as u64)
     }
 
@@ -317,7 +324,11 @@ mod tests {
 
     #[test]
     fn ordering_is_total() {
-        let mut v = [SimTime::from_secs(3), SimTime::ZERO, SimTime::from_millis(1)];
+        let mut v = [
+            SimTime::from_secs(3),
+            SimTime::ZERO,
+            SimTime::from_millis(1),
+        ];
         v.sort();
         assert_eq!(v[0], SimTime::ZERO);
         assert_eq!(v[2], SimTime::from_secs(3));

@@ -159,7 +159,9 @@ impl Trace {
         &'a self,
         subsystem: &'a str,
     ) -> impl Iterator<Item = &'a TraceRecord> + 'a {
-        self.records.iter().filter(move |r| r.subsystem == subsystem)
+        self.records
+            .iter()
+            .filter(move |r| r.subsystem == subsystem)
     }
 }
 

@@ -22,7 +22,10 @@ fn ascii_plot(pdf: &DistancePdf, width: usize) -> String {
             (d, pdf.density(d))
         })
         .collect();
-    let peak = samples.iter().map(|s| s.1).fold(f64::MIN_POSITIVE, f64::max);
+    let peak = samples
+        .iter()
+        .map(|s| s.1)
+        .fold(f64::MIN_POSITIVE, f64::max);
     let mut out = String::new();
     for rows in (1..=8).rev() {
         let threshold = peak * rows as f64 / 8.0;
@@ -53,7 +56,11 @@ fn main() {
         println!(
             "  {:>8}    {:<9}  {:>7.1}  {:>7.1}",
             bin.to_string(),
-            if pdf.is_gaussian() { "gaussian" } else { "empirical" },
+            if pdf.is_gaussian() {
+                "gaussian"
+            } else {
+                "empirical"
+            },
             pdf.mean(),
             pdf.sigma()
         );
@@ -61,7 +68,10 @@ fn main() {
 
     for (bin, caption) in [
         (RssiBin(-52), "Fig. 1(a): RSSI = -52 dBm — Gaussian"),
-        (RssiBin(-86), "Fig. 1(b): RSSI = -86 dBm — non-Gaussian (multipath)"),
+        (
+            RssiBin(-86),
+            "Fig. 1(b): RSSI = -86 dBm — non-Gaussian (multipath)",
+        ),
     ] {
         if let Some(pdf) = table.lookup(bin.center()) {
             println!("\n{caption}");

@@ -42,7 +42,12 @@ fn main() {
     );
     let mut anchor_rng = split.stream("anchors", 0);
     let anchors: Vec<Point> = (0..25)
-        .map(|_| Point::new(anchor_rng.gen::<f64>() * 200.0, anchor_rng.gen::<f64>() * 200.0))
+        .map(|_| {
+            Point::new(
+                anchor_rng.gen::<f64>() * 200.0,
+                anchor_rng.gen::<f64>() * 200.0,
+            )
+        })
         .collect();
 
     let mut move_rng = split.stream("move", 0);
@@ -125,8 +130,14 @@ fn main() {
         }
     }
 
-    println!("fusion comparison over {} s (T = {PERIOD_S} s, one robot, 25 anchors)\n", DURATION_S - PERIOD_S);
-    println!("{:<28}{:>10}{:>10}{:>10}", "estimator", "mean [m]", "std [m]", "max [m]");
+    println!(
+        "fusion comparison over {} s (T = {PERIOD_S} s, one robot, 25 anchors)\n",
+        DURATION_S - PERIOD_S
+    );
+    println!(
+        "{:<28}{:>10}{:>10}{:>10}",
+        "estimator", "mean [m]", "std [m]", "max [m]"
+    );
     println!(
         "{:<28}{:>10.2}{:>10.2}{:>10.2}",
         "CoCoA (reset + odometry)",

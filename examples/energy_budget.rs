@@ -39,9 +39,10 @@ fn main() {
         .iter()
         .map(|p| p.energy_coordinated_j)
         .fold(f64::INFINITY, f64::min);
-    let pick = fig.points.iter().find(|p| {
-        p.mean_error_m <= best_err * 1.25 && p.energy_coordinated_j <= cheapest * 2.0
-    });
+    let pick = fig
+        .points
+        .iter()
+        .find(|p| p.mean_error_m <= best_err * 1.25 && p.energy_coordinated_j <= cheapest * 2.0);
     match pick {
         Some(p) => println!(
             "recommended operating point: T = {} s ({:.1} m, {:.0} J, {:.1}x savings)",

@@ -45,7 +45,10 @@ fn main() {
     eprintln!("\n# Fig. 5 style summary (one robot, 10 min, v_max = 2 m/s)");
     eprintln!("# legs completed : {}", robot.waypoints().legs_completed());
     eprintln!("# mean error     : {:.1} m", trajectory.mean_error());
-    eprintln!("# final error    : {:.1} m", trajectory.last_error().unwrap_or(0.0));
+    eprintln!(
+        "# final error    : {:.1} m",
+        trajectory.last_error().unwrap_or(0.0)
+    );
     eprintln!("# max error      : {:.1} m", trajectory.max_error());
     eprintln!("# (real position and odometry estimate diverge without bound;");
     eprintln!("#  every turn adds angular error, every metre adds displacement error)");
@@ -72,5 +75,8 @@ fn main() {
     eprintln!("# same odometer, lawnmower sweep instead of random tasks:");
     eprintln!("# lanes completed : {}", sweep.lanes_completed());
     eprintln!("# mean error      : {:.1} m", sweep_traj.mean_error());
-    eprintln!("# final error     : {:.1} m", sweep_traj.last_error().unwrap_or(0.0));
+    eprintln!(
+        "# final error     : {:.1} m",
+        sweep_traj.last_error().unwrap_or(0.0)
+    );
 }

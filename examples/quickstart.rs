@@ -34,8 +34,14 @@ fn main() {
     let metrics = run(&scenario);
 
     println!("\n== localization ==");
-    println!("mean error over time : {:>8.2} m", metrics.mean_error_over_time());
-    println!("max (per-second mean): {:>8.2} m", metrics.max_error_over_time());
+    println!(
+        "mean error over time : {:>8.2} m",
+        metrics.mean_error_over_time()
+    );
+    println!(
+        "max (per-second mean): {:>8.2} m",
+        metrics.max_error_over_time()
+    );
     println!("fresh RF fixes       : {:>8}", metrics.traffic.fixes);
     println!(
         "beacons sent/received: {:>8} / {}",

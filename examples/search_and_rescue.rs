@@ -69,14 +69,21 @@ fn main() {
         }
     }
 
-    println!("\nteam mean localization error: {:.1} m", metrics.mean_error_over_time());
+    println!(
+        "\nteam mean localization error: {:.1} m",
+        metrics.mean_error_over_time()
+    );
     println!(
         "survivors currently in sensing range of some robot: {}/{}",
         reports.len(),
         survivors.len()
     );
     for (si, err) in &reports {
-        let ok = if *err <= 2.0 * SENSING_RANGE_M { "dispatchable" } else { "too coarse" };
+        let ok = if *err <= 2.0 * SENSING_RANGE_M {
+            "dispatchable"
+        } else {
+            "too coarse"
+        };
         println!("  survivor #{si}: reported within {err:.1} m of truth ({ok})");
     }
     if !reports.is_empty() {

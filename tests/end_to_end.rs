@@ -48,7 +48,10 @@ fn cocoa_beats_rf_only_which_beats_late_odometry() {
     // first minute.
     let early = odo.error_near(30.0).unwrap();
     let late = odo.error_near(290.0).unwrap();
-    assert!(late > early, "odometry error must grow: {early:.1} -> {late:.1}");
+    assert!(
+        late > early,
+        "odometry error must grow: {early:.1} -> {late:.1}"
+    );
 }
 
 #[test]
@@ -117,7 +120,8 @@ fn snapshots_show_the_window_refresh_cycle() {
 #[test]
 fn sync_loss_with_bad_clocks_degrades_coordination() {
     let mut b = quick(8);
-    b.duration(SimDuration::from_secs(900)).clock_skew_ppm(9000.0);
+    b.duration(SimDuration::from_secs(900))
+        .clock_skew_ppm(9000.0);
     let synced = run(&b.sync_enabled(true).build());
     let free = run(&b.sync_enabled(false).build());
     // Free-running 9000 ppm clocks spread their wake windows apart by up

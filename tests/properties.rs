@@ -7,11 +7,11 @@ use proptest::prelude::*;
 
 fn arb_scenario() -> impl Strategy<Value = Scenario> {
     (
-        any::<u64>(),                 // seed
-        4usize..16,                   // robots
-        0usize..8,                    // equipped (clamped below)
-        60u64..180,                   // duration s
-        15u64..60,                    // period s
+        any::<u64>(), // seed
+        4usize..16,   // robots
+        0usize..8,    // equipped (clamped below)
+        60u64..180,   // duration s
+        15u64..60,    // period s
         prop_oneof![
             Just(EstimatorMode::OdometryOnly),
             Just(EstimatorMode::RfOnly),

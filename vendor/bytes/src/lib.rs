@@ -1,0 +1,343 @@
+//! Offline, API-compatible subset of the `bytes` crate.
+//!
+//! Provides cheaply-cloneable immutable [`Bytes`], an append-only
+//! [`BytesMut`] builder, and the big-endian [`Buf`]/[`BufMut`] cursor
+//! methods the packet codecs use. Backed by `Arc<[u8]>` plus a window;
+//! no unsafe code.
+
+use std::ops::{Deref, RangeBounds};
+use std::sync::Arc;
+
+/// A cheaply-cloneable, immutable byte buffer with a read cursor.
+#[derive(Clone)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+    start: usize,
+    end: usize,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        Bytes::from_static(b"")
+    }
+
+    /// Wraps a static byte slice without copying.
+    pub fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes {
+            data: Arc::from(bytes),
+            start: 0,
+            end: bytes.len(),
+        }
+    }
+
+    /// Remaining length in bytes.
+    pub fn len(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether no bytes remain.
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end
+    }
+
+    /// Returns a view of a sub-range (relative to the current window)
+    /// sharing the same allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is out of bounds.
+    pub fn slice(&self, range: impl RangeBounds<usize>) -> Bytes {
+        use std::ops::Bound;
+        let lo = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let hi = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(lo <= hi && hi <= self.len(), "slice out of bounds");
+        Bytes {
+            data: Arc::clone(&self.data),
+            start: self.start + lo,
+            end: self.start + hi,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> &[u8] {
+        assert!(n <= self.len(), "buffer underflow");
+        let s = self.start;
+        self.start += n;
+        &self.data[s..s + n]
+    }
+}
+
+impl Default for Bytes {
+    fn default() -> Self {
+        Bytes::new()
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.data[self.start..self.end]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        let end = v.len();
+        Bytes {
+            data: Arc::from(v),
+            start: 0,
+            end,
+        }
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::from(v.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.iter() {
+            for c in std::ascii::escape_default(b) {
+                write!(f, "{}", c as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self[..] == *other
+    }
+}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
+    }
+}
+
+/// A growable byte buffer used to build packets.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    vec: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty builder.
+    pub fn new() -> Self {
+        BytesMut::default()
+    }
+
+    /// An empty builder with pre-reserved capacity.
+    pub fn with_capacity(capacity: usize) -> Self {
+        BytesMut {
+            vec: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.vec.len()
+    }
+
+    /// Whether nothing has been written.
+    pub fn is_empty(&self) -> bool {
+        self.vec.is_empty()
+    }
+
+    /// Appends a byte slice.
+    pub fn extend_from_slice(&mut self, extend: &[u8]) {
+        self.vec.extend_from_slice(extend);
+    }
+
+    /// Freezes into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes::from(self.vec)
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.vec
+    }
+}
+
+/// Big-endian read cursor (mirrors `bytes::Buf` for the methods used).
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Reads the next `n` bytes into an owned [`Bytes`].
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes;
+
+    /// Reads one byte.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a big-endian `u16`.
+    fn get_u16(&mut self) -> u16;
+    /// Reads a big-endian `u32`.
+    fn get_u32(&mut self) -> u32;
+    /// Reads a big-endian `u64`.
+    fn get_u64(&mut self) -> u64;
+    /// Reads a big-endian IEEE-754 `f64`.
+    fn get_f64(&mut self) -> f64;
+    /// Skips `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+}
+
+macro_rules! get_be {
+    ($self:ident, $t:ty) => {{
+        let n = std::mem::size_of::<$t>();
+        <$t>::from_be_bytes($self.take(n).try_into().expect("sized read"))
+    }};
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_bytes(&mut self, n: usize) -> Bytes {
+        Bytes::from(self.take(n).to_vec())
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        self.take(1)[0]
+    }
+
+    fn get_u16(&mut self) -> u16 {
+        get_be!(self, u16)
+    }
+
+    fn get_u32(&mut self) -> u32 {
+        get_be!(self, u32)
+    }
+
+    fn get_u64(&mut self) -> u64 {
+        get_be!(self, u64)
+    }
+
+    fn get_f64(&mut self) -> f64 {
+        f64::from_bits(self.get_u64())
+    }
+
+    fn advance(&mut self, cnt: usize) {
+        let _ = self.take(cnt);
+    }
+}
+
+/// Big-endian write methods (mirrors `bytes::BufMut` for the methods used).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Writes one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+    /// Writes a big-endian `u16`.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Writes a big-endian `u32`.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Writes a big-endian `u64`.
+    fn put_u64(&mut self, v: u64) {
+        self.put_slice(&v.to_be_bytes());
+    }
+    /// Writes a big-endian IEEE-754 `f64`.
+    fn put_f64(&mut self, v: f64) {
+        self.put_u64(v.to_bits());
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.vec.extend_from_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_widths() {
+        let mut b = BytesMut::with_capacity(32);
+        b.put_u8(7);
+        b.put_u16(0xBEEF);
+        b.put_u32(0xDEAD_BEEF);
+        b.put_u64(0x0123_4567_89AB_CDEF);
+        b.put_f64(-2.5);
+        let mut bytes = b.freeze();
+        assert_eq!(bytes.len(), 1 + 2 + 4 + 8 + 8);
+        assert_eq!(bytes.get_u8(), 7);
+        assert_eq!(bytes.get_u16(), 0xBEEF);
+        assert_eq!(bytes.get_u32(), 0xDEAD_BEEF);
+        assert_eq!(bytes.get_u64(), 0x0123_4567_89AB_CDEF);
+        assert_eq!(bytes.get_f64(), -2.5);
+        assert_eq!(bytes.remaining(), 0);
+    }
+
+    #[test]
+    fn slice_shares_window() {
+        let b = Bytes::from(vec![0, 1, 2, 3, 4, 5]);
+        let s = b.slice(2..5);
+        assert_eq!(&s[..], &[2, 3, 4]);
+        let nested = s.slice(1..);
+        assert_eq!(&nested[..], &[3, 4]);
+        assert_eq!(b.len(), 6, "parent unaffected");
+    }
+
+    #[test]
+    fn copy_to_bytes_consumes() {
+        let mut b = Bytes::from(vec![9, 8, 7, 6]);
+        let head = b.copy_to_bytes(3);
+        assert_eq!(&head[..], &[9, 8, 7]);
+        assert_eq!(b.remaining(), 1);
+    }
+
+    #[test]
+    fn equality_and_debug() {
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::from(b"hello".to_vec());
+        assert_eq!(a, b);
+        assert_eq!(format!("{a:?}"), "b\"hello\"");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn underflow_panics() {
+        let mut b = Bytes::from_static(b"x");
+        let _ = b.get_u16();
+    }
+}

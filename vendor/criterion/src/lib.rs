@@ -1,0 +1,222 @@
+//! Offline, API-compatible subset of `criterion`.
+//!
+//! The build environment cannot reach crates.io, so this vendored crate
+//! provides the timing surface the bench targets use: [`Criterion`],
+//! `bench_function`, `Bencher::iter`, [`black_box`] and the
+//! `criterion_group!`/`criterion_main!` macros.
+//!
+//! Measurement model: each benchmark is warmed up, then timed over
+//! `sample_size` samples; the median, minimum and maximum per-iteration
+//! times are reported on stdout in a `name  time: [min median max]`
+//! format. There is no plotting, no statistical regression and no saved
+//! baseline — numbers are for relative comparison within one run, which is
+//! how the repo's perf harness consumes them.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Timing driver handed to each registered benchmark function.
+pub struct Criterion {
+    sample_size: usize,
+    /// Substring filter from the command line (cargo bench `<filter>`).
+    filter: Option<String>,
+    /// True when invoked by `cargo test` (`--test`): run once, don't time.
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 60,
+            filter: None,
+            test_mode: false,
+        }
+    }
+}
+
+/// One benchmark's timing summary.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Sample {
+    /// Median per-iteration time, nanoseconds.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Slowest sample, nanoseconds per iteration.
+    pub max_ns: f64,
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Applies command-line arguments (`--test`, an optional filter);
+    /// called by `criterion_group!`.
+    pub fn configure_from_args(mut self) -> Self {
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => self.test_mode = true,
+                "--bench" => {}
+                s if !s.starts_with('-') => self.filter = Some(s.to_string()),
+                _ => {}
+            }
+        }
+        self
+    }
+
+    /// Registers and immediately runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        if let Some(filter) = &self.filter {
+            if !name.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: Vec::with_capacity(self.sample_size),
+            sample_size: self.sample_size,
+            test_mode: self.test_mode,
+        };
+        f(&mut bencher);
+        if self.test_mode {
+            println!("test {name} ... ok");
+            return self;
+        }
+        if let Some(sample) = bencher.summary() {
+            println!(
+                "{name:<44} time: [{} {} {}]",
+                format_ns(sample.min_ns),
+                format_ns(sample.median_ns),
+                format_ns(sample.max_ns),
+            );
+        }
+        self
+    }
+}
+
+/// Runs the closure under timing (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    samples: Vec<f64>,
+    sample_size: usize,
+    test_mode: bool,
+}
+
+impl Bencher {
+    /// Times `routine`, storing per-iteration nanoseconds per sample.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            return;
+        }
+        // Warm-up and batch-size calibration: grow the batch until one
+        // batch costs ~2 ms so Instant overhead is amortized.
+        let mut batch: u64 = 1;
+        loop {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = t0.elapsed();
+            if elapsed >= Duration::from_millis(2) || batch >= 1 << 24 {
+                break;
+            }
+            batch *= 2;
+        }
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let ns = t0.elapsed().as_secs_f64() * 1e9 / batch as f64;
+            self.samples.push(ns);
+        }
+    }
+
+    fn summary(&self) -> Option<Sample> {
+        if self.samples.is_empty() {
+            return None;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_by(|a, b| a.total_cmp(b));
+        Some(Sample {
+            median_ns: sorted[sorted.len() / 2],
+            min_ns: sorted[0],
+            max_ns: sorted[sorted.len() - 1],
+        })
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.2} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.2} s", ns / 1e9)
+    }
+}
+
+/// Declares a benchmark group function (both classic and struct forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn timing_produces_ordered_summary() {
+        let mut c = Criterion::default().sample_size(5);
+        // Indirectly exercise Bencher through the public entry point.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn format_scales_units() {
+        assert_eq!(format_ns(12.5), "12.50 ns");
+        assert_eq!(format_ns(1_500.0), "1.50 µs");
+        assert_eq!(format_ns(2_000_000.0), "2.00 ms");
+        assert_eq!(format_ns(3.1e9), "3.10 s");
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion {
+            sample_size: 3,
+            filter: Some("match-me".into()),
+            test_mode: false,
+        };
+        let mut ran = false;
+        c.bench_function("other", |_b| ran = true);
+        assert!(!ran, "filtered benchmark must not run");
+        c.bench_function("match-me-exactly", |_b| ran = true);
+        assert!(ran);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for the `serde` facade.
+//!
+//! The build environment cannot reach crates.io, and nothing in the
+//! workspace actually serializes at runtime — the `#[derive(Serialize,
+//! Deserialize)]` annotations are forward-looking schema markers. This
+//! crate provides the two trait names plus no-op derive macros so the
+//! annotated code compiles unchanged; swapping the real serde back in is a
+//! one-line change in the workspace manifest.
+
+/// Marker trait named after `serde::Serialize`; carries no methods offline.
+pub trait Serialize {}
+
+/// Marker trait named after `serde::Deserialize`; carries no methods
+/// offline.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! No-op stand-ins for serde's derive macros.
+//!
+//! The workspace's types carry `#[derive(Serialize, Deserialize)]` so that a
+//! future online build can swap the real serde back in; offline, the derives
+//! expand to nothing (a derive macro may legally emit an empty token
+//! stream), so no `impl` is generated and nothing downstream may *require*
+//! the serde traits as bounds.
+
+use proc_macro::TokenStream;
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Expands to nothing; accepts and ignores `#[serde(...)]` attributes.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
