@@ -36,7 +36,9 @@ OPTIONS:
     --no-coordination   radios idle instead of sleeping
     --no-sync           disable the MRMM SYNC service
     --relay             localized robots also beacon (Section 6 extension)
-    --csv PREFIX        write PREFIX-{errors,energy,snapshots}.csv
+    --faults NAME       inject a canned fault schedule:
+                        none | sync-crash | burst30 | corrupt | chaos
+    --csv PREFIX        write PREFIX-{errors,energy,snapshots,robustness,health}.csv
     -h, --help          print this help
 ";
 
@@ -49,6 +51,7 @@ fn parse_args() -> Result<Args, String> {
     let mut b = Scenario::builder();
     let mut csv_prefix = None;
     let mut snapshots: Vec<SimTime> = Vec::new();
+    let mut faults_preset: Option<String> = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -151,6 +154,7 @@ fn parse_args() -> Result<Args, String> {
             "--relay" => {
                 b.relay_beaconing(true);
             }
+            "--faults" => faults_preset = Some(value("--faults")?),
             "--csv" => csv_prefix = Some(value("--csv")?),
             "-h" | "--help" => {
                 print!("{USAGE}");
@@ -162,8 +166,22 @@ fn parse_args() -> Result<Args, String> {
     if !snapshots.is_empty() {
         b.snapshots(snapshots);
     }
+    let mut scenario = b.try_build()?;
+    if let Some(name) = faults_preset {
+        // The preset needs the final duration/team size, so it is resolved
+        // after every other flag has been applied.
+        let plan =
+            FaultPlan::preset(&name, scenario.duration, scenario.num_robots).ok_or_else(|| {
+                format!(
+                    "unknown fault schedule '{name}' (available: {})",
+                    cocoa_sim::faults::PRESET_NAMES.join(", ")
+                )
+            })?;
+        scenario.faults = plan;
+        scenario.validate()?;
+    }
     Ok(Args {
-        scenario: b.try_build()?,
+        scenario,
         csv_prefix,
     })
 }
@@ -192,6 +210,10 @@ fn main() {
         write("energy", report::energy_csv(&metrics));
         if !metrics.snapshots.is_empty() {
             write("snapshots", report::snapshots_csv(&metrics));
+        }
+        if !args.scenario.faults.is_empty() {
+            write("robustness", report::robustness_csv(&metrics));
+            write("health", report::health_csv(&metrics));
         }
     }
 }

@@ -812,6 +812,42 @@ pub fn ablation_packet_loss(scale: ExperimentScale) -> Vec<AblationRow> {
         .collect()
 }
 
+/// Fault-injection ablation (chaos harness): CoCoA under each canned
+/// fault schedule — none, Sync-robot crash, 30% bursty loss, corrupted
+/// beacons, and everything at once. The graceful-degradation machinery
+/// (entropy watchdog, outlier gate, Sync failover) should keep the error
+/// bounded in every row.
+pub fn ablation_faults(scale: ExperimentScale) -> Vec<AblationRow> {
+    use cocoa_sim::faults::{FaultPlan, PRESET_NAMES};
+    let scenarios: Vec<Scenario> = PRESET_NAMES
+        .iter()
+        .map(|name| {
+            let plan = FaultPlan::preset(name, scale.duration, scale.num_robots)
+                .expect("preset names are exhaustive");
+            scale
+                .base_builder()
+                .mode(EstimatorMode::Cocoa)
+                .faults(plan)
+                .build()
+        })
+        .collect();
+    let results = run_parallel(scenarios);
+    results
+        .iter()
+        .zip(PRESET_NAMES)
+        .map(|(m, name)| {
+            let mut row = ablation_row(format!("faults: {name}"), m);
+            // Dead robots are excluded from the error series; surface the
+            // failover count in the label so the table tells the story.
+            if m.robustness.failovers > 0 {
+                row.label
+                    .push_str(&format!(" ({} failovers)", m.robustness.failovers));
+            }
+            row
+        })
+        .collect()
+}
+
 /// Propagation-model ablation: the calibrated log-distance channel vs a
 /// two-ray ground-reflection channel (the classic Glomosim outdoor model).
 /// The calibration pipeline adapts automatically — the table is learned
@@ -927,6 +963,19 @@ mod tests {
         assert_eq!(s.last(), 99.0);
         assert!(s.downsampled(10).points.len() <= 11);
         assert_eq!(s.downsampled(0).points.len(), 100);
+    }
+
+    #[test]
+    fn ablation_faults_covers_every_preset() {
+        let rows = ablation_faults(tiny());
+        assert_eq!(rows.len(), cocoa_sim::faults::PRESET_NAMES.len());
+        for r in &rows {
+            assert!(
+                r.mean_error_m.is_finite(),
+                "{}: error must stay finite",
+                r.label
+            );
+        }
     }
 
     #[test]

@@ -44,6 +44,7 @@
 
 pub mod executor;
 pub mod experiment;
+pub mod health;
 pub mod metrics;
 pub mod report;
 pub mod robot;
@@ -53,12 +54,15 @@ pub mod sync;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::health::{DegradationState, HealthLedger, HealthMonitor};
     pub use crate::metrics::{
-        EnergyReport, ErrorPoint, ErrorSnapshot, RobotFinalState, RunMetrics, TrafficStats,
+        EnergyReport, ErrorPoint, ErrorSnapshot, RobotFinalState, RobustnessStats, RunMetrics,
+        TrafficStats,
     };
     pub use crate::robot::Robot;
     pub use crate::runner::{run, run_traced};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
     pub use crate::sync::{DriftingClock, SyncMessage};
     pub use cocoa_localization::estimator::EstimatorMode;
+    pub use cocoa_sim::faults::{Fault, FaultPlan, GilbertElliott};
 }

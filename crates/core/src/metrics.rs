@@ -124,6 +124,38 @@ pub struct TrafficStats {
     pub starved_windows: u64,
 }
 
+/// Fault-injection and graceful-degradation counters for the run.
+///
+/// All counters stay zero on a fault-free run, so adding robustness
+/// accounting costs nothing on the benign baselines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct RobustnessStats {
+    /// Robot crashes injected (and actually applied to a live robot).
+    pub crashes: u64,
+    /// Robot reboots injected (and applied to a crashed robot).
+    pub reboots: u64,
+    /// Sync-timebase failover elections performed.
+    pub failovers: u64,
+    /// Receptions dropped by the Gilbert–Elliott burst-loss overlay.
+    pub burst_losses: u64,
+    /// Garbled frames that no longer decoded and were dropped at the
+    /// receiver instead of panicking the stack.
+    pub corrupt_frames_dropped: u64,
+    /// Garbled frames that still decoded to *something* and were delivered
+    /// (the payload may carry wrong data — that is the point).
+    pub garbled_frames_delivered: u64,
+    /// Beacons rejected by the outlier gate (claimed position inconsistent
+    /// with the measured RSSI).
+    pub outlier_beacons_rejected: u64,
+    /// Transmit windows in which the entropy watchdog declared the
+    /// posterior flat and fell back to dead reckoning.
+    pub flat_posteriors: u64,
+    /// SYNC messages ignored because they carried a stale timestamp.
+    pub stale_syncs_ignored: u64,
+    /// Mesh data deliveries whose SYNC body failed to decode.
+    pub malformed_sync_bodies: u64,
+}
+
 /// A robot's state at the end of the run: what downstream applications
 /// (e.g. geographic routing over CoCoA coordinates) consume.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -155,6 +187,11 @@ pub struct RunMetrics {
     /// instants as `snapshots`) — lets applications like coverage mapping
     /// or routing consume mid-run coordinates.
     pub position_snapshots: Vec<(SimTime, Vec<RobotFinalState>)>,
+    /// Fault-injection and degradation counters (all zero on benign runs).
+    pub robustness: RobustnessStats,
+    /// Per-robot time spent in each degradation state (index = robot
+    /// index).
+    pub health: Vec<crate::health::HealthLedger>,
     /// Total events the engine processed (performance telemetry).
     pub events_processed: u64,
 }
@@ -231,6 +268,8 @@ mod tests {
             traffic: TrafficStats::default(),
             final_states: Vec::new(),
             position_snapshots: Vec::new(),
+            robustness: RobustnessStats::default(),
+            health: Vec::new(),
             events_processed: 0,
         }
     }

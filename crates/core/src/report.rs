@@ -58,6 +58,42 @@ pub fn snapshots_csv(metrics: &RunMetrics) -> String {
     out
 }
 
+/// Robustness counters as a two-column CSV (`counter,value`) — one row
+/// per fault/degradation counter, stable order.
+pub fn robustness_csv(metrics: &RunMetrics) -> String {
+    let r = &metrics.robustness;
+    let mut out = String::from("counter,value\n");
+    for (name, value) in [
+        ("crashes", r.crashes),
+        ("reboots", r.reboots),
+        ("failovers", r.failovers),
+        ("burst_losses", r.burst_losses),
+        ("corrupt_frames_dropped", r.corrupt_frames_dropped),
+        ("garbled_frames_delivered", r.garbled_frames_delivered),
+        ("outlier_beacons_rejected", r.outlier_beacons_rejected),
+        ("flat_posteriors", r.flat_posteriors),
+        ("stale_syncs_ignored", r.stale_syncs_ignored),
+        ("malformed_sync_bodies", r.malformed_sync_bodies),
+    ] {
+        let _ = writeln!(out, "{name},{value}");
+    }
+    out
+}
+
+/// Per-robot degradation time ledgers as CSV
+/// (`robot,healthy_s,degraded_s,dead_reckoning_s,down_s`).
+pub fn health_csv(metrics: &RunMetrics) -> String {
+    let mut out = String::from("robot,healthy_s,degraded_s,dead_reckoning_s,down_s\n");
+    for (i, l) in metrics.health.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "{},{:.1},{:.1},{:.1},{:.1}",
+            i, l.healthy_s, l.degraded_s, l.dead_reckoning_s, l.down_s
+        );
+    }
+    out
+}
+
 /// A human-readable markdown summary of one run.
 pub fn markdown_summary(scenario: &Scenario, metrics: &RunMetrics) -> String {
     let team = metrics.energy.team();
@@ -104,6 +140,36 @@ pub fn markdown_summary(scenario: &Scenario, metrics: &RunMetrics) -> String {
         team.sleep_uj / 1e6,
         team.wake_uj / 1e6,
     );
+    let r = &metrics.robustness;
+    if !scenario.faults.is_empty() || *r != Default::default() {
+        let _ = writeln!(
+            out,
+            "- faults: {} crashes, {} reboots, {} failovers; dropped {} burst + {} corrupt frames",
+            r.crashes, r.reboots, r.failovers, r.burst_losses, r.corrupt_frames_dropped
+        );
+        let _ = writeln!(
+            out,
+            "- degradation: {} outlier beacons rejected, {} flat posteriors vetoed, \
+             {} stale SYNCs ignored, {} malformed SYNC bodies",
+            r.outlier_beacons_rejected,
+            r.flat_posteriors,
+            r.stale_syncs_ignored,
+            r.malformed_sync_bodies
+        );
+        let mut healthy = 0.0;
+        let mut total = 0.0;
+        for l in &metrics.health {
+            healthy += l.healthy_s;
+            total += l.total_s();
+        }
+        if total > 0.0 {
+            let _ = writeln!(
+                out,
+                "- health: {:.0}% of robot-time healthy",
+                100.0 * healthy / total
+            );
+        }
+    }
     let _ = writeln!(out, "- events processed: {}", metrics.events_processed);
     if !metrics.snapshots.is_empty() {
         let _ = writeln!(out, "\n### Snapshots");
@@ -167,6 +233,43 @@ mod tests {
         let csv = snapshots_csv(&m);
         // One header + one row per unequipped robot per snapshot.
         assert_eq!(csv.lines().count(), 1 + (s.num_robots - s.num_equipped));
+    }
+
+    #[test]
+    fn robustness_csv_lists_every_counter() {
+        let (_, m) = small_run();
+        let csv = robustness_csv(&m);
+        assert!(csv.starts_with("counter,value"));
+        assert_eq!(csv.lines().count(), 11, "header + 10 counters");
+        assert!(csv.contains("failovers,"));
+    }
+
+    #[test]
+    fn health_csv_covers_all_robots() {
+        let (s, m) = small_run();
+        let csv = health_csv(&m);
+        assert_eq!(csv.lines().count(), s.num_robots + 1);
+        assert!(csv.starts_with("robot,healthy_s"));
+    }
+
+    #[test]
+    fn markdown_reports_faults_when_injected() {
+        let plan =
+            cocoa_sim::faults::FaultPlan::preset("sync-crash", SimDuration::from_secs(60), 8)
+                .unwrap();
+        let s = Scenario::builder()
+            .seed(3)
+            .robots(8)
+            .equipped(4)
+            .duration(SimDuration::from_secs(60))
+            .beacon_period(SimDuration::from_secs(20))
+            .grid_resolution(8.0)
+            .faults(plan)
+            .build();
+        let m = run(&s);
+        let md = markdown_summary(&s, &m);
+        assert!(md.contains("- faults:"), "missing faults line:\n{md}");
+        assert!(md.contains("- degradation:"));
     }
 
     #[test]

@@ -8,6 +8,7 @@ use cocoa_net::geometry::{Area, Point};
 use cocoa_net::packet::NodeId;
 use cocoa_net::radio::Radio;
 
+use crate::health::HealthMonitor;
 use crate::sync::DriftingClock;
 
 /// The reference pair stored at each RF fix, used to re-anchor the
@@ -49,6 +50,18 @@ pub struct Robot {
     pub synced_this_window: bool,
     /// Reference pair from the previous fix (heading re-anchoring).
     pub fix_anchor: Option<FixAnchor>,
+    /// Whether the robot is running (false after an injected crash).
+    pub alive: bool,
+    /// Wake-chain epoch: bumped on every crash so pending wake/window-end
+    /// events from the previous life are recognized as stale and dropped.
+    pub epoch: u32,
+    /// Fault flag: this robot's transmitter corrupts outgoing frames.
+    pub garbled_tx: bool,
+    /// Fault flag: offset added to this robot's advertised beacon
+    /// coordinates (a faulty localization device).
+    pub beacon_offset: Option<(f64, f64)>,
+    /// Degradation state machine and its time ledger.
+    pub health: HealthMonitor,
 }
 
 impl std::fmt::Debug for Robot {
@@ -57,6 +70,7 @@ impl std::fmt::Debug for Robot {
             .field("id", &self.id)
             .field("equipped", &self.equipped)
             .field("has_fix", &self.has_fix)
+            .field("alive", &self.alive)
             .finish()
     }
 }
@@ -161,6 +175,11 @@ mod tests {
             last_fix_window: None,
             synced_this_window: false,
             fix_anchor: None,
+            alive: true,
+            epoch: 0,
+            garbled_tx: false,
+            beacon_offset: None,
+            health: HealthMonitor::new(crate::health::DegradationState::Degraded, SimTime::ZERO),
         }
     }
 

@@ -8,8 +8,9 @@
 //! SYNC dissemination of Fig. 3, and produces the error/energy metrics of
 //! Section 4.
 
-use cocoa_localization::bayes::radial_constraints_for_grid;
-use cocoa_localization::estimator::{EstimatorMode, WindowedRfEstimator};
+use bytes::Bytes;
+use cocoa_localization::bayes::{radial_constraints_for_grid, ObservationResult};
+use cocoa_localization::estimator::{EstimatorMode, WindowOutcome, WindowedRfEstimator};
 use cocoa_localization::grid::GridConfig;
 use cocoa_mobility::motion::RobotMotion;
 use cocoa_mobility::pose::{normalize_angle, Pose};
@@ -24,11 +25,15 @@ use cocoa_net::packet::{GroupId, NodeId, Packet, Payload};
 use cocoa_net::radio::Radio;
 use cocoa_sim::dist::uniform;
 use cocoa_sim::engine::Engine;
+use cocoa_sim::faults::{garble_bytes, Fault, GilbertElliottLink};
 use cocoa_sim::rng::{DetRng, SeedSplitter};
 use cocoa_sim::time::{SimDuration, SimTime};
 use cocoa_sim::trace::{Trace, TraceLevel};
 
-use crate::metrics::{EnergyReport, ErrorPoint, ErrorSnapshot, RunMetrics, TrafficStats};
+use crate::health::{DegradationState, HealthMonitor};
+use crate::metrics::{
+    EnergyReport, ErrorPoint, ErrorSnapshot, RobustnessStats, RunMetrics, TrafficStats,
+};
 use crate::robot::{FixAnchor, Robot};
 use crate::scenario::Scenario;
 use crate::sync::{DriftingClock, SyncMessage};
@@ -62,10 +67,20 @@ enum Event {
     MetricsSample,
     /// Global window start (the Sync robot's reference timeline).
     WindowStart { index: u64 },
-    /// A robot's local wake-up for a window.
-    RobotWake { robot: usize, window: u64 },
+    /// A robot's local wake-up for a window. `epoch` ties the event to one
+    /// life of the robot: a crash bumps the epoch, orphaning the pending
+    /// wake chain of the previous life.
+    RobotWake {
+        robot: usize,
+        window: u64,
+        epoch: u32,
+    },
     /// A robot's local end-of-window processing (then sleep).
-    RobotWindowEnd { robot: usize, window: u64 },
+    RobotWindowEnd {
+        robot: usize,
+        window: u64,
+        epoch: u32,
+    },
     /// A deferred transmission fires.
     Transmit { robot: usize, intent: TxIntent },
     /// A frame's airtime ends; judge receptions.
@@ -82,6 +97,8 @@ enum Event {
     MediumGc,
     /// Record a per-robot error snapshot (Fig. 8 CDFs).
     Snapshot { index: usize },
+    /// An injected fault fires (from the scenario's `FaultPlan`).
+    Fault(Fault),
 }
 
 struct World {
@@ -105,6 +122,17 @@ struct World {
     sync_robot: usize,
     max_guard: SimDuration,
     trace: Trace,
+    // Fault-injection state.
+    fault_rng: DetRng,
+    /// Per-receiver Gilbert–Elliott link state while a burst-loss overlay
+    /// is active.
+    burst: Option<Vec<GilbertElliottLink>>,
+    /// Transmissions whose garbled frame no longer decodes: receivers pay
+    /// the reception energy, then drop the frame.
+    corrupt_txs: std::collections::HashSet<TxId>,
+    robustness: RobustnessStats,
+    /// Consecutive beacon periods the Sync timebase has been silent.
+    sync_dead_windows: u32,
 }
 
 impl World {
@@ -231,6 +259,14 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         } else {
             None
         };
+        // Equipped robots are healthy by construction; everyone else starts
+        // dead-reckoning (no fix yet — the RF estimator has not run, and
+        // odometry-only robots never get one).
+        let initial_health = if equipped && scenario.mode.uses_rf() {
+            DegradationState::Healthy
+        } else {
+            DegradationState::DeadReckoning
+        };
         robots.push(Robot {
             id: NodeId(i as u32),
             index: i,
@@ -244,6 +280,11 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
             last_fix_window: None,
             synced_this_window: false,
             fix_anchor: None,
+            alive: true,
+            epoch: 0,
+            garbled_tx: false,
+            beacon_offset: None,
+            health: HealthMonitor::new(initial_health, SimTime::ZERO),
         });
         move_rngs.push(move_rng);
         odo_rngs.push(odo_rng);
@@ -268,6 +309,11 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         sync_robot: 0,
         max_guard,
         trace,
+        fault_rng: split.stream("faults", 0),
+        burst: None,
+        corrupt_txs: std::collections::HashSet::new(),
+        robustness: RobustnessStats::default(),
+        sync_dead_windows: 0,
     };
 
     // --- Initial event schedule. ---
@@ -286,10 +332,16 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
                 Event::RobotWake {
                     robot: i,
                     window: 0,
+                    epoch: 0,
                 },
             );
         }
         engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(10), Event::MediumGc);
+    }
+    for e in scenario.faults.events() {
+        if e.at <= horizon {
+            engine.schedule_at(e.at, Event::Fault(e.fault.clone()));
+        }
     }
     let mut snapshot_times = scenario.snapshot_times.clone();
     snapshot_times.sort();
@@ -322,6 +374,11 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         });
     }
     world.traffic.collisions = world.medium.collisions();
+    let health = world
+        .robots
+        .iter()
+        .map(|r| r.health.finalize(horizon))
+        .collect();
     let metrics = RunMetrics {
         error_series: world.error_series,
         snapshots: world.snapshots,
@@ -330,6 +387,8 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         traffic: world.traffic,
         final_states,
         position_snapshots: world.position_snapshots,
+        robustness: world.robustness,
+        health,
         events_processed: engine.events_processed(),
     };
     (metrics, world.trace)
@@ -342,6 +401,9 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             let dt = world.scenario.tick.as_secs_f64();
             for i in 0..world.robots.len() {
                 let r = &mut world.robots[i];
+                if !r.alive {
+                    continue; // crashed robots stop where they are
+                }
                 r.motion
                     .step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
             }
@@ -354,7 +416,7 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             let mut sum = 0.0;
             let mut n = 0usize;
             for r in &world.robots {
-                if r.reports_error(mode) {
+                if r.alive && r.reports_error(mode) {
                     sum += r.localization_error(mode, &area);
                     n += 1;
                 }
@@ -375,7 +437,7 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             let errors: Vec<f64> = world
                 .robots
                 .iter()
-                .filter(|r| r.reports_error(mode))
+                .filter(|r| r.alive && r.reports_error(mode))
                 .map(|r| r.localization_error(mode, &area))
                 .collect();
             let time = world.snapshots[index].time;
@@ -403,6 +465,35 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             }
             // The Sync robot refreshes the mesh and disseminates SYNC.
             if world.scenario.sync_enabled {
+                // Failover: after K consecutive silent periods the team
+                // deterministically elects a new timebase (first alive
+                // equipped robot, else first alive robot). The runner
+                // models the election centrally; every robot observes the
+                // same K missed SYNCs, so a distributed election over the
+                // mesh would pick the same winner.
+                if world.robots[world.sync_robot].alive {
+                    world.sync_dead_windows = 0;
+                } else {
+                    world.sync_dead_windows += 1;
+                    if world.sync_dead_windows >= world.scenario.failover_missed_periods {
+                        let elected = world
+                            .robots
+                            .iter()
+                            .position(|r| r.alive && r.equipped)
+                            .or_else(|| world.robots.iter().position(|r| r.alive));
+                        if let Some(new_sync) = elected {
+                            world.sync_robot = new_sync;
+                            world.sync_dead_windows = 0;
+                            world.robustness.failovers += 1;
+                            world.trace.emit(now, TraceLevel::Info, "sync", || {
+                                format!("failover: robot {new_sync} elected as timebase")
+                            });
+                        }
+                    }
+                }
+                if !world.robots[world.sync_robot].alive {
+                    return; // no live timebase yet; the period goes silent
+                }
                 let s = world.sync_robot;
                 let mode = world.mode();
                 let area = world.scenario.area;
@@ -434,22 +525,35 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             }
         }
 
-        Event::RobotWake { robot, window } => {
-            robot_wake(engine, world, robot, window, now);
+        Event::RobotWake {
+            robot,
+            window,
+            epoch,
+        } => {
+            robot_wake(engine, world, robot, window, epoch, now);
         }
 
-        Event::RobotWindowEnd { robot, window } => {
-            robot_window_end(engine, world, robot, window, now);
+        Event::RobotWindowEnd {
+            robot,
+            window,
+            epoch,
+        } => {
+            robot_window_end(engine, world, robot, window, epoch, now);
         }
 
         Event::Transmit { robot, intent } => {
             let packet = match intent {
                 TxIntent::Beacon => {
                     let r = &world.robots[robot];
-                    if !r.radio.can_receive() {
-                        return; // drifted into sleep; beacon lost
+                    if !r.alive || !r.radio.can_receive() {
+                        return; // drifted into sleep (or crashed); beacon lost
                     }
-                    let pos = r.beacon_position(world.mode(), &world.scenario.area);
+                    let mut pos = r.beacon_position(world.mode(), &world.scenario.area);
+                    if let Some((dx, dy)) = r.beacon_offset {
+                        // Faulty localization device: the robot honestly
+                        // advertises a wrong position.
+                        pos = Point::new(pos.x + dx, pos.y + dy);
+                    }
                     world.traffic.beacons_sent += 1;
                     Packet::new(
                         r.id,
@@ -458,7 +562,8 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                     )
                 }
                 TxIntent::Mesh(p) => {
-                    if !world.robots[robot].radio.can_receive() {
+                    let r = &world.robots[robot];
+                    if !r.alive || !r.radio.can_receive() {
                         return;
                     }
                     p
@@ -499,6 +604,117 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
             world.medium.gc(now);
             engine.schedule_in(SimDuration::from_secs(10), Event::MediumGc);
         }
+
+        Event::Fault(fault) => {
+            apply_fault(engine, world, fault, now);
+        }
+    }
+}
+
+/// Applies one injected fault to the world at `now`.
+fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now: SimTime) {
+    match fault {
+        Fault::Crash { robot } => {
+            let r = &mut world.robots[robot];
+            if !r.alive {
+                return;
+            }
+            r.alive = false;
+            // Orphan the pending wake chain of this life.
+            r.epoch = r.epoch.wrapping_add(1);
+            r.radio.set_state(now, PowerState::Off);
+            r.health.transition(now, DegradationState::Down);
+            world.robustness.crashes += 1;
+            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+                format!("robot {robot} crashed")
+            });
+        }
+        Fault::Reboot { robot } => {
+            if world.robots[robot].alive {
+                return;
+            }
+            let uses_rf = world.uses_rf();
+            let area = world.scenario.area;
+            let res = world.scenario.grid_resolution_m;
+            let alg = world.scenario.rf_algorithm;
+            let r = &mut world.robots[robot];
+            r.alive = true;
+            r.epoch = r.epoch.wrapping_add(1);
+            // Volatile state is lost: the posterior, the fix history and
+            // the heading anchor all restart from scratch.
+            r.has_fix = false;
+            r.last_fix_window = None;
+            r.fix_anchor = None;
+            r.synced_this_window = false;
+            if let Some(rf) = r.rf.as_mut() {
+                *rf = WindowedRfEstimator::with_algorithm(GridConfig::new(area, res), alg);
+            }
+            r.radio.set_state(
+                now,
+                if uses_rf {
+                    PowerState::Idle
+                } else {
+                    PowerState::Off
+                },
+            );
+            let back = if r.equipped && uses_rf {
+                DegradationState::Healthy
+            } else {
+                DegradationState::DeadReckoning
+            };
+            r.health.transition(now, back);
+            world.robustness.reboots += 1;
+            world.trace.emit(now, TraceLevel::Info, "fault", || {
+                format!("robot {robot} rebooted")
+            });
+            // Rejoin the window cycle at the next period boundary.
+            if uses_rf {
+                let period = world.scenario.beacon_period;
+                let next_window = now.saturating_since(SimTime::ZERO).div_duration(period) + 1;
+                let at = world.window_start_time(next_window);
+                if at < engine.horizon() {
+                    let epoch = world.robots[robot].epoch;
+                    engine.schedule_at(
+                        at,
+                        Event::RobotWake {
+                            robot,
+                            window: next_window,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
+        Fault::ClockSkewStep { robot, delta_ppm } => {
+            world.robots[robot].clock.apply_skew_step(delta_ppm, now);
+            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+                format!("robot {robot} clock skew stepped by {delta_ppm} ppm")
+            });
+        }
+        Fault::GarbleTxStart { robot } => world.robots[robot].garbled_tx = true,
+        Fault::GarbleTxEnd { robot } => world.robots[robot].garbled_tx = false,
+        Fault::BeaconOffsetStart { robot, dx_m, dy_m } => {
+            world.robots[robot].beacon_offset = Some((dx_m, dy_m));
+        }
+        Fault::BeaconOffsetEnd { robot } => world.robots[robot].beacon_offset = None,
+        Fault::BurstLossStart { model } => {
+            // One independent link per receiver, all starting in the good
+            // state.
+            world.burst = Some(
+                world
+                    .robots
+                    .iter()
+                    .map(|_| GilbertElliottLink::new(model))
+                    .collect(),
+            );
+            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+                format!(
+                    "burst-loss overlay on (mean loss {:.0}%)",
+                    model.mean_loss() * 100.0
+                )
+            });
+        }
+        Fault::BurstLossEnd => world.burst = None,
     }
 }
 
@@ -507,8 +723,12 @@ fn robot_wake(
     world: &mut World,
     robot: usize,
     window: u64,
+    epoch: u32,
     now: SimTime,
 ) {
+    if !world.robots[robot].alive || world.robots[robot].epoch != epoch {
+        return; // stale wake from a life that ended in a crash
+    }
     let window_start = world.window_start_time(window);
     let scenario_window = world.scenario.transmit_window;
     let beacons = world.beacons_in_window(robot, window);
@@ -555,7 +775,14 @@ fn robot_wake(
         .clock
         .actual_fire_time(intended_end, now);
     if fire <= engine.horizon() {
-        engine.schedule_at(fire, Event::RobotWindowEnd { robot, window });
+        engine.schedule_at(
+            fire,
+            Event::RobotWindowEnd {
+                robot,
+                window,
+                epoch,
+            },
+        );
     } else {
         // The run ends mid-window; the finalizer will checkpoint energy.
     }
@@ -566,51 +793,84 @@ fn robot_window_end(
     world: &mut World,
     robot: usize,
     window: u64,
+    epoch: u32,
     now: SimTime,
 ) {
+    if !world.robots[robot].alive || world.robots[robot].epoch != epoch {
+        return; // stale window-end from a life that ended in a crash
+    }
     let mode = world.mode();
+    let watchdog = world.scenario.entropy_watchdog_frac;
     {
         let r = &mut world.robots[robot];
         // Close the RF window and process the fix.
         if let Some(rf) = r.rf.as_mut() {
             let had_window = rf.in_window();
-            if let Some(fix) = rf.end_window() {
-                r.has_fix = true;
-                r.last_fix_window = Some(window);
-                world.traffic.fixes += 1;
-                world
-                    .trace
-                    .emit(now, TraceLevel::Debug, "localization", || {
-                        format!("robot {} fixed at {} in window {window}", robot, fix)
-                    });
-                if mode == EstimatorMode::Cocoa {
-                    // RF fixes position; heading is re-anchored from the
-                    // displacement observed between consecutive fixes.
-                    let odo_pose = r.motion.odometry_pose();
-                    let mut heading = odo_pose.heading;
-                    if let Some(anchor) = r.fix_anchor {
-                        let d_fix = fix - anchor.fix;
-                        let d_odo = odo_pose.position - anchor.odo_at_fix;
-                        // Short displacements make the bearing comparison
-                        // noisier than the heading error it would fix.
-                        if d_fix.norm() > 10.0 && d_odo.norm() > 10.0 {
-                            heading -= normalize_angle(d_odo.angle() - d_fix.angle());
+            match rf.end_window_guarded(watchdog) {
+                WindowOutcome::Fix(fix) => {
+                    r.has_fix = true;
+                    r.last_fix_window = Some(window);
+                    world.traffic.fixes += 1;
+                    world
+                        .trace
+                        .emit(now, TraceLevel::Debug, "localization", || {
+                            format!("robot {} fixed at {} in window {window}", robot, fix)
+                        });
+                    if mode == EstimatorMode::Cocoa {
+                        // RF fixes position; heading is re-anchored from the
+                        // displacement observed between consecutive fixes.
+                        let odo_pose = r.motion.odometry_pose();
+                        let mut heading = odo_pose.heading;
+                        if let Some(anchor) = r.fix_anchor {
+                            let d_fix = fix - anchor.fix;
+                            let d_odo = odo_pose.position - anchor.odo_at_fix;
+                            // Short displacements make the bearing comparison
+                            // noisier than the heading error it would fix.
+                            if d_fix.norm() > 10.0 && d_odo.norm() > 10.0 {
+                                heading -= normalize_angle(d_odo.angle() - d_fix.angle());
+                            }
                         }
+                        r.fix_anchor = Some(FixAnchor {
+                            fix,
+                            odo_at_fix: odo_pose.position,
+                        });
+                        r.motion.reset_odometry_to(Pose::new(fix, heading));
                     }
-                    r.fix_anchor = Some(FixAnchor {
-                        fix,
-                        odo_at_fix: odo_pose.position,
-                    });
-                    r.motion.reset_odometry_to(Pose::new(fix, heading));
                 }
-            } else if had_window {
-                // Fewer than the minimum beacons arrived: the robot keeps
-                // its previous estimate (paper Section 2.3).
-                world.traffic.starved_windows += 1;
-                world.trace.emit(now, TraceLevel::Warn, "localization", || {
-                    format!("robot {robot} starved in window {window}")
-                });
+                WindowOutcome::FlatPosterior { entropy, threshold } => {
+                    // The entropy watchdog vetoed a near-uniform posterior:
+                    // the robot keeps dead-reckoning from its previous fix
+                    // rather than jumping to an uninformative centroid.
+                    world.robustness.flat_posteriors += 1;
+                    world.trace.emit(now, TraceLevel::Warn, "localization", || {
+                        format!(
+                            "robot {robot} posterior too flat in window {window} \
+                             (entropy {entropy:.2} > {threshold:.2}); keeping estimate"
+                        )
+                    });
+                }
+                WindowOutcome::NoFix => {
+                    if had_window {
+                        // Fewer than the minimum beacons arrived: the robot
+                        // keeps its previous estimate (paper Section 2.3).
+                        world.traffic.starved_windows += 1;
+                        world.trace.emit(now, TraceLevel::Warn, "localization", || {
+                            format!("robot {robot} starved in window {window}")
+                        });
+                    }
+                }
             }
+        }
+        // Degradation bookkeeping: a fresh fix means healthy; a recent one
+        // means degraded (coasting on odometry); anything older is pure
+        // dead reckoning. Equipped robots stay healthy.
+        if r.rf.is_some() {
+            let state = match r.last_fix_window {
+                Some(w) if w == window => DegradationState::Healthy,
+                Some(w) if window.saturating_sub(w) <= 2 => DegradationState::Degraded,
+                _ => DegradationState::DeadReckoning,
+            };
+            r.health.transition(now, state);
         }
         // Synchronization accounting.
         if world.scenario.sync_enabled {
@@ -645,6 +905,7 @@ fn robot_window_end(
         Event::RobotWake {
             robot,
             window: next_window,
+            epoch,
         },
     );
 }
@@ -658,6 +919,23 @@ fn transmit(
     packet: Packet,
     now: SimTime,
 ) {
+    // A garbling transmitter corrupts the frame on the air: if the garbled
+    // bytes still parse the receivers get a wrong-but-well-formed packet;
+    // if not, the frame occupies airtime and reception energy but is
+    // dropped at every receiver's decoder.
+    let mut packet = packet;
+    let mut corrupt = false;
+    if world.robots[robot].garbled_tx {
+        let mut raw = packet.encode().to_vec();
+        garble_bytes(&mut raw, &mut world.fault_rng);
+        match Packet::decode(Bytes::from(raw)) {
+            Ok(altered) => {
+                world.robustness.garbled_frames_delivered += 1;
+                packet = altered;
+            }
+            Err(_) => corrupt = true,
+        }
+    }
     let bytes = packet.wire_size();
     let src_pos = world.robots[robot].motion.true_position();
     let src_id = world.robots[robot].id;
@@ -666,6 +944,9 @@ fn transmit(
     let tx = world
         .medium
         .begin_tx(src_id, src_pos, packet, now, duration);
+    if corrupt {
+        world.corrupt_txs.insert(tx);
+    }
     let mut receivers = Vec::new();
     let detect_horizon = world.channel.max_range() * 1.5;
     for j in 0..world.robots.len() {
@@ -686,6 +967,13 @@ fn transmit(
         {
             continue;
         }
+        // Injected Gilbert–Elliott burst loss on this receiver's link.
+        if let Some(links) = world.burst.as_mut() {
+            if links[j].drops(&mut world.fault_rng) {
+                world.robustness.burst_losses += 1;
+                continue;
+            }
+        }
         world.medium.record_rssi(tx, world.robots[j].id, rssi);
         receivers.push(j);
     }
@@ -700,6 +988,7 @@ fn deliver(
     receivers: &[usize],
     now: SimTime,
 ) {
+    let corrupt = world.corrupt_txs.remove(&tx);
     for &j in receivers {
         let id = world.robots[j].id;
         match world.medium.outcome(tx, id) {
@@ -708,10 +997,17 @@ fn deliver(
                     continue; // fell asleep mid-frame
                 }
                 world.robots[j].radio.record_rx(now, packet.wire_size());
+                if corrupt {
+                    // The frame arrived but its bytes no longer parse: the
+                    // receiver paid the energy and drops it at the decoder.
+                    world.robustness.corrupt_frames_dropped += 1;
+                    continue;
+                }
                 dispatch(engine, world, j, packet, rssi, now);
             }
             ReceptionOutcome::Collided { .. } | ReceptionOutcome::HalfDuplex => {}
             ReceptionOutcome::NotReceivable => {}
+            ReceptionOutcome::Expired => {}
         }
     }
 }
@@ -727,10 +1023,30 @@ fn dispatch(
 ) {
     match &packet.payload {
         Payload::Beacon { position } => {
+            let gate = world.scenario.outlier_gate_m;
+            let mode = world.mode();
+            let area = world.scenario.area;
+            // The robot's own current estimate anchors the consistency
+            // check: a beacon whose claimed range disagrees wildly with
+            // the RSSI-implied range is rejected as an outlier.
+            let reference = {
+                let r = &world.robots[robot];
+                r.has_fix.then(|| r.estimate(mode, &area))
+            };
             let r = &mut world.robots[robot];
             if let Some(rf) = r.rf.as_mut() {
                 world.traffic.beacons_received += 1;
-                rf.observe_beacon_radial(&world.table, &world.radial, *position, rssi);
+                let result = rf.observe_beacon_checked(
+                    &world.table,
+                    &world.radial,
+                    *position,
+                    rssi,
+                    reference,
+                    gate,
+                );
+                if result == ObservationResult::Outlier {
+                    world.robustness.outlier_beacons_rejected += 1;
+                }
             }
         }
         Payload::Sync { .. } => {
@@ -762,10 +1078,23 @@ fn dispatch(
                         );
                     }
                     ProtocolAction::Deliver { source: _, body } => {
-                        if let Some(_msg) = SyncMessage::decode(body) {
-                            let r = &mut world.robots[robot];
-                            r.clock.resync(now);
-                            r.synced_this_window = true;
+                        match SyncMessage::decode(body) {
+                            Some(_msg) => {
+                                let r = &mut world.robots[robot];
+                                if r.clock.resync(now) {
+                                    r.synced_this_window = true;
+                                } else {
+                                    // A replayed or reordered SYNC older than
+                                    // the clock's anchor: ignored, counted.
+                                    world.robustness.stale_syncs_ignored += 1;
+                                }
+                            }
+                            None => {
+                                // Garbled in flight: the mesh delivered bytes
+                                // the application cannot parse.
+                                world.robustness.malformed_sync_bodies += 1;
+                                world.robots[robot].mesh.note_undecodable_delivery();
+                            }
                         }
                     }
                     ProtocolAction::ScheduleReply { source, after } => {

@@ -13,6 +13,7 @@ use cocoa_multicast::odmrp::OdmrpConfig;
 use cocoa_net::channel::ChannelParams;
 use cocoa_net::energy::EnergyParams;
 use cocoa_net::geometry::Area;
+use cocoa_sim::faults::FaultPlan;
 use cocoa_sim::time::{SimDuration, SimTime};
 
 /// A fully-specified simulation scenario.
@@ -85,6 +86,20 @@ pub struct Scenario {
     /// Relay-beaconing goodness guard: only relay if the last fix is at
     /// most this many windows old.
     pub relay_max_fix_age_windows: u64,
+    /// Deterministic fault schedule (empty = benign run).
+    pub faults: FaultPlan,
+    /// How many beacon periods the Sync timebase may stay silent (crashed)
+    /// before the team deterministically elects a replacement.
+    pub failover_missed_periods: u32,
+    /// Entropy watchdog threshold as a fraction of the grid's maximum
+    /// entropy: a window whose posterior entropy exceeds
+    /// `frac · ln(cells)` is declared flat and yields no fix. Values
+    /// `>= 1.0` disable the watchdog.
+    pub entropy_watchdog_frac: f64,
+    /// Outlier beacon gate, metres: reject a beacon whose claimed distance
+    /// from our reference estimate disagrees with the RSSI-implied
+    /// distance by more than this. `0.0` disables the gate.
+    pub outlier_gate_m: f64,
 }
 
 impl Scenario {
@@ -137,6 +152,22 @@ impl Scenario {
                 self.packet_loss
             ));
         }
+        self.faults.validate(self.num_robots)?;
+        if self.failover_missed_periods == 0 {
+            return Err("failover threshold must be at least one period".into());
+        }
+        if !self.entropy_watchdog_frac.is_finite() || self.entropy_watchdog_frac <= 0.0 {
+            return Err(format!(
+                "entropy watchdog fraction {} must be positive (>= 1.0 disables)",
+                self.entropy_watchdog_frac
+            ));
+        }
+        if !self.outlier_gate_m.is_finite() || self.outlier_gate_m < 0.0 {
+            return Err(format!(
+                "outlier gate {} m must be finite and non-negative",
+                self.outlier_gate_m
+            ));
+        }
         Ok(())
     }
 }
@@ -177,6 +208,10 @@ impl Default for ScenarioBuilder {
                 packet_loss: 0.0,
                 relay_beaconing: false,
                 relay_max_fix_age_windows: 1,
+                faults: FaultPlan::new(),
+                failover_missed_periods: 3,
+                entropy_watchdog_frac: 0.98,
+                outlier_gate_m: 80.0,
             },
         }
     }
@@ -321,6 +356,30 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Installs a deterministic fault schedule.
+    pub fn faults(&mut self, plan: FaultPlan) -> &mut Self {
+        self.scenario.faults = plan;
+        self
+    }
+
+    /// Sets how many silent periods trigger Sync-timebase failover.
+    pub fn failover_missed_periods(&mut self, k: u32) -> &mut Self {
+        self.scenario.failover_missed_periods = k;
+        self
+    }
+
+    /// Sets the entropy watchdog threshold fraction (`>= 1.0` disables).
+    pub fn entropy_watchdog_frac(&mut self, frac: f64) -> &mut Self {
+        self.scenario.entropy_watchdog_frac = frac;
+        self
+    }
+
+    /// Sets the outlier beacon gate in metres (`0.0` disables).
+    pub fn outlier_gate_m(&mut self, gate: f64) -> &mut Self {
+        self.scenario.outlier_gate_m = gate;
+        self
+    }
+
     /// Builds the scenario.
     ///
     /// # Panics
@@ -404,6 +463,30 @@ mod tests {
             .mode(EstimatorMode::OdometryOnly)
             .try_build()
             .is_ok());
+    }
+
+    #[test]
+    fn rejects_fault_plan_targeting_missing_robot() {
+        use cocoa_sim::faults::Fault;
+        let mut plan = FaultPlan::new();
+        plan.schedule(SimTime::from_secs(10), Fault::Crash { robot: 50 });
+        let err = Scenario::builder().faults(plan).try_build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn rejects_zero_failover_threshold() {
+        let err = Scenario::builder().failover_missed_periods(0).try_build();
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn fault_preset_builds_valid_scenario() {
+        let mut b = Scenario::builder();
+        let d = b.try_build().unwrap().duration;
+        let plan = FaultPlan::preset("chaos", d, 50).unwrap();
+        let s = b.faults(plan).build();
+        assert!(!s.faults.is_empty());
     }
 
     #[test]

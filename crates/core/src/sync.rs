@@ -41,6 +41,8 @@ pub struct DriftingClock {
     anchor: SimTime,
     /// Consecutive beacon periods without a SYNC.
     missed_syncs: u32,
+    /// SYNCs ignored because they were older than the current anchor.
+    stale_syncs: u32,
 }
 
 impl DriftingClock {
@@ -56,6 +58,7 @@ impl DriftingClock {
             error_s: 0.0,
             anchor: SimTime::ZERO,
             missed_syncs: 0,
+            stale_syncs: 0,
         }
     }
 
@@ -65,10 +68,36 @@ impl DriftingClock {
     }
 
     /// Realigns the clock to the reference timeline (a SYNC was received).
-    pub fn resync(&mut self, now: SimTime) {
+    ///
+    /// A SYNC carrying a timestamp older than the current anchor — a
+    /// delayed mesh duplicate, or a replay from a partitioned node — is
+    /// ignored rather than silently rewinding the clock; such events are
+    /// counted in [`DriftingClock::stale_syncs`]. Returns whether the
+    /// realignment was applied.
+    pub fn resync(&mut self, now: SimTime) -> bool {
+        if now < self.anchor {
+            self.stale_syncs = self.stale_syncs.saturating_add(1);
+            return false;
+        }
         self.error_s = 0.0;
         self.anchor = now;
         self.missed_syncs = 0;
+        true
+    }
+
+    /// Applies a step change of `delta_ppm` parts per million to the skew
+    /// (temperature shock, voltage sag). Error accumulated so far is
+    /// materialized first so history is preserved; the resulting skew is
+    /// clamped to the physical range accepted by [`DriftingClock::new`].
+    pub fn apply_skew_step(&mut self, delta_ppm: f64, now: SimTime) {
+        self.error_s = self.error_at(now);
+        self.anchor = self.anchor.max(now);
+        self.skew = (self.skew + delta_ppm * 1e-6).clamp(-0.009, 0.009);
+    }
+
+    /// SYNCs ignored because their timestamp predated the current anchor.
+    pub fn stale_syncs(&self) -> u32 {
+        self.stale_syncs
     }
 
     /// Records that a beacon period passed without hearing a SYNC.
@@ -200,6 +229,39 @@ mod tests {
             c.note_missed_sync();
         }
         assert_eq!(c.effective_guard(base, max), max, "capped");
+    }
+
+    #[test]
+    fn stale_resync_is_ignored_and_counted() {
+        let mut c = DriftingClock::new(100e-6);
+        assert!(c.resync(SimTime::from_secs(500)));
+        c.note_missed_sync();
+        // A SYNC from before the anchor must not rewind the clock.
+        assert!(!c.resync(SimTime::from_secs(400)));
+        assert_eq!(c.stale_syncs(), 1);
+        assert_eq!(c.missed_syncs(), 1, "stale SYNC does not reset misses");
+        // Drift still measured from the newer anchor.
+        assert!((c.error_at(SimTime::from_secs(600)) - 0.01).abs() < 1e-9);
+        // A fresh SYNC still works.
+        assert!(c.resync(SimTime::from_secs(600)));
+        assert_eq!(c.missed_syncs(), 0);
+    }
+
+    #[test]
+    fn skew_step_preserves_accumulated_error() {
+        let mut c = DriftingClock::new(100e-6);
+        // 0.05 s of error after 500 s.
+        c.apply_skew_step(100.0, SimTime::from_secs(500));
+        let e = c.error_at(SimTime::from_secs(600));
+        // 0.05 s history + 100 s at 200 ppm.
+        assert!((e - 0.07).abs() < 1e-9, "error {e}");
+    }
+
+    #[test]
+    fn skew_step_clamps_to_physical_range() {
+        let mut c = DriftingClock::new(0.0);
+        c.apply_skew_step(1e9, SimTime::ZERO);
+        assert!((c.error_at(SimTime::from_secs(1000)) - 9.0).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,79 @@
+//! Fuzzing the SYNC body codec: arbitrary, truncated, bit-flipped and
+//! over-length inputs must never panic — wrong-length bodies decode to
+//! `None`, exact-length bodies to `Some`.
+
+use bytes::Bytes;
+use cocoa_core::sync::SyncMessage;
+use proptest::prelude::*;
+
+proptest! {
+    /// Arbitrary byte soup: `decode` is total, and only exact-size bodies
+    /// ever parse.
+    #[test]
+    fn random_bodies_never_panic(raw in proptest::collection::vec(any::<u8>(), 0..128)) {
+        let len = raw.len();
+        let decoded = SyncMessage::decode(Bytes::from(raw));
+        prop_assert_eq!(decoded.is_some(), len == SyncMessage::WIRE_SIZE);
+    }
+
+    /// Bit flips keep the body well-sized, so it still decodes — to some
+    /// (possibly wrong) message, never a panic.
+    #[test]
+    fn bit_flipped_bodies_still_decode(
+        period in any::<u64>(),
+        window in any::<u64>(),
+        index in any::<u64>(),
+        start in any::<u64>(),
+        pos in 0usize..SyncMessage::WIRE_SIZE,
+        bit in 0u8..8,
+    ) {
+        let msg = SyncMessage {
+            period_us: period,
+            window_us: window,
+            window_index: index,
+            window_start_us: start,
+        };
+        let mut raw = msg.encode().to_vec();
+        raw[pos] ^= 1 << bit;
+        prop_assert!(SyncMessage::decode(Bytes::from(raw)).is_some());
+    }
+
+    /// Truncated or padded bodies are rejected, never panicked on.
+    #[test]
+    fn wrong_length_bodies_are_rejected(
+        period in any::<u64>(),
+        delta in 1usize..32,
+        grow in any::<bool>(),
+    ) {
+        let msg = SyncMessage {
+            period_us: period,
+            window_us: 3_000_000,
+            window_index: 1,
+            window_start_us: 0,
+        };
+        let mut raw = msg.encode().to_vec();
+        if grow {
+            raw.extend(std::iter::repeat_n(0xAA, delta));
+        } else {
+            raw.truncate(SyncMessage::WIRE_SIZE - delta.min(SyncMessage::WIRE_SIZE));
+        }
+        prop_assert!(SyncMessage::decode(Bytes::from(raw)).is_none());
+    }
+
+    /// Round-trip: every message survives encode → decode.
+    #[test]
+    fn roundtrip(
+        period in any::<u64>(),
+        window in any::<u64>(),
+        index in any::<u64>(),
+        start in any::<u64>(),
+    ) {
+        let msg = SyncMessage {
+            period_us: period,
+            window_us: window,
+            window_index: index,
+            window_start_us: start,
+        };
+        prop_assert_eq!(SyncMessage::decode(msg.encode()), Some(msg));
+    }
+}

@@ -50,6 +50,10 @@ pub enum ObservationResult {
     NoPdf,
     /// The constraint was rejected as degenerate (kept old posterior).
     Rejected,
+    /// The beacon failed the outlier gate: its claimed position is
+    /// inconsistent with the RSSI-implied distance (a corrupted or lying
+    /// beacon source) and was not applied.
+    Outlier,
 }
 
 /// A Bayesian grid localizer fed by beacons.
@@ -165,6 +169,12 @@ impl BayesianLocalizer {
     /// beaconing extension's goodness guard).
     pub fn entropy(&self) -> f64 {
         self.grid.entropy()
+    }
+
+    /// The entropy of the uniform prior over this grid, nats — the ceiling
+    /// the entropy watchdog measures against.
+    pub fn max_entropy(&self) -> f64 {
+        self.grid.max_entropy()
     }
 
     /// Resets to the uniform prior — the paper's robots "throw away their

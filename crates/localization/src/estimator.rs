@@ -90,10 +90,34 @@ pub struct WindowStats {
     pub windows: u32,
     /// Windows that produced a fresh fix (≥ 3 beacons applied).
     pub fixes: u32,
+    /// Windows whose fix was vetoed by the entropy watchdog.
+    pub flat_windows: u32,
     /// Beacons offered across all windows.
     pub beacons_seen: u64,
     /// Beacons actually applied to posteriors.
     pub beacons_applied: u64,
+    /// Beacons refused by the outlier gate.
+    pub beacons_rejected_outlier: u64,
+}
+
+/// How a transmit window ended, as judged by
+/// [`WindowedRfEstimator::end_window_guarded`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WindowOutcome {
+    /// A fresh, trusted fix.
+    Fix(Point),
+    /// Enough beacons arrived, but the posterior stayed nearly uniform —
+    /// the beacons were mutually contradictory (corruption, outliers) and
+    /// the "fix" would be the area centre. The estimator keeps its previous
+    /// fix and the caller should fall back to dead reckoning.
+    FlatPosterior {
+        /// Posterior entropy at window end, nats.
+        entropy: f64,
+        /// The watchdog threshold that was exceeded, nats.
+        threshold: f64,
+    },
+    /// Fewer than the minimum beacons: no fix this window.
+    NoFix,
 }
 
 /// The per-robot windowed RF estimator.
@@ -246,23 +270,83 @@ impl WindowedRfEstimator {
         r
     }
 
+    /// Offers one received beacon through the radial fast path, first
+    /// screening it against an outlier gate.
+    ///
+    /// If `reference` is the robot's current position belief, the beacon's
+    /// claimed position implies a distance to us; the observed RSSI implies
+    /// another (the calibration PDF's mean). When the two disagree by more
+    /// than `gate_m` metres the beacon is almost certainly corrupt or lying
+    /// and is refused before it can distort the posterior. A `gate_m` of
+    /// `0.0`, a missing reference, or an uncalibrated RSSI disables the
+    /// check and the beacon flows through
+    /// [`WindowedRfEstimator::observe_beacon_radial`] unchanged.
+    pub fn observe_beacon_checked(
+        &mut self,
+        table: &PdfTable,
+        radial: &RadialConstraintTable,
+        beacon_pos: Point,
+        rssi: Dbm,
+        reference: Option<Point>,
+        gate_m: f64,
+    ) -> ObservationResult {
+        if gate_m > 0.0 {
+            if let (Some(refp), Some(pdf)) = (reference, table.lookup(rssi)) {
+                let claimed = refp.distance_to(beacon_pos);
+                if !claimed.is_finite() || (claimed - pdf.mean()).abs() > gate_m {
+                    self.stats.beacons_seen += 1;
+                    self.stats.beacons_rejected_outlier += 1;
+                    return ObservationResult::Outlier;
+                }
+            }
+        }
+        self.observe_beacon_radial(table, radial, beacon_pos, rssi)
+    }
+
     /// Closes the window. Returns the fresh fix if the window produced one
     /// (otherwise the previous fix remains in force and `None` is
     /// returned).
     pub fn end_window(&mut self) -> Option<Point> {
+        match self.end_window_guarded(1.0) {
+            WindowOutcome::Fix(fix) => Some(fix),
+            WindowOutcome::FlatPosterior { .. } | WindowOutcome::NoFix => None,
+        }
+    }
+
+    /// Closes the window with the entropy watchdog armed.
+    ///
+    /// A window that accumulated enough beacons normally yields a fix — but
+    /// when the applied beacons were mutually contradictory (garbled
+    /// coordinates, faulty sources) the posterior stays close to uniform
+    /// and its mean is just the area centre. The watchdog vetoes such fixes:
+    /// if the posterior entropy exceeds `watchdog_frac · max_entropy` the
+    /// window reports [`WindowOutcome::FlatPosterior`], the previous fix is
+    /// kept, and the caller degrades to dead reckoning.
+    ///
+    /// `watchdog_frac >= 1.0` disables the veto. The multilateration
+    /// backend has no posterior, so the watchdog never fires there.
+    pub fn end_window_guarded(&mut self, watchdog_frac: f64) -> WindowOutcome {
         self.in_window = false;
         let estimate = match &self.backend {
             Backend::Bayes(b) => b.estimate(),
             Backend::Lateration(l) => l.estimate(),
         };
-        match estimate {
-            Some(fix) => {
-                self.last_fix = Some(fix);
-                self.stats.fixes += 1;
-                Some(fix)
+        let Some(fix) = estimate else {
+            return WindowOutcome::NoFix;
+        };
+        if watchdog_frac < 1.0 {
+            if let Backend::Bayes(b) = &self.backend {
+                let entropy = b.entropy();
+                let threshold = watchdog_frac * b.max_entropy();
+                if entropy > threshold {
+                    self.stats.flat_windows += 1;
+                    return WindowOutcome::FlatPosterior { entropy, threshold };
+                }
             }
-            None => None,
         }
+        self.last_fix = Some(fix);
+        self.stats.fixes += 1;
+        WindowOutcome::Fix(fix)
     }
 
     /// The most recent fix, if any window ever produced one.
@@ -370,6 +454,88 @@ mod tests {
         }
         let fix2 = est.end_window().expect("fix 2");
         assert!(fix2.distance_to(robot2) < 20.0, "fix2 {fix2}");
+    }
+
+    #[test]
+    fn outlier_gate_refuses_inconsistent_beacons() {
+        let (ch, table, mut est) = setup();
+        let radial = crate::bayes::radial_constraints_for_grid(
+            &table,
+            &GridConfig::new(Area::square(200.0), 2.0),
+        );
+        est.begin_window();
+        let reference = Some(Point::new(100.0, 100.0));
+        // The beacon claims to be 5 m away, but its RSSI says ~80 m: a
+        // corrupted coordinate field.
+        let lying_rssi = ch.mean_rssi(80.0);
+        let r = est.observe_beacon_checked(
+            &table,
+            &radial,
+            Point::new(105.0, 100.0),
+            lying_rssi,
+            reference,
+            40.0,
+        );
+        assert_eq!(r, ObservationResult::Outlier);
+        assert_eq!(est.stats().beacons_rejected_outlier, 1);
+        assert_eq!(est.stats().beacons_applied, 0);
+        // A consistent beacon passes the gate.
+        let honest_rssi = ch.mean_rssi(5.0);
+        let r = est.observe_beacon_checked(
+            &table,
+            &radial,
+            Point::new(105.0, 100.0),
+            honest_rssi,
+            reference,
+            40.0,
+        );
+        assert_eq!(r, ObservationResult::Applied);
+        // Gate 0.0 disables the check entirely.
+        let r = est.observe_beacon_checked(
+            &table,
+            &radial,
+            Point::new(105.0, 100.0),
+            lying_rssi,
+            reference,
+            0.0,
+        );
+        assert_ne!(r, ObservationResult::Outlier);
+    }
+
+    #[test]
+    fn entropy_watchdog_vetoes_flat_posteriors() {
+        let (ch, table, mut est) = setup();
+        let mut rng = SeedSplitter::new(9).stream("t", 0);
+        let robot = Point::new(100.0, 100.0);
+        let beacons = [
+            Point::new(92.0, 100.0),
+            Point::new(108.0, 104.0),
+            Point::new(100.0, 92.0),
+        ];
+        est.begin_window();
+        for b in beacons {
+            let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+            est.observe_beacon(&table, b, rssi);
+        }
+        // An absurdly strict watchdog treats even a good posterior as flat:
+        // the fix is vetoed and the previous (absent) fix kept.
+        match est.end_window_guarded(1e-6) {
+            WindowOutcome::FlatPosterior { entropy, threshold } => {
+                assert!(entropy > threshold);
+            }
+            other => panic!("expected flat-posterior veto, got {other:?}"),
+        }
+        assert_eq!(est.last_fix(), None);
+        assert_eq!(est.stats().flat_windows, 1);
+        assert_eq!(est.stats().fixes, 0);
+        // The same beacons with the watchdog disabled produce a fix.
+        est.begin_window();
+        for b in beacons {
+            let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+            est.observe_beacon(&table, b, rssi);
+        }
+        assert!(matches!(est.end_window_guarded(1.0), WindowOutcome::Fix(_)));
+        assert_eq!(est.stats().fixes, 1);
     }
 
     #[test]

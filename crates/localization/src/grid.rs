@@ -308,6 +308,17 @@ impl PositionGrid {
         self.cell_center(idx % self.nx, idx / self.nx)
     }
 
+    /// Number of cells in the grid.
+    pub fn num_cells(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// The maximum possible posterior entropy, nats — attained by the
+    /// uniform prior. The entropy watchdog compares against this.
+    pub fn max_entropy(&self) -> f64 {
+        (self.cells.len() as f64).ln()
+    }
+
     /// Shannon entropy of the posterior, nats. The uniform prior maximizes
     /// it; a confident fix approaches zero.
     pub fn entropy(&self) -> f64 {
@@ -400,6 +411,8 @@ mod tests {
         assert!(g.mean().distance_to(Point::new(100.0, 100.0)) < 1e-9);
         let max_entropy = (g.nx() as f64 * g.ny() as f64).ln();
         assert!((g.entropy() - max_entropy).abs() < 1e-9);
+        assert!((g.max_entropy() - max_entropy).abs() < 1e-12);
+        assert_eq!(g.num_cells(), g.nx() * g.ny());
     }
 
     #[test]

@@ -28,7 +28,9 @@ pub mod multilateration;
 pub mod prelude {
     pub use crate::bayes::{BayesianLocalizer, ObservationResult, MIN_BEACONS_FOR_ESTIMATE};
     pub use crate::ekf::{EkfConfig, EkfLocalizer, EkfUpdate};
-    pub use crate::estimator::{EstimatorMode, RfAlgorithm, WindowStats, WindowedRfEstimator};
+    pub use crate::estimator::{
+        EstimatorMode, RfAlgorithm, WindowOutcome, WindowStats, WindowedRfEstimator,
+    };
     pub use crate::grid::{ConstraintOutcome, GridConfig, PositionGrid};
     pub use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
 }

@@ -90,6 +90,10 @@ pub struct MeshStats {
     pub data_delivered: u64,
     /// Duplicate data copies discarded.
     pub data_duplicates: u64,
+    /// Delivered data bodies the application could not decode (garbled
+    /// in flight); counted here so mesh reliability studies can separate
+    /// transport loss from payload corruption.
+    pub data_undecodable: u64,
 }
 
 impl MeshStats {
@@ -104,6 +108,7 @@ impl MeshStats {
         self.data_forwarded += other.data_forwarded;
         self.data_delivered += other.data_delivered;
         self.data_duplicates += other.data_duplicates;
+        self.data_undecodable += other.data_undecodable;
     }
 
     /// ODMRP's forwarding efficiency: deliveries per data transmission.

@@ -197,6 +197,13 @@ impl OdmrpNode {
         self.stats
     }
 
+    /// Records that a delivered data body failed to decode at the
+    /// application layer (garbled in flight). The mesh did its job — the
+    /// payload was corrupt — but reliability accounting wants the split.
+    pub fn note_undecodable_delivery(&mut self) {
+        self.stats.data_undecodable += 1;
+    }
+
     /// Originates a JOIN QUERY round (call on the mesh source; CoCoA's
     /// Sync robot does this every beacon period).
     pub fn originate_query(&mut self, now: SimTime, my: &MobilityInfo) -> Packet {

@@ -62,6 +62,12 @@ pub enum ReceptionOutcome {
     /// No RSSI was recorded for this `(tx, rx)` pair — the frame was below
     /// sensitivity or the receiver was asleep at frame start.
     NotReceivable,
+    /// The transmission was already garbage-collected when the outcome was
+    /// queried — the reception attempt is simply dropped. A model that
+    /// queries on time never sees this, but a late query (a fault-injected
+    /// or rebooted node replaying stale state) degrades to a lost frame
+    /// instead of a panic.
+    Expired,
 }
 
 /// The shared broadcast medium.
@@ -168,17 +174,14 @@ impl Medium {
     }
 
     /// Judges the reception of `tx` at `rx`. Meant to be called at the
-    /// frame's end time, after all overlapping frames have started.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tx` has already been garbage-collected — call
-    /// [`Medium::gc`] only with times safely past the frame end.
+    /// frame's end time, after all overlapping frames have started. A `tx`
+    /// that was already garbage-collected yields
+    /// [`ReceptionOutcome::Expired`] — the attempt is dropped, never a
+    /// panic.
     pub fn outcome(&mut self, tx: TxId, rx: NodeId) -> ReceptionOutcome {
-        let frame = self
-            .find(tx)
-            .unwrap_or_else(|| panic!("transmission {tx:?} was garbage-collected too early"))
-            .clone();
+        let Some(frame) = self.find(tx).cloned() else {
+            return ReceptionOutcome::Expired;
+        };
         let Some(&rssi) = self.rssi.get(&(tx, rx)) else {
             return ReceptionOutcome::NotReceivable;
         };
@@ -425,11 +428,9 @@ mod tests {
         m.record_rssi(a, NodeId(2), Dbm::new(-60.0));
         m.gc(at(100_000_000)); // 100 s later
         assert_eq!(m.transmissions(), 1);
-        // The frame and its RSSI records are gone.
-        assert!(std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            m.outcome(a, NodeId(2))
-        }))
-        .is_err());
+        // The frame and its RSSI records are gone: the attempt expires
+        // gracefully instead of panicking.
+        assert_eq!(m.outcome(a, NodeId(2)), ReceptionOutcome::Expired);
     }
 
     #[test]

@@ -137,6 +137,11 @@ impl DecodePacketError {
     }
 }
 
+/// Largest data body the wire format can carry (the length field is u16).
+/// Longer bodies are truncated at encode time instead of panicking — a
+/// mis-sized application payload must never take down the radio stack.
+pub const MAX_DATA_BODY: usize = u16::MAX as usize;
+
 const TAG_BEACON: u8 = 1;
 const TAG_SYNC: u8 = 2;
 const TAG_JOIN_QUERY: u8 = 3;
@@ -202,8 +207,9 @@ impl Packet {
             Payload::Data { group, body } => {
                 b.put_u8(TAG_DATA);
                 b.put_u16(group.0);
-                b.put_u16(u16::try_from(body.len()).expect("data body larger than 64 KiB"));
-                b.extend_from_slice(body);
+                let len = body.len().min(MAX_DATA_BODY);
+                b.put_u16(len as u16);
+                b.extend_from_slice(&body[..len]);
             }
         }
         b.freeze()
@@ -213,8 +219,8 @@ impl Packet {
     ///
     /// # Errors
     ///
-    /// Returns [`DecodePacketError`] if the buffer is truncated or the
-    /// payload tag is unknown.
+    /// Returns [`DecodePacketError`] if the buffer is truncated, carries
+    /// trailing bytes past the payload, or the payload tag is unknown.
     pub fn decode(mut buf: Bytes) -> Result<Self, DecodePacketError> {
         fn need(buf: &Bytes, n: usize) -> Result<(), DecodePacketError> {
             if buf.remaining() < n {
@@ -273,6 +279,12 @@ impl Packet {
             }
             _ => return Err(DecodePacketError::new("unknown payload tag")),
         };
+        if buf.remaining() > 0 {
+            // A longer buffer than the payload needs is as malformed as a
+            // shorter one — strictness here keeps garbled frames from
+            // silently passing as valid packets.
+            return Err(DecodePacketError::new("trailing bytes"));
+        }
         Ok(Packet { src, seq, payload })
     }
 
@@ -359,6 +371,23 @@ mod tests {
                 body: Bytes::from_static(b"hello mesh"),
             },
         ));
+    }
+
+    #[test]
+    fn oversized_data_body_is_truncated_not_panicking() {
+        let p = Packet::new(
+            NodeId(3),
+            9,
+            Payload::Data {
+                group: GroupId(2),
+                body: Bytes::from(vec![0xABu8; MAX_DATA_BODY + 100]),
+            },
+        );
+        let decoded = Packet::decode(p.encode()).expect("decode");
+        match decoded.payload {
+            Payload::Data { body, .. } => assert_eq!(body.len(), MAX_DATA_BODY),
+            other => panic!("wrong payload {other:?}"),
+        }
     }
 
     #[test]

@@ -81,6 +81,43 @@ proptest! {
         }
     }
 
+    /// Fuzz: arbitrary byte soup never panics the decoder — it either
+    /// yields a packet or an error.
+    #[test]
+    fn random_bytes_never_panic_decode(raw in proptest::collection::vec(any::<u8>(), 0..400)) {
+        let _ = Packet::decode(Bytes::from(raw));
+    }
+
+    /// Fuzz: bit-flipping a well-formed frame never panics the decoder.
+    /// A flip may still yield a (wrong) packet — that is the runner's
+    /// problem, not the decoder's — but it must never crash.
+    #[test]
+    fn bit_flipped_frames_never_panic(
+        payload in arb_payload(),
+        flips in proptest::collection::vec((0usize..4096, 0u8..8), 1..16),
+    ) {
+        let p = Packet::new(NodeId(1), 7, payload);
+        let mut raw = p.encode().to_vec();
+        for (pos, bit) in flips {
+            let i = pos % raw.len();
+            raw[i] ^= 1 << bit;
+        }
+        let _ = Packet::decode(Bytes::from(raw));
+    }
+
+    /// Fuzz: appending trailing garbage past a well-formed frame errors
+    /// (the decoder rejects over-length input) and never panics.
+    #[test]
+    fn over_length_frames_error(
+        payload in arb_payload(),
+        extra in proptest::collection::vec(any::<u8>(), 1..64),
+    ) {
+        let p = Packet::new(NodeId(1), 7, payload);
+        let mut raw = p.encode().to_vec();
+        raw.extend_from_slice(&extra);
+        prop_assert!(Packet::decode(Bytes::from(raw)).is_err());
+    }
+
     /// dBm <-> milliwatt conversion round-trips.
     #[test]
     fn dbm_roundtrip(v in -120.0..30.0f64) {

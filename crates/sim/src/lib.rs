@@ -37,6 +37,7 @@
 pub mod dist;
 pub mod engine;
 pub mod event;
+pub mod faults;
 pub mod rng;
 pub mod stats;
 pub mod time;
@@ -46,6 +47,7 @@ pub mod trace;
 pub mod prelude {
     pub use crate::engine::Engine;
     pub use crate::event::{EventId, EventQueue};
+    pub use crate::faults::{Fault, FaultEvent, FaultPlan, GilbertElliott, GilbertElliottLink};
     pub use crate::rng::{DetRng, SeedSplitter};
     pub use crate::stats::{Histogram, RunningStats};
     pub use crate::time::{SimDuration, SimTime};
