@@ -14,6 +14,8 @@ use cocoa_core::report;
 use cocoa_localization::estimator::RfAlgorithm;
 use cocoa_sim::time::{SimDuration, SimTime};
 
+use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
+
 const USAGE: &str = "\
 cocoa-run — simulate one CoCoA deployment
 
@@ -39,12 +41,24 @@ OPTIONS:
     --faults NAME       inject a canned fault schedule:
                         none | sync-crash | burst30 | corrupt | chaos
     --csv PREFIX        write PREFIX-{errors,energy,snapshots,robustness,health}.csv
+    --telemetry LEVEL   off | counters | timeline | full    [default: off]
+    --trace-out PATH    write a JSONL trace (implies --telemetry full);
+                        inspect it with cocoa-trace
+    --sample-interval S per-robot timeline sample interval, seconds
+                        [default: the metrics interval]
     -h, --help          print this help
+
+With --telemetry at counters or above, --csv also writes
+PREFIX-counters.csv and PREFIX-spans.csv; at timeline or above,
+PREFIX-timeline.csv.
 ";
 
 struct Args {
     scenario: Scenario,
     csv_prefix: Option<String>,
+    telemetry_level: TelemetryLevel,
+    trace_out: Option<String>,
+    sample_interval: Option<SimDuration>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -52,6 +66,9 @@ fn parse_args() -> Result<Args, String> {
     let mut csv_prefix = None;
     let mut snapshots: Vec<SimTime> = Vec::new();
     let mut faults_preset: Option<String> = None;
+    let mut telemetry_level = TelemetryLevel::Off;
+    let mut trace_out = None;
+    let mut sample_interval = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -156,6 +173,21 @@ fn parse_args() -> Result<Args, String> {
             }
             "--faults" => faults_preset = Some(value("--faults")?),
             "--csv" => csv_prefix = Some(value("--csv")?),
+            "--telemetry" => {
+                let v = value("--telemetry")?;
+                telemetry_level = TelemetryLevel::parse(&v)
+                    .ok_or_else(|| format!("unknown telemetry level '{v}'"))?;
+            }
+            "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--sample-interval" => {
+                let s: f64 = value("--sample-interval")?
+                    .parse()
+                    .map_err(|e| format!("--sample-interval: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--sample-interval must be positive".into());
+                }
+                sample_interval = Some(SimDuration::from_secs_f64(s));
+            }
             "-h" | "--help" => {
                 print!("{USAGE}");
                 std::process::exit(0);
@@ -180,9 +212,16 @@ fn parse_args() -> Result<Args, String> {
         scenario.faults = plan;
         scenario.validate()?;
     }
+    if trace_out.is_some() {
+        // A trace file is only useful with the complete event stream.
+        telemetry_level = TelemetryLevel::Full;
+    }
     Ok(Args {
         scenario,
         csv_prefix,
+        telemetry_level,
+        trace_out,
+        sample_interval,
     })
 }
 
@@ -195,9 +234,23 @@ fn main() {
         }
     };
     let start = std::time::Instant::now();
-    let metrics = run(&args.scenario);
+    let mut telemetry = Telemetry::new(args.telemetry_level);
+    if let Some(interval) = args.sample_interval {
+        telemetry.set_sample_interval(interval);
+    }
+    let (metrics, telemetry) = run_with_telemetry(&args.scenario, telemetry);
     print!("{}", report::markdown_summary(&args.scenario, &metrics));
     eprintln!("\n(wall time {:.1} s)", start.elapsed().as_secs_f64());
+    if let Some(path) = &args.trace_out {
+        match std::fs::write(path, telemetry.to_jsonl(true)) {
+            Ok(()) => eprintln!(
+                "wrote {path} ({} events, {} dropped)",
+                telemetry.events_emitted(),
+                telemetry.dropped_events()
+            ),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
     if let Some(prefix) = args.csv_prefix {
         let write = |suffix: &str, body: String| {
             let path = format!("{prefix}-{suffix}.csv");
@@ -214,6 +267,13 @@ fn main() {
         if !args.scenario.faults.is_empty() {
             write("robustness", report::robustness_csv(&metrics));
             write("health", report::health_csv(&metrics));
+        }
+        if telemetry.level() >= cocoa_sim::telemetry::TelemetryLevel::Counters {
+            write("counters", report::telemetry_counters_csv(&telemetry));
+            write("spans", report::telemetry_spans_csv(&telemetry));
+        }
+        if telemetry.level() >= cocoa_sim::telemetry::TelemetryLevel::Timeline {
+            write("timeline", report::timeline_csv(&telemetry));
         }
     }
 }

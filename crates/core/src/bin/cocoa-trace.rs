@@ -1,0 +1,204 @@
+//! `cocoa-trace` — inspect a JSONL telemetry trace offline.
+//!
+//! ```sh
+//! cargo run -p cocoa-core --bin cocoa-run -- --telemetry full --trace-out run.jsonl
+//! cargo run -p cocoa-core --bin cocoa-trace -- run.jsonl counters
+//! cargo run -p cocoa-core --bin cocoa-trace -- run.jsonl timeline 7
+//! ```
+//!
+//! Every command first parses and validates the whole file (schema
+//! version, known event kinds, monotone sequence numbers), so a zero exit
+//! status doubles as a trace-integrity check for CI.
+
+use cocoa_core::tracefile::{TraceFile, TraceSpan};
+
+const USAGE: &str = "\
+cocoa-trace — query a CoCoA telemetry trace (JSONL)
+
+USAGE:
+    cocoa-trace <FILE> <COMMAND> [OPTIONS]
+
+COMMANDS:
+    summary                 meta line, event/counter totals, drop count
+    counters                every end-of-run counter, sorted by name
+    spans [--top N]         wall-clock span report, hottest first
+    timeline <ROBOT>        every event touching one robot, in time order
+    windows                 per-window fixes / SYNC deliveries / starvation
+    replay [--from SECS] [--limit N]
+                            print events from a point in time onwards
+    curves                  reconstructed team error + energy curves
+
+    -h, --help              print this help
+";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "-h" || a == "--help") {
+        print!("{USAGE}");
+        return;
+    }
+    if let Err(e) = run(&args) {
+        eprintln!("error: {e}\n\n{USAGE}");
+        std::process::exit(2);
+    }
+}
+
+fn run(args: &[String]) -> Result<(), String> {
+    let [file, command, rest @ ..] = args else {
+        return Err("expected <FILE> <COMMAND>".into());
+    };
+    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
+    let trace = TraceFile::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    match command.as_str() {
+        "summary" => summary(&trace),
+        "counters" => counters(&trace),
+        "spans" => spans(&trace, parse_opt(rest, "--top")?.unwrap_or(10)),
+        "timeline" => {
+            let robot: u64 = rest
+                .first()
+                .ok_or("timeline needs a robot id")?
+                .parse()
+                .map_err(|e| format!("robot id: {e}"))?;
+            timeline(&trace, robot)
+        }
+        "windows" => windows(&trace),
+        "curves" => curves(&trace),
+        "replay" => replay(
+            &trace,
+            parse_opt(rest, "--from")?.unwrap_or(0.0),
+            parse_opt(rest, "--limit")?,
+        ),
+        other => return Err(format!("unknown command '{other}'")),
+    }
+    Ok(())
+}
+
+/// Looks up `--flag VALUE` in `rest` and parses the value.
+fn parse_opt<T: std::str::FromStr>(rest: &[String], flag: &str) -> Result<Option<T>, String>
+where
+    T::Err: std::fmt::Display,
+{
+    match rest.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => rest
+            .get(i + 1)
+            .ok_or_else(|| format!("{flag} needs a value"))?
+            .parse()
+            .map(Some)
+            .map_err(|e| format!("{flag}: {e}")),
+    }
+}
+
+fn summary(trace: &TraceFile) {
+    let m = &trace.meta;
+    println!("schema          {}", m.schema);
+    println!("level           {}", m.level);
+    println!("events emitted  {}", m.events_emitted);
+    println!("events retained {}", trace.events.len());
+    println!("events dropped  {}", m.dropped);
+    println!("counters        {}", trace.counters.len());
+    println!("spans           {}", trace.spans.len());
+    if let (Some(first), Some(last)) = (trace.events.first(), trace.events.last()) {
+        println!(
+            "time range      {:.3} s .. {:.3} s",
+            first.t_s(),
+            last.t_s()
+        );
+    }
+}
+
+fn counters(trace: &TraceFile) {
+    if trace.counters.is_empty() {
+        println!("(no counters — was the run recorded at --telemetry off?)");
+        return;
+    }
+    let width = trace
+        .counters
+        .iter()
+        .map(|(n, _)| n.len())
+        .max()
+        .unwrap_or(0);
+    for (name, value) in &trace.counters {
+        println!("{name:<width$}  {value}");
+    }
+}
+
+fn spans(trace: &TraceFile, top: usize) {
+    if trace.spans.is_empty() {
+        println!("(no spans — record with --telemetry full and keep the span trailer)");
+        return;
+    }
+    let mut sorted: Vec<&TraceSpan> = trace.spans.iter().collect();
+    sorted.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.name.cmp(&b.name)));
+    let root = sorted
+        .iter()
+        .find(|s| s.name == "run.total")
+        .map(|s| s.total_ns)
+        .unwrap_or_else(|| sorted.iter().map(|s| s.total_ns).sum());
+    println!(
+        "{:<24} {:>12} {:>10} {:>7}",
+        "span", "total_ms", "count", "share"
+    );
+    for s in sorted.iter().take(top) {
+        let share = if root > 0 {
+            s.total_ns as f64 / root as f64 * 100.0
+        } else {
+            0.0
+        };
+        println!(
+            "{:<24} {:>12.3} {:>10} {:>6.1}%",
+            s.name,
+            s.total_ns as f64 / 1e6,
+            s.count,
+            share
+        );
+    }
+}
+
+fn timeline(trace: &TraceFile, robot: u64) {
+    let events = trace.robot_events(robot);
+    if events.is_empty() {
+        println!("(no events for robot {robot} — timelines need --telemetry timeline or full)");
+        return;
+    }
+    for e in events {
+        println!("{}", TraceFile::format_event(e));
+    }
+}
+
+fn windows(trace: &TraceFile) {
+    let rows = trace.window_summary();
+    if rows.is_empty() {
+        println!("(no per-window events in this trace)");
+        return;
+    }
+    println!(
+        "{:>7} {:>6} {:>10} {:>8} {:>8}",
+        "window", "fixes", "delivered", "missed", "starved"
+    );
+    for (w, fixes, delivered, missed, starved) in rows {
+        println!("{w:>7} {fixes:>6} {delivered:>10} {missed:>8} {starved:>8}");
+    }
+}
+
+fn curves(trace: &TraceFile) {
+    let errors = trace.team_error_curve();
+    let energy = trace.team_energy_curve();
+    if errors.is_empty() && energy.is_empty() {
+        println!("(no team_sample events — record with --telemetry timeline or full)");
+        return;
+    }
+    println!("t_s,mean_error_m,robots,energy_j");
+    for (i, (t_s, err, robots)) in errors.iter().enumerate() {
+        let e_j = energy.get(i).map(|(_, e)| *e).unwrap_or(f64::NAN);
+        println!("{t_s},{err},{robots},{e_j}");
+    }
+}
+
+fn replay(trace: &TraceFile, from_s: f64, limit: Option<usize>) {
+    let events = trace.replay_from(from_s, limit);
+    for e in &events {
+        println!("{}", TraceFile::format_event(e));
+    }
+    eprintln!("({} events)", events.len());
+}

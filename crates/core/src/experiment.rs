@@ -15,6 +15,7 @@ use cocoa_net::calibration::{calibrate, CalibrationConfig};
 use cocoa_net::channel::RfChannel;
 use cocoa_net::rssi::RssiBin;
 use cocoa_sim::rng::SeedSplitter;
+use cocoa_sim::stats;
 use cocoa_sim::time::{SimDuration, SimTime};
 
 use crate::metrics::RunMetrics;
@@ -95,10 +96,8 @@ impl Series {
 
     /// Mean of the y values (0 if empty).
     pub fn mean(&self) -> f64 {
-        if self.points.is_empty() {
-            return 0.0;
-        }
-        self.points.iter().map(|p| p.1).sum::<f64>() / self.points.len() as f64
+        let ys: Vec<f64> = self.points.iter().map(|p| p.1).collect();
+        stats::mean(&ys)
     }
 
     /// Maximum of the y values (0 if empty).
@@ -119,11 +118,7 @@ impl Series {
             .filter(|p| p.0 >= from)
             .map(|p| p.1)
             .collect();
-        if tail.is_empty() {
-            0.0
-        } else {
-            tail.iter().sum::<f64>() / tail.len() as f64
-        }
+        stats::mean(&tail)
     }
 
     /// Downsamples to roughly `n` points (for compact printing). `n = 0`

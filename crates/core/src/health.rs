@@ -23,15 +23,21 @@ pub enum DegradationState {
     Down,
 }
 
-impl std::fmt::Display for DegradationState {
-    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        let s = match self {
+impl DegradationState {
+    /// Stable machine name of this state (report columns, telemetry events).
+    pub fn as_str(&self) -> &'static str {
+        match self {
             DegradationState::Healthy => "healthy",
             DegradationState::Degraded => "degraded",
             DegradationState::DeadReckoning => "dead-reckoning",
             DegradationState::Down => "down",
-        };
-        f.write_str(s)
+        }
+    }
+}
+
+impl std::fmt::Display for DegradationState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -102,15 +108,18 @@ impl HealthMonitor {
     }
 
     /// Moves to `next` at time `now`, closing out the previous interval.
-    /// A self-transition is a no-op (time keeps accruing).
-    pub fn transition(&mut self, now: SimTime, next: DegradationState) {
+    /// A self-transition is a no-op (time keeps accruing). Returns whether
+    /// the state actually changed, so callers can emit transition events
+    /// without tracking the previous state themselves.
+    pub fn transition(&mut self, now: SimTime, next: DegradationState) -> bool {
         if next == self.state {
-            return;
+            return false;
         }
         self.ledger
             .add(self.state, now.saturating_since(self.since));
         self.state = next;
         self.since = now;
+        true
     }
 
     /// Closes the final interval at `end` and returns the completed ledger.
@@ -137,6 +146,14 @@ mod tests {
         assert_eq!(l.dead_reckoning_s, 8.0);
         assert_eq!(l.down_s, 10.0);
         assert_eq!(l.total_s(), 30.0);
+    }
+
+    #[test]
+    fn transition_reports_actual_changes() {
+        let mut h = HealthMonitor::new(DegradationState::Healthy, SimTime::ZERO);
+        assert!(!h.transition(SimTime::from_secs(1), DegradationState::Healthy));
+        assert!(h.transition(SimTime::from_secs(2), DegradationState::Down));
+        assert!(!h.transition(SimTime::from_secs(3), DegradationState::Down));
     }
 
     #[test]

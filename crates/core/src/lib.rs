@@ -21,7 +21,9 @@
 //! - [`runner`]: the deterministic event-driven simulation;
 //! - [`metrics`]: localization-error series, CDF snapshots and the energy
 //!   ledger;
-//! - [`experiment`]: one driver per paper figure (4 through 10).
+//! - [`experiment`]: one driver per paper figure (4 through 10);
+//! - [`tracefile`]: the read side of the telemetry bus — JSONL trace
+//!   parsing, validation and the queries behind `cocoa-trace`.
 //!
 //! # Examples
 //!
@@ -51,6 +53,7 @@ pub mod robot;
 pub mod runner;
 pub mod scenario;
 pub mod sync;
+pub mod tracefile;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
@@ -60,9 +63,11 @@ pub mod prelude {
         TrafficStats,
     };
     pub use crate::robot::Robot;
-    pub use crate::runner::{run, run_traced};
+    pub use crate::runner::{run, run_traced, run_with_telemetry};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
     pub use crate::sync::{DriftingClock, SyncMessage};
+    pub use crate::tracefile::TraceFile;
     pub use cocoa_localization::estimator::EstimatorMode;
     pub use cocoa_sim::faults::{Fault, FaultPlan, GilbertElliott};
+    pub use cocoa_sim::telemetry::{Telemetry, TelemetryEvent, TelemetryLevel};
 }

@@ -12,6 +12,7 @@ use serde::{Deserialize, Serialize};
 use cocoa_multicast::mesh::MeshStats;
 use cocoa_net::energy::EnergyLedger;
 use cocoa_net::geometry::Point;
+use cocoa_sim::stats;
 use cocoa_sim::time::SimTime;
 
 /// One point of the per-second error series.
@@ -37,7 +38,7 @@ pub struct ErrorSnapshot {
 impl ErrorSnapshot {
     /// Builds a snapshot from unsorted errors.
     pub fn new(time: SimTime, mut errors_m: Vec<f64>) -> Self {
-        errors_m.sort_by(|a, b| a.partial_cmp(b).expect("errors are finite"));
+        stats::sort_finite(&mut errors_m);
         ErrorSnapshot { time, errors_m }
     }
 
@@ -56,19 +57,12 @@ impl ErrorSnapshot {
     ///
     /// Panics if the snapshot is empty or `p` is outside `[0, 1]`.
     pub fn percentile(&self, p: f64) -> f64 {
-        assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
-        assert!(!self.errors_m.is_empty(), "empty snapshot has no quantiles");
-        let idx = ((self.errors_m.len() - 1) as f64 * p).round() as usize;
-        self.errors_m[idx]
+        stats::percentile_sorted(&self.errors_m, p)
     }
 
     /// Mean error of the snapshot, metres.
     pub fn mean(&self) -> f64 {
-        if self.errors_m.is_empty() {
-            0.0
-        } else {
-            self.errors_m.iter().sum::<f64>() / self.errors_m.len() as f64
-        }
+        stats::mean(&self.errors_m)
     }
 }
 
@@ -200,14 +194,8 @@ impl RunMetrics {
     /// Mean of the per-second error series — "average localization error
     /// over time" in the paper's wording.
     pub fn mean_error_over_time(&self) -> f64 {
-        if self.error_series.is_empty() {
-            return 0.0;
-        }
-        self.error_series
-            .iter()
-            .map(|p| p.mean_error_m)
-            .sum::<f64>()
-            / self.error_series.len() as f64
+        let ys: Vec<f64> = self.error_series.iter().map(|p| p.mean_error_m).collect();
+        stats::mean(&ys)
     }
 
     /// Maximum of the per-second error series.
@@ -240,11 +228,7 @@ impl RunMetrics {
             .filter(|p| p.t_s >= from_s)
             .map(|p| p.mean_error_m)
             .collect();
-        if tail.is_empty() {
-            0.0
-        } else {
-            tail.iter().sum::<f64>() / tail.len() as f64
-        }
+        stats::mean(&tail)
     }
 }
 

@@ -4,6 +4,8 @@
 
 use std::fmt::Write as _;
 
+use cocoa_sim::telemetry::{Telemetry, TelemetryEvent};
+
 use crate::metrics::RunMetrics;
 use crate::scenario::Scenario;
 
@@ -90,6 +92,74 @@ pub fn health_csv(metrics: &RunMetrics) -> String {
             "{},{:.1},{:.1},{:.1},{:.1}",
             i, l.healthy_s, l.degraded_s, l.dead_reckoning_s, l.down_s
         );
+    }
+    out
+}
+
+/// End-of-run telemetry counters as CSV (`counter,value`), sorted by
+/// name. Empty below `--telemetry counters`.
+pub fn telemetry_counters_csv(telemetry: &Telemetry) -> String {
+    let mut out = String::from("counter,value\n");
+    for (name, value) in telemetry.counters().sorted() {
+        let _ = writeln!(out, "{name},{value}");
+    }
+    out
+}
+
+/// The span profile as CSV (`span,total_ns,count,share_of_run`), hottest
+/// first. Shares are relative to the `run.total` root span.
+pub fn telemetry_spans_csv(telemetry: &Telemetry) -> String {
+    let spans = telemetry.spans();
+    let root = spans.total_ns("run.total").unwrap_or(0);
+    let mut out = String::from("span,total_ns,count,share_of_run\n");
+    for s in spans.report() {
+        let share = if root > 0 {
+            s.total_ns as f64 / root as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(out, "{},{},{},{:.4}", s.name, s.total_ns, s.count, share);
+    }
+    out
+}
+
+/// Per-robot timeline samples as CSV — one row per `robot_sample` event
+/// (`t_s,robot,true_x_m,true_y_m,est_x_m,est_y_m,err_m,entropy_frac,energy_j,radio,health`).
+/// Empty below `--telemetry timeline`.
+pub fn timeline_csv(telemetry: &Telemetry) -> String {
+    let mut out = String::from(
+        "t_s,robot,true_x_m,true_y_m,est_x_m,est_y_m,err_m,entropy_frac,energy_j,radio,health\n",
+    );
+    for e in telemetry.events() {
+        if let TelemetryEvent::RobotSample {
+            robot,
+            true_x_m,
+            true_y_m,
+            est_x_m,
+            est_y_m,
+            err_m,
+            entropy_frac,
+            energy_j,
+            radio,
+            health,
+        } = &e.event
+        {
+            let _ = write!(
+                out,
+                "{},{},{},{},{},{},{},",
+                e.t_us as f64 / 1e6,
+                robot,
+                true_x_m,
+                true_y_m,
+                est_x_m,
+                est_y_m,
+                err_m
+            );
+            if let Some(h) = entropy_frac {
+                let _ = write!(out, "{h}");
+            }
+            let _ = writeln!(out, ",{energy_j},{radio},{health}");
+        }
     }
     out
 }
@@ -270,6 +340,21 @@ mod tests {
         let md = markdown_summary(&s, &m);
         assert!(md.contains("- faults:"), "missing faults line:\n{md}");
         assert!(md.contains("- degradation:"));
+    }
+
+    #[test]
+    fn telemetry_csvs_cover_counters_spans_and_timeline() {
+        use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
+        let (s, _) = small_run();
+        let (_, t) = crate::runner::run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+        let counters = telemetry_counters_csv(&t);
+        assert!(counters.starts_with("counter,value"));
+        assert!(counters.contains("traffic.beacons_sent,"), "{counters}");
+        let spans = telemetry_spans_csv(&t);
+        assert!(spans.contains("run.total,"), "{spans}");
+        let timeline = timeline_csv(&t);
+        assert!(timeline.lines().count() > 1, "{timeline}");
+        assert!(timeline.starts_with("t_s,robot,"));
     }
 
     #[test]

@@ -27,6 +27,7 @@ use cocoa_sim::dist::uniform;
 use cocoa_sim::engine::Engine;
 use cocoa_sim::faults::{garble_bytes, Fault, GilbertElliottLink};
 use cocoa_sim::rng::{DetRng, SeedSplitter};
+use cocoa_sim::telemetry::{SpanId, Telemetry, TelemetryEvent};
 use cocoa_sim::time::{SimDuration, SimTime};
 use cocoa_sim::trace::{Trace, TraceLevel};
 
@@ -101,6 +102,96 @@ enum Event {
     Fault(Fault),
 }
 
+/// Pre-registered span handles, so hot paths never look a span up by name.
+/// `run.*` spans tile the whole run; `event.*` spans tile the event loop by
+/// category; the rest are nested subsystem spans.
+#[derive(Clone, Copy)]
+struct SpanIds {
+    run_total: SpanId,
+    run_calibrate: SpanId,
+    run_setup: SpanId,
+    run_event_loop: SpanId,
+    run_finalize: SpanId,
+    event_move_tick: SpanId,
+    event_metrics_sample: SpanId,
+    event_snapshot: SpanId,
+    event_window_start: SpanId,
+    event_robot_wake: SpanId,
+    event_robot_window_end: SpanId,
+    event_transmit: SpanId,
+    event_tx_end: SpanId,
+    event_mesh_reply: SpanId,
+    event_mesh_rebroadcast: SpanId,
+    event_medium_gc: SpanId,
+    event_fault: SpanId,
+    grid_update: SpanId,
+    grid_fix: SpanId,
+    channel_sample: SpanId,
+    mesh_handle: SpanId,
+    mobility_step: SpanId,
+}
+
+impl SpanIds {
+    fn register(t: &mut Telemetry) -> SpanIds {
+        SpanIds {
+            run_total: t.span_id("run.total"),
+            run_calibrate: t.span_id("run.calibrate"),
+            run_setup: t.span_id("run.setup"),
+            run_event_loop: t.span_id("run.event_loop"),
+            run_finalize: t.span_id("run.finalize"),
+            event_move_tick: t.span_id("event.move_tick"),
+            event_metrics_sample: t.span_id("event.metrics_sample"),
+            event_snapshot: t.span_id("event.snapshot"),
+            event_window_start: t.span_id("event.window_start"),
+            event_robot_wake: t.span_id("event.robot_wake"),
+            event_robot_window_end: t.span_id("event.robot_window_end"),
+            event_transmit: t.span_id("event.transmit"),
+            event_tx_end: t.span_id("event.tx_end"),
+            event_mesh_reply: t.span_id("event.mesh_reply"),
+            event_mesh_rebroadcast: t.span_id("event.mesh_rebroadcast"),
+            event_medium_gc: t.span_id("event.medium_gc"),
+            event_fault: t.span_id("event.fault"),
+            grid_update: t.span_id("grid.update"),
+            grid_fix: t.span_id("grid.fix"),
+            channel_sample: t.span_id("channel.sample"),
+            mesh_handle: t.span_id("mesh.handle"),
+            mobility_step: t.span_id("mobility.step"),
+        }
+    }
+
+    fn for_event(&self, event: &Event) -> SpanId {
+        match event {
+            Event::MoveTick => self.event_move_tick,
+            Event::MetricsSample => self.event_metrics_sample,
+            Event::Snapshot { .. } => self.event_snapshot,
+            Event::WindowStart { .. } => self.event_window_start,
+            Event::RobotWake { .. } => self.event_robot_wake,
+            Event::RobotWindowEnd { .. } => self.event_robot_window_end,
+            Event::Transmit { .. } => self.event_transmit,
+            Event::TxEnd { .. } => self.event_tx_end,
+            Event::MeshReply { .. } => self.event_mesh_reply,
+            Event::MeshRebroadcast { .. } => self.event_mesh_rebroadcast,
+            Event::MediumGc => self.event_medium_gc,
+            Event::Fault(_) => self.event_fault,
+        }
+    }
+}
+
+/// Stable telemetry name of an injected fault.
+fn fault_kind(fault: &Fault) -> &'static str {
+    match fault {
+        Fault::Crash { .. } => "crash",
+        Fault::Reboot { .. } => "reboot",
+        Fault::ClockSkewStep { .. } => "clock_skew_step",
+        Fault::GarbleTxStart { .. } => "garble_tx_start",
+        Fault::GarbleTxEnd { .. } => "garble_tx_end",
+        Fault::BeaconOffsetStart { .. } => "beacon_offset_start",
+        Fault::BeaconOffsetEnd { .. } => "beacon_offset_end",
+        Fault::BurstLossStart { .. } => "burst_loss_start",
+        Fault::BurstLossEnd => "burst_loss_end",
+    }
+}
+
 struct World {
     scenario: Scenario,
     channel: RfChannel,
@@ -121,7 +212,10 @@ struct World {
     traffic: TrafficStats,
     sync_robot: usize,
     max_guard: SimDuration,
-    trace: Trace,
+    telemetry: Telemetry,
+    spans: SpanIds,
+    /// Next sim time at which per-robot timeline samples are due.
+    next_robot_sample: Option<SimTime>,
     // Fault-injection state.
     fault_rng: DetRng,
     /// Per-receiver Gilbert–Elliott link state while a burst-loss overlay
@@ -183,7 +277,7 @@ impl World {
 /// println!("mean error {:.1} m", metrics.mean_error_over_time());
 /// ```
 pub fn run(scenario: &Scenario) -> RunMetrics {
-    run_traced(scenario, Trace::disabled()).0
+    run_with_telemetry(scenario, Telemetry::off()).0
 }
 
 /// Like [`run`], but records protocol milestones (window starts, fixes,
@@ -191,10 +285,41 @@ pub fn run(scenario: &Scenario) -> RunMetrics {
 /// alongside the metrics. Use [`Trace::with_capacity`] to bound memory on
 /// long runs.
 ///
+/// The string trace is the legacy observability surface; it now rides on
+/// the typed telemetry bus (see [`run_with_telemetry`]) as its legacy sink,
+/// so existing callers keep working unchanged.
+///
 /// # Panics
 ///
 /// Panics if the scenario fails validation.
 pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
+    let mut telemetry = Telemetry::off();
+    telemetry.attach_legacy(trace);
+    let (metrics, mut telemetry) = run_with_telemetry(scenario, telemetry);
+    let trace = telemetry
+        .take_legacy()
+        .expect("legacy trace survives the run");
+    (metrics, trace)
+}
+
+/// Like [`run`], but records typed events, counters and span timings into
+/// the supplied [`Telemetry`] bus and returns it alongside the metrics.
+///
+/// Telemetry is strictly an observer: for any fixed scenario the returned
+/// [`RunMetrics`] are bit-identical whatever the bus level, and the
+/// deterministic part of the trace ([`Telemetry::to_jsonl`] without spans)
+/// is byte-identical across runs of the same seed.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+pub fn run_with_telemetry(
+    scenario: &Scenario,
+    mut telemetry: Telemetry,
+) -> (RunMetrics, Telemetry) {
+    let spans = SpanIds::register(&mut telemetry);
+    let t_total = telemetry.span_start();
+    let t_calibrate = telemetry.span_start();
     scenario
         .validate()
         .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
@@ -212,6 +337,8 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         &table,
         &GridConfig::new(scenario.area, scenario.grid_resolution_m),
     );
+    telemetry.span_end(spans.run_calibrate, t_calibrate);
+    let t_setup = telemetry.span_start();
 
     // --- Team construction. ---
     let mut placement_rng = split.stream("placement", 0);
@@ -308,7 +435,9 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         traffic: TrafficStats::default(),
         sync_robot: 0,
         max_guard,
-        trace,
+        telemetry,
+        spans,
+        next_robot_sample: None,
         fault_rng: split.stream("faults", 0),
         burst: None,
         corrupt_txs: std::collections::HashSet::new(),
@@ -354,11 +483,15 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         .iter()
         .map(|&t| ErrorSnapshot::new(t, Vec::new()))
         .collect();
+    world.telemetry.span_end(spans.run_setup, t_setup);
 
     // --- Run. ---
+    let t_loop = world.telemetry.span_start();
     engine.run(&mut world, handle_event);
+    world.telemetry.span_end(spans.run_event_loop, t_loop);
 
     // --- Finalize. ---
+    let t_finalize = world.telemetry.span_start();
     let mut per_robot = Vec::with_capacity(world.robots.len());
     let mut mesh = cocoa_multicast::mesh::MeshStats::default();
     let mut final_states = Vec::with_capacity(world.robots.len());
@@ -379,6 +512,73 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         .iter()
         .map(|r| r.health.finalize(horizon))
         .collect();
+
+    // Absorb every subsystem's lifetime statistics into the unified
+    // counter registry (no-op below `Counters`).
+    if world.telemetry.wants_counters() {
+        let t = &mut world.telemetry;
+        let tr = &world.traffic;
+        t.absorb("traffic.beacons_sent", tr.beacons_sent);
+        t.absorb("traffic.beacons_received", tr.beacons_received);
+        t.absorb("traffic.collisions", tr.collisions);
+        t.absorb("traffic.syncs_delivered", tr.syncs_delivered);
+        t.absorb("traffic.syncs_missed", tr.syncs_missed);
+        t.absorb("traffic.fixes", tr.fixes);
+        t.absorb("traffic.starved_windows", tr.starved_windows);
+        let ro = &world.robustness;
+        t.absorb("robustness.crashes", ro.crashes);
+        t.absorb("robustness.reboots", ro.reboots);
+        t.absorb("robustness.failovers", ro.failovers);
+        t.absorb("robustness.burst_losses", ro.burst_losses);
+        t.absorb(
+            "robustness.corrupt_frames_dropped",
+            ro.corrupt_frames_dropped,
+        );
+        t.absorb(
+            "robustness.garbled_frames_delivered",
+            ro.garbled_frames_delivered,
+        );
+        t.absorb(
+            "robustness.outlier_beacons_rejected",
+            ro.outlier_beacons_rejected,
+        );
+        t.absorb("robustness.flat_posteriors", ro.flat_posteriors);
+        t.absorb("robustness.stale_syncs_ignored", ro.stale_syncs_ignored);
+        t.absorb("robustness.malformed_sync_bodies", ro.malformed_sync_bodies);
+        t.absorb("mesh.queries_originated", mesh.queries_originated);
+        t.absorb("mesh.queries_rebroadcast", mesh.queries_rebroadcast);
+        t.absorb("mesh.queries_suppressed", mesh.queries_suppressed);
+        t.absorb("mesh.replies_sent", mesh.replies_sent);
+        t.absorb("mesh.fg_activations", mesh.fg_activations);
+        t.absorb("mesh.data_originated", mesh.data_originated);
+        t.absorb("mesh.data_forwarded", mesh.data_forwarded);
+        t.absorb("mesh.data_delivered", mesh.data_delivered);
+        t.absorb("mesh.data_duplicates", mesh.data_duplicates);
+        t.absorb("mesh.data_undecodable", mesh.data_undecodable);
+        t.absorb("mac.half_duplex", world.medium.half_duplex());
+        t.absorb("engine.events_processed", engine.events_processed());
+        t.absorb("engine.peak_pending", engine.peak_pending() as u64);
+        let (mut wakes, mut sent, mut received) = (0u64, 0u64, 0u64);
+        for r in &world.robots {
+            wakes += u64::from(r.radio.wake_count());
+            sent += u64::from(r.radio.packets_sent());
+            received += u64::from(r.radio.packets_received());
+        }
+        t.absorb("radio.wakes", wakes);
+        t.absorb("radio.packets_sent", sent);
+        t.absorb("radio.packets_received", received);
+        // The legacy string trace reports its ring-buffer drops here too,
+        // so a bounded trace never evicts silently.
+        if let Some(trace) = t.legacy_trace() {
+            let (emitted, dropped) = (trace.emitted(), trace.dropped());
+            t.absorb("trace.emitted", emitted);
+            t.absorb("trace.dropped", dropped);
+        }
+        let (emitted, dropped) = (t.events_emitted(), t.dropped_events());
+        t.absorb("telemetry.events_emitted", emitted);
+        t.absorb("telemetry.events_dropped", dropped);
+    }
+
     let metrics = RunMetrics {
         error_series: world.error_series,
         snapshots: world.snapshots,
@@ -391,14 +591,27 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
         health,
         events_processed: engine.events_processed(),
     };
-    (metrics, world.trace)
+    world.telemetry.span_end(spans.run_finalize, t_finalize);
+    world.telemetry.span_end(spans.run_total, t_total);
+    (metrics, world.telemetry)
 }
 
 fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
+    // Attribute the wall-clock cost of every dispatch to its event
+    // category; dispatch_event holds the actual logic so early returns
+    // inside the arms cannot skip closing the span.
+    let span = world.telemetry.span_start();
+    let span_id = world.spans.for_event(&event);
+    dispatch_event(engine, world, event);
+    world.telemetry.span_end(span_id, span);
+}
+
+fn dispatch_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
     let now = engine.now();
     match event {
         Event::MoveTick => {
             let dt = world.scenario.tick.as_secs_f64();
+            let sp = world.telemetry.span_start();
             for i in 0..world.robots.len() {
                 let r = &mut world.robots[i];
                 if !r.alive {
@@ -407,6 +620,7 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                 r.motion
                     .step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
             }
+            world.telemetry.span_end(world.spans.mobility_step, sp);
             engine.schedule_in(world.scenario.tick, Event::MoveTick);
         }
 
@@ -427,6 +641,56 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                     mean_error_m: sum / n as f64,
                     robots: n,
                 });
+                // The team sample mirrors the error point exactly (same
+                // expression, same operands) so traces reconstruct the
+                // metrics curve bit-for-bit.
+                if world.telemetry.wants_events() {
+                    let energy_j: f64 = world
+                        .robots
+                        .iter()
+                        .map(|r| r.radio.peek_ledger(now).total_j())
+                        .sum();
+                    world.telemetry.emit(
+                        now,
+                        TelemetryEvent::TeamSample {
+                            mean_err_m: sum / n as f64,
+                            robots: n as u32,
+                            energy_j,
+                        },
+                    );
+                }
+            }
+            // Per-robot timelines ride the metrics tick (no extra engine
+            // events, so `events_processed` is telemetry-invariant) but
+            // thin out to the configured sampling interval.
+            if world.telemetry.wants_events() {
+                let due = world.next_robot_sample.is_none_or(|t| now >= t);
+                if due {
+                    let interval = world
+                        .telemetry
+                        .sample_interval()
+                        .unwrap_or(world.scenario.metrics_interval);
+                    world.next_robot_sample = Some(now + interval);
+                    for (i, r) in world.robots.iter().enumerate() {
+                        let true_pos = r.motion.true_position();
+                        let est = r.estimate(mode, &area);
+                        world.telemetry.emit(
+                            now,
+                            TelemetryEvent::RobotSample {
+                                robot: i as u32,
+                                true_x_m: true_pos.x,
+                                true_y_m: true_pos.y,
+                                est_x_m: est.x,
+                                est_y_m: est.y,
+                                err_m: r.localization_error(mode, &area),
+                                entropy_frac: r.rf.as_ref().and_then(|rf| rf.entropy_fraction()),
+                                energy_j: r.radio.peek_ledger(now).total_j(),
+                                radio: r.radio.state().as_str(),
+                                health: r.health.state().as_str(),
+                            },
+                        );
+                    }
+                }
             }
             engine.schedule_in(world.scenario.metrics_interval, Event::MetricsSample);
         }
@@ -455,9 +719,14 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
         }
 
         Event::WindowStart { index } => {
-            world.trace.emit(now, TraceLevel::Info, "coordinator", || {
-                format!("beacon period {index} starts")
-            });
+            world
+                .telemetry
+                .emit(now, TelemetryEvent::WindowStart { window: index });
+            world
+                .telemetry
+                .legacy(now, TraceLevel::Info, "coordinator", || {
+                    format!("beacon period {index} starts")
+                });
             // Schedule the next period on the reference timeline.
             let next = world.window_start_time(index + 1);
             if next < engine.horizon() {
@@ -485,7 +754,13 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                             world.sync_robot = new_sync;
                             world.sync_dead_windows = 0;
                             world.robustness.failovers += 1;
-                            world.trace.emit(now, TraceLevel::Info, "sync", || {
+                            world.telemetry.emit(
+                                now,
+                                TelemetryEvent::Failover {
+                                    new_sync: new_sync as u32,
+                                },
+                            );
+                            world.telemetry.legacy(now, TraceLevel::Info, "sync", || {
                                 format!("failover: robot {new_sync} elected as timebase")
                             });
                         }
@@ -555,6 +830,11 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
                         pos = Point::new(pos.x + dx, pos.y + dy);
                     }
                     world.traffic.beacons_sent += 1;
+                    world.telemetry.emit_full(now, || TelemetryEvent::BeaconTx {
+                        robot: robot as u32,
+                        x_m: pos.x,
+                        y_m: pos.y,
+                    });
                     Packet::new(
                         r.id,
                         now.as_micros() as u32,
@@ -613,6 +893,13 @@ fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
 
 /// Applies one injected fault to the world at `now`.
 fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now: SimTime) {
+    world.telemetry.emit(
+        now,
+        TelemetryEvent::FaultInjected {
+            kind: fault_kind(&fault),
+            robot: fault.robot().map(|r| r as u32),
+        },
+    );
     match fault {
         Fault::Crash { robot } => {
             let r = &mut world.robots[robot];
@@ -623,9 +910,24 @@ fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now:
             // Orphan the pending wake chain of this life.
             r.epoch = r.epoch.wrapping_add(1);
             r.radio.set_state(now, PowerState::Off);
-            r.health.transition(now, DegradationState::Down);
+            world.telemetry.emit(
+                now,
+                TelemetryEvent::RadioState {
+                    robot: robot as u32,
+                    state: PowerState::Off.as_str(),
+                },
+            );
+            if r.health.transition(now, DegradationState::Down) {
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::HealthTransition {
+                        robot: robot as u32,
+                        state: DegradationState::Down.as_str(),
+                    },
+                );
+            }
             world.robustness.crashes += 1;
-            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
                 format!("robot {robot} crashed")
             });
         }
@@ -649,12 +951,17 @@ fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now:
             if let Some(rf) = r.rf.as_mut() {
                 *rf = WindowedRfEstimator::with_algorithm(GridConfig::new(area, res), alg);
             }
-            r.radio.set_state(
+            let up_state = if uses_rf {
+                PowerState::Idle
+            } else {
+                PowerState::Off
+            };
+            r.radio.set_state(now, up_state);
+            world.telemetry.emit(
                 now,
-                if uses_rf {
-                    PowerState::Idle
-                } else {
-                    PowerState::Off
+                TelemetryEvent::RadioState {
+                    robot: robot as u32,
+                    state: up_state.as_str(),
                 },
             );
             let back = if r.equipped && uses_rf {
@@ -662,9 +969,17 @@ fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now:
             } else {
                 DegradationState::DeadReckoning
             };
-            r.health.transition(now, back);
+            if r.health.transition(now, back) {
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::HealthTransition {
+                        robot: robot as u32,
+                        state: back.as_str(),
+                    },
+                );
+            }
             world.robustness.reboots += 1;
-            world.trace.emit(now, TraceLevel::Info, "fault", || {
+            world.telemetry.legacy(now, TraceLevel::Info, "fault", || {
                 format!("robot {robot} rebooted")
             });
             // Rejoin the window cycle at the next period boundary.
@@ -687,7 +1002,7 @@ fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now:
         }
         Fault::ClockSkewStep { robot, delta_ppm } => {
             world.robots[robot].clock.apply_skew_step(delta_ppm, now);
-            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
                 format!("robot {robot} clock skew stepped by {delta_ppm} ppm")
             });
         }
@@ -707,7 +1022,7 @@ fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now:
                     .map(|_| GilbertElliottLink::new(model))
                     .collect(),
             );
-            world.trace.emit(now, TraceLevel::Warn, "fault", || {
+            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
                 format!(
                     "burst-loss overlay on (mean loss {:.0}%)",
                     model.mean_loss() * 100.0
@@ -734,8 +1049,18 @@ fn robot_wake(
     let beacons = world.beacons_in_window(robot, window);
     {
         let r = &mut world.robots[robot];
-        if world.scenario.coordination || r.radio.state() != PowerState::Idle {
+        let prev = r.radio.state();
+        if world.scenario.coordination || prev != PowerState::Idle {
             r.radio.set_state(now, PowerState::Idle);
+            if prev != PowerState::Idle {
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::RadioState {
+                        robot: robot as u32,
+                        state: PowerState::Idle.as_str(),
+                    },
+                );
+            }
         }
         r.synced_this_window = robot == world.sync_robot && world.scenario.sync_enabled;
         if let Some(rf) = r.rf.as_mut() {
@@ -806,14 +1131,27 @@ fn robot_window_end(
         // Close the RF window and process the fix.
         if let Some(rf) = r.rf.as_mut() {
             let had_window = rf.in_window();
-            match rf.end_window_guarded(watchdog) {
+            let sp = world.telemetry.span_start();
+            let outcome = rf.end_window_guarded(watchdog);
+            world.telemetry.span_end(world.spans.grid_fix, sp);
+            match outcome {
                 WindowOutcome::Fix(fix) => {
                     r.has_fix = true;
                     r.last_fix_window = Some(window);
                     world.traffic.fixes += 1;
+                    world.telemetry.emit(
+                        now,
+                        TelemetryEvent::Fix {
+                            robot: robot as u32,
+                            window,
+                            x_m: fix.x,
+                            y_m: fix.y,
+                            err_m: r.motion.true_position().distance_to(fix),
+                        },
+                    );
                     world
-                        .trace
-                        .emit(now, TraceLevel::Debug, "localization", || {
+                        .telemetry
+                        .legacy(now, TraceLevel::Debug, "localization", || {
                             format!("robot {} fixed at {} in window {window}", robot, fix)
                         });
                     if mode == EstimatorMode::Cocoa {
@@ -842,21 +1180,41 @@ fn robot_window_end(
                     // the robot keeps dead-reckoning from its previous fix
                     // rather than jumping to an uninformative centroid.
                     world.robustness.flat_posteriors += 1;
-                    world.trace.emit(now, TraceLevel::Warn, "localization", || {
-                        format!(
-                            "robot {robot} posterior too flat in window {window} \
-                             (entropy {entropy:.2} > {threshold:.2}); keeping estimate"
-                        )
-                    });
+                    world.telemetry.emit(
+                        now,
+                        TelemetryEvent::FlatPosterior {
+                            robot: robot as u32,
+                            window,
+                            entropy,
+                            threshold,
+                        },
+                    );
+                    world
+                        .telemetry
+                        .legacy(now, TraceLevel::Warn, "localization", || {
+                            format!(
+                                "robot {robot} posterior too flat in window {window} \
+                                 (entropy {entropy:.2} > {threshold:.2}); keeping estimate"
+                            )
+                        });
                 }
                 WindowOutcome::NoFix => {
                     if had_window {
                         // Fewer than the minimum beacons arrived: the robot
                         // keeps its previous estimate (paper Section 2.3).
                         world.traffic.starved_windows += 1;
-                        world.trace.emit(now, TraceLevel::Warn, "localization", || {
-                            format!("robot {robot} starved in window {window}")
-                        });
+                        world.telemetry.emit(
+                            now,
+                            TelemetryEvent::StarvedWindow {
+                                robot: robot as u32,
+                                window,
+                            },
+                        );
+                        world
+                            .telemetry
+                            .legacy(now, TraceLevel::Warn, "localization", || {
+                                format!("robot {robot} starved in window {window}")
+                            });
                     }
                 }
             }
@@ -870,16 +1228,38 @@ fn robot_window_end(
                 Some(w) if window.saturating_sub(w) <= 2 => DegradationState::Degraded,
                 _ => DegradationState::DeadReckoning,
             };
-            r.health.transition(now, state);
+            if r.health.transition(now, state) {
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::HealthTransition {
+                        robot: robot as u32,
+                        state: state.as_str(),
+                    },
+                );
+            }
         }
         // Synchronization accounting.
         if world.scenario.sync_enabled {
             if r.synced_this_window {
                 world.traffic.syncs_delivered += 1;
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::SyncDelivered {
+                        robot: robot as u32,
+                        window,
+                    },
+                );
             } else {
                 r.clock.note_missed_sync();
                 world.traffic.syncs_missed += 1;
-                world.trace.emit(now, TraceLevel::Warn, "sync", || {
+                world.telemetry.emit(
+                    now,
+                    TelemetryEvent::SyncMissed {
+                        robot: robot as u32,
+                        window,
+                    },
+                );
+                world.telemetry.legacy(now, TraceLevel::Warn, "sync", || {
                     format!("robot {robot} missed SYNC in window {window}")
                 });
             }
@@ -887,6 +1267,13 @@ fn robot_window_end(
         // Sleep until the next window.
         if world.scenario.coordination {
             r.radio.set_state(now, PowerState::Sleep);
+            world.telemetry.emit(
+                now,
+                TelemetryEvent::RadioState {
+                    robot: robot as u32,
+                    state: PowerState::Sleep.as_str(),
+                },
+            );
         }
     }
     // Schedule the next wake on the robot's local clock.
@@ -949,6 +1336,7 @@ fn transmit(
     }
     let mut receivers = Vec::new();
     let detect_horizon = world.channel.max_range() * 1.5;
+    let sp = world.telemetry.span_start();
     for j in 0..world.robots.len() {
         if j == robot || !world.robots[j].radio.can_receive() {
             continue;
@@ -977,6 +1365,7 @@ fn transmit(
         world.medium.record_rssi(tx, world.robots[j].id, rssi);
         receivers.push(j);
     }
+    world.telemetry.span_end(world.spans.channel_sample, sp);
     engine.schedule_at(now + duration, Event::TxEnd { tx, receivers });
 }
 
@@ -1036,6 +1425,7 @@ fn dispatch(
             let r = &mut world.robots[robot];
             if let Some(rf) = r.rf.as_mut() {
                 world.traffic.beacons_received += 1;
+                let sp = world.telemetry.span_start();
                 let result = rf.observe_beacon_checked(
                     &world.table,
                     &world.radial,
@@ -1044,8 +1434,29 @@ fn dispatch(
                     reference,
                     gate,
                 );
+                world.telemetry.span_end(world.spans.grid_update, sp);
                 if result == ObservationResult::Outlier {
                     world.robustness.outlier_beacons_rejected += 1;
+                }
+                let outcome = match result {
+                    ObservationResult::Applied => "applied",
+                    ObservationResult::Outlier => "outlier",
+                    ObservationResult::Rejected => "rejected",
+                    ObservationResult::NoPdf => "no_pdf",
+                };
+                let from = packet.src.0;
+                world.telemetry.emit_full(now, || TelemetryEvent::BeaconRx {
+                    robot: robot as u32,
+                    from,
+                    rssi_dbm: rssi.value(),
+                    outcome,
+                });
+                if result == ObservationResult::Applied {
+                    world
+                        .telemetry
+                        .emit_full(now, || TelemetryEvent::GridUpdate {
+                            robot: robot as u32,
+                        });
                 }
             }
         }
@@ -1057,7 +1468,9 @@ fn dispatch(
             let mode = world.mode();
             let area = world.scenario.area;
             let info = world.robots[robot].mobility_info(mode, &area);
+            let sp = world.telemetry.span_start();
             let actions = world.robots[robot].mesh.handle_packet(now, &packet, &info);
+            world.telemetry.span_end(world.spans.mesh_handle, sp);
             for action in actions {
                 match action {
                     ProtocolAction::Broadcast {

@@ -1,0 +1,614 @@
+//! Loading, validating and querying JSONL telemetry traces.
+//!
+//! [`Telemetry::to_jsonl`](cocoa_sim::telemetry::Telemetry::to_jsonl)
+//! writes one flat JSON object per line; this module is the read side — a
+//! dependency-free parser for exactly that subset of JSON (flat objects of
+//! strings, numbers, booleans and nulls) plus the query layer behind the
+//! `cocoa-trace` binary: per-robot timelines, span reports, counter dumps,
+//! per-window summaries and event replay.
+//!
+//! The reconstruction helpers ([`TraceFile::team_error_curve`],
+//! [`TraceFile::team_energy_curve`]) rebuild the paper-style
+//! error-vs-time and energy-vs-time curves from `team_sample` events; the
+//! runner emits those with bit-identical arithmetic to the metrics
+//! pipeline, so the rebuilt curves match `RunMetrics` exactly.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One parsed JSON scalar.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (integers up to 2^53 round-trip exactly).
+    Num(f64),
+    /// A string, unescaped.
+    Str(String),
+}
+
+impl JsonValue {
+    /// The value as an `f64`, if numeric.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, if it is a non-negative integer.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 2f64.powi(53) => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// A parsed flat JSON object (one trace line).
+pub type JsonObject = BTreeMap<String, JsonValue>;
+
+/// Parses one flat JSON object: `{"key": scalar, ...}` with no nesting.
+///
+/// # Errors
+///
+/// Returns a human-readable message on malformed input.
+pub fn parse_flat_object(line: &str) -> Result<JsonObject, String> {
+    let mut p = Parser {
+        bytes: line.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut out = JsonObject::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.pos += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.parse_string()?;
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = p.parse_value()?;
+            out.insert(key, value);
+            p.skip_ws();
+            match p.next() {
+                Some(b',') => continue,
+                Some(b'}') => break,
+                other => return Err(format!("expected ',' or '}}', got {other:?}")),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(out)
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Option<u8> {
+        let b = self.peek();
+        if b.is_some() {
+            self.pos += 1;
+        }
+        b
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        match self.next() {
+            Some(c) if c == b => Ok(()),
+            other => Err(format!("expected {:?}, got {other:?}", b as char)),
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => return Ok(out),
+                Some(b'\\') => match self.next() {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next().ok_or("truncated \\u escape")?;
+                            code = code * 16
+                                + (d as char)
+                                    .to_digit(16)
+                                    .ok_or_else(|| format!("bad hex digit {:?}", d as char))?;
+                        }
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                    }
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some(c) if c < 0x80 => out.push(c as char),
+                Some(c) => {
+                    // Re-decode a multi-byte UTF-8 sequence from the source.
+                    let start = self.pos - 1;
+                    let len = match c {
+                        0xc0..=0xdf => 2,
+                        0xe0..=0xef => 3,
+                        _ => 4,
+                    };
+                    let end = (start + len).min(self.bytes.len());
+                    let s = std::str::from_utf8(&self.bytes[start..end])
+                        .map_err(|_| "invalid utf-8 in string".to_string())?;
+                    out.push_str(s);
+                    self.pos = end;
+                }
+            }
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<JsonValue, String> {
+        match self.peek() {
+            Some(b'"') => Ok(JsonValue::Str(self.parse_string()?)),
+            Some(b'n') => self.parse_keyword("null", JsonValue::Null),
+            Some(b't') => self.parse_keyword("true", JsonValue::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", JsonValue::Bool(false)),
+            Some(b'-' | b'0'..=b'9') => {
+                let start = self.pos;
+                while matches!(
+                    self.peek(),
+                    Some(b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9')
+                ) {
+                    self.pos += 1;
+                }
+                let s = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+                s.parse::<f64>()
+                    .map(JsonValue::Num)
+                    .map_err(|e| format!("bad number {s:?}: {e}"))
+            }
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: JsonValue) -> Result<JsonValue, String> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(format!("expected keyword {kw:?}"))
+        }
+    }
+}
+
+/// The `meta` header line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Trace schema version.
+    pub schema: u32,
+    /// Telemetry level the trace was recorded at.
+    pub level: String,
+    /// Total events emitted (including dropped ones).
+    pub events_emitted: u64,
+    /// Events discarded by the ring-buffer bound.
+    pub dropped: u64,
+}
+
+/// One event line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Event kind (`"fix"`, `"team_sample"`, …).
+    pub kind: String,
+    /// Stable sequence number.
+    pub seq: u64,
+    /// Simulation time, microseconds.
+    pub t_us: u64,
+    /// All remaining fields of the line.
+    pub fields: JsonObject,
+}
+
+impl TraceEvent {
+    /// Simulation time in seconds.
+    pub fn t_s(&self) -> f64 {
+        self.t_us as f64 / 1e6
+    }
+
+    /// The `robot` field, if present and numeric.
+    pub fn robot(&self) -> Option<u64> {
+        self.fields.get("robot").and_then(|v| v.as_u64())
+    }
+}
+
+/// One span line of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSpan {
+    /// Span name.
+    pub name: String,
+    /// Total wall-clock time attributed, nanoseconds.
+    pub total_ns: u64,
+    /// Times the span closed.
+    pub count: u64,
+}
+
+/// Every event kind the schema defines.
+pub const KNOWN_EVENT_KINDS: &[&str] = &[
+    "window_start",
+    "beacon_tx",
+    "beacon_rx",
+    "grid_update",
+    "fix",
+    "flat_posterior",
+    "starved_window",
+    "sync_delivered",
+    "sync_missed",
+    "failover",
+    "radio_state",
+    "fault",
+    "health",
+    "robot_sample",
+    "team_sample",
+    "legacy",
+];
+
+/// A fully parsed telemetry trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceFile {
+    /// The header line.
+    pub meta: TraceMeta,
+    /// Events in emission order.
+    pub events: Vec<TraceEvent>,
+    /// End-of-run counters, as written (sorted by name).
+    pub counters: Vec<(String, u64)>,
+    /// Span totals, if the trace embeds them.
+    pub spans: Vec<TraceSpan>,
+}
+
+impl TraceFile {
+    /// Parses and validates a JSONL trace.
+    ///
+    /// Validation enforces the schema: a leading `meta` line with a known
+    /// schema version, only known event kinds, strictly increasing
+    /// sequence numbers and non-decreasing timestamps.
+    ///
+    /// # Errors
+    ///
+    /// Returns `"line N: reason"` on the first malformed line.
+    pub fn parse(text: &str) -> Result<TraceFile, String> {
+        let mut meta = None;
+        let mut events = Vec::new();
+        let mut counters = Vec::new();
+        let mut spans = Vec::new();
+        let mut last_seq: Option<u64> = None;
+        let mut last_t: u64 = 0;
+        for (i, line) in text.lines().enumerate() {
+            let lineno = i + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let obj = parse_flat_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
+            let get_u64 = |key: &str| -> Result<u64, String> {
+                obj.get(key)
+                    .and_then(|v| v.as_u64())
+                    .ok_or_else(|| format!("line {lineno}: missing integer {key:?}"))
+            };
+            let get_str = |key: &str| -> Result<String, String> {
+                obj.get(key)
+                    .and_then(|v| v.as_str())
+                    .map(str::to_owned)
+                    .ok_or_else(|| format!("line {lineno}: missing string {key:?}"))
+            };
+            let kind = get_str("kind")?;
+            match kind.as_str() {
+                "meta" => {
+                    if meta.is_some() {
+                        return Err(format!("line {lineno}: duplicate meta line"));
+                    }
+                    if lineno != 1 {
+                        return Err(format!("line {lineno}: meta must be the first line"));
+                    }
+                    let schema = get_u64("schema")? as u32;
+                    if schema != cocoa_sim::telemetry::TRACE_SCHEMA_VERSION {
+                        return Err(format!("line {lineno}: unsupported schema {schema}"));
+                    }
+                    meta = Some(TraceMeta {
+                        schema,
+                        level: get_str("level")?,
+                        events_emitted: get_u64("events")?,
+                        dropped: get_u64("dropped")?,
+                    });
+                }
+                "counter" => counters.push((get_str("name")?, get_u64("value")?)),
+                "span" => spans.push(TraceSpan {
+                    name: get_str("name")?,
+                    total_ns: get_u64("total_ns")?,
+                    count: get_u64("count")?,
+                }),
+                k if KNOWN_EVENT_KINDS.contains(&k) => {
+                    if meta.is_none() {
+                        return Err(format!("line {lineno}: event before meta line"));
+                    }
+                    let seq = get_u64("seq")?;
+                    let t_us = get_u64("t_us")?;
+                    if last_seq.is_some_and(|s| seq <= s) {
+                        return Err(format!("line {lineno}: seq {seq} not increasing"));
+                    }
+                    if t_us < last_t {
+                        return Err(format!("line {lineno}: t_us {t_us} went backwards"));
+                    }
+                    last_seq = Some(seq);
+                    last_t = t_us;
+                    let mut fields = obj;
+                    fields.remove("kind");
+                    fields.remove("seq");
+                    fields.remove("t_us");
+                    events.push(TraceEvent {
+                        kind,
+                        seq,
+                        t_us,
+                        fields,
+                    });
+                }
+                other => return Err(format!("line {lineno}: unknown kind {other:?}")),
+            }
+        }
+        let meta = meta.ok_or("missing meta line")?;
+        Ok(TraceFile {
+            meta,
+            events,
+            counters,
+            spans,
+        })
+    }
+
+    /// The team mean-error curve: `(t_s, mean_err_m, robots)` per sample.
+    /// Bit-identical to `RunMetrics::error_series` for the same run.
+    pub fn team_error_curve(&self) -> Vec<(f64, f64, u64)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == "team_sample")
+            .filter_map(|e| {
+                Some((
+                    e.t_s(),
+                    e.fields.get("mean_err_m")?.as_f64()?,
+                    e.fields.get("robots")?.as_u64()?,
+                ))
+            })
+            .collect()
+    }
+
+    /// The team energy curve: `(t_s, energy_j)` per sample.
+    pub fn team_energy_curve(&self) -> Vec<(f64, f64)> {
+        self.events
+            .iter()
+            .filter(|e| e.kind == "team_sample")
+            .filter_map(|e| Some((e.t_s(), e.fields.get("energy_j")?.as_f64()?)))
+            .collect()
+    }
+
+    /// All events touching `robot` (samples, fixes, radio/health changes),
+    /// in time order.
+    pub fn robot_events(&self, robot: u64) -> Vec<&TraceEvent> {
+        self.events
+            .iter()
+            .filter(|e| e.robot() == Some(robot))
+            .collect()
+    }
+
+    /// Per-window protocol summary derived from the event stream:
+    /// `(window, fixes, syncs_delivered, syncs_missed, starved)`.
+    pub fn window_summary(&self) -> Vec<(u64, u64, u64, u64, u64)> {
+        let mut windows: BTreeMap<u64, (u64, u64, u64, u64)> = BTreeMap::new();
+        for e in &self.events {
+            let Some(w) = e.fields.get("window").and_then(|v| v.as_u64()) else {
+                continue;
+            };
+            let entry = windows.entry(w).or_default();
+            match e.kind.as_str() {
+                "fix" => entry.0 += 1,
+                "sync_delivered" => entry.1 += 1,
+                "sync_missed" => entry.2 += 1,
+                "starved_window" => entry.3 += 1,
+                _ => {}
+            }
+        }
+        windows
+            .into_iter()
+            .map(|(w, (f, sd, sm, st))| (w, f, sd, sm, st))
+            .collect()
+    }
+
+    /// Events at or after `from_s`, optionally capped at `limit`.
+    pub fn replay_from(&self, from_s: f64, limit: Option<usize>) -> Vec<&TraceEvent> {
+        let from_us = (from_s * 1e6).max(0.0) as u64;
+        let it = self.events.iter().filter(move |e| e.t_us >= from_us);
+        match limit {
+            Some(n) => it.take(n).collect(),
+            None => it.collect(),
+        }
+    }
+
+    /// One human-readable line for an event (the replay display format).
+    pub fn format_event(e: &TraceEvent) -> String {
+        let mut out = format!("{:>12.6}s  {:<16}", e.t_s(), e.kind);
+        for (k, v) in &e.fields {
+            match v {
+                JsonValue::Null => {
+                    let _ = write!(out, " {k}=null");
+                }
+                JsonValue::Bool(b) => {
+                    let _ = write!(out, " {k}={b}");
+                }
+                JsonValue::Num(n) => {
+                    let _ = write!(out, " {k}={n}");
+                }
+                JsonValue::Str(s) => {
+                    let _ = write!(out, " {k}={s:?}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cocoa_sim::telemetry::{Telemetry, TelemetryEvent, TelemetryLevel};
+    use cocoa_sim::time::SimTime;
+
+    #[test]
+    fn parses_scalars_and_escapes() {
+        let obj = parse_flat_object(r#"{"a": 1.5, "b": "x\"y\nz", "c": null, "d": true, "e": -2}"#)
+            .unwrap();
+        assert_eq!(obj["a"], JsonValue::Num(1.5));
+        assert_eq!(obj["b"], JsonValue::Str("x\"y\nz".into()));
+        assert_eq!(obj["c"], JsonValue::Null);
+        assert_eq!(obj["d"], JsonValue::Bool(true));
+        assert_eq!(obj["e"], JsonValue::Num(-2.0));
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_flat_object("{").is_err());
+        assert!(parse_flat_object(r#"{"a":}"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1} trailing"#).is_err());
+        assert!(parse_flat_object(r#"{"a":1,}"#).is_err());
+    }
+
+    #[test]
+    fn unicode_escapes_and_utf8_round_trip() {
+        let obj = parse_flat_object(r#"{"s": "café → 日本"}"#).unwrap();
+        assert_eq!(obj["s"], JsonValue::Str("café → 日本".into()));
+    }
+
+    fn sample_trace() -> String {
+        let mut t = Telemetry::new(TelemetryLevel::Full);
+        t.emit(
+            SimTime::from_secs(1),
+            TelemetryEvent::WindowStart { window: 0 },
+        );
+        t.emit(
+            SimTime::from_secs(2),
+            TelemetryEvent::Fix {
+                robot: 3,
+                window: 0,
+                x_m: 10.0,
+                y_m: 20.0,
+                err_m: 1.25,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2),
+            TelemetryEvent::SyncMissed {
+                robot: 4,
+                window: 0,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(3),
+            TelemetryEvent::TeamSample {
+                mean_err_m: 2.5,
+                robots: 25,
+                energy_j: 100.0,
+            },
+        );
+        t.absorb("traffic.fixes", 1);
+        t.to_jsonl(false)
+    }
+
+    #[test]
+    fn round_trips_telemetry_output() {
+        let trace = TraceFile::parse(&sample_trace()).unwrap();
+        assert_eq!(trace.meta.level, "full");
+        assert_eq!(trace.meta.events_emitted, 4);
+        assert_eq!(trace.events.len(), 4);
+        assert_eq!(trace.counters, vec![("traffic.fixes".to_string(), 1)]);
+        assert_eq!(trace.events[1].kind, "fix");
+        assert_eq!(trace.events[1].robot(), Some(3));
+        let curve = trace.team_error_curve();
+        assert_eq!(curve, vec![(3.0, 2.5, 25)]);
+        assert_eq!(trace.team_energy_curve(), vec![(3.0, 100.0)]);
+        let windows = trace.window_summary();
+        assert_eq!(windows, vec![(0, 1, 0, 1, 0)]);
+        assert_eq!(trace.robot_events(3).len(), 1);
+        assert_eq!(trace.replay_from(2.0, None).len(), 3);
+        assert_eq!(trace.replay_from(2.0, Some(1)).len(), 1);
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        // Missing meta.
+        let err = TraceFile::parse("{\"kind\":\"fix\",\"seq\":0,\"t_us\":0,\"robot\":1,\"window\":0,\"x_m\":0,\"y_m\":0,\"err_m\":0}\n")
+            .unwrap_err();
+        assert!(err.contains("before meta"), "{err}");
+        // Unknown kind.
+        let err = TraceFile::parse(
+            "{\"kind\":\"meta\",\"schema\":1,\"level\":\"full\",\"events\":0,\"dropped\":0}\n{\"kind\":\"bogus\",\"seq\":0,\"t_us\":0}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("unknown kind"), "{err}");
+        // Decreasing seq.
+        let err = TraceFile::parse(
+            "{\"kind\":\"meta\",\"schema\":1,\"level\":\"full\",\"events\":2,\"dropped\":0}\n\
+             {\"kind\":\"window_start\",\"seq\":1,\"t_us\":0,\"window\":0}\n\
+             {\"kind\":\"window_start\",\"seq\":0,\"t_us\":0,\"window\":1}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("not increasing"), "{err}");
+        // Unsupported schema.
+        let err = TraceFile::parse(
+            "{\"kind\":\"meta\",\"schema\":99,\"level\":\"full\",\"events\":0,\"dropped\":0}\n",
+        )
+        .unwrap_err();
+        assert!(err.contains("unsupported schema"), "{err}");
+    }
+
+    #[test]
+    fn spans_parse_when_embedded() {
+        let mut t = Telemetry::new(TelemetryLevel::Full);
+        let id = t.span_id("grid.update");
+        let s = t.span_start();
+        t.span_end(id, s);
+        let trace = TraceFile::parse(&t.to_jsonl(true)).unwrap();
+        assert_eq!(trace.spans.len(), 1);
+        assert_eq!(trace.spans[0].name, "grid.update");
+        assert_eq!(trace.spans[0].count, 1);
+    }
+
+    #[test]
+    fn format_event_is_readable() {
+        let trace = TraceFile::parse(&sample_trace()).unwrap();
+        let line = TraceFile::format_event(&trace.events[1]);
+        assert!(line.contains("fix"), "{line}");
+        assert!(line.contains("robot=3"), "{line}");
+    }
+}

@@ -1,0 +1,171 @@
+//! Telemetry acceptance tests: observation must not perturb the
+//! simulation, traces must be reproducible, and the trace must carry
+//! enough information to rebuild the headline metrics exactly.
+
+use cocoa_core::prelude::*;
+use cocoa_core::tracefile::TraceFile;
+use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
+use cocoa_sim::time::SimDuration;
+
+fn scenario(seed: u64) -> Scenario {
+    Scenario::builder()
+        .seed(seed)
+        .robots(10)
+        .equipped(5)
+        .duration(SimDuration::from_secs(120))
+        .beacon_period(SimDuration::from_secs(30))
+        .grid_resolution(6.0)
+        .build()
+}
+
+fn faulty_scenario(seed: u64) -> Scenario {
+    let mut s = scenario(seed);
+    s.faults = FaultPlan::preset("chaos", s.duration, s.num_robots).expect("preset exists");
+    s.validate().expect("valid scenario");
+    s
+}
+
+#[test]
+fn identical_seeds_give_byte_identical_traces() {
+    let s = scenario(42);
+    let (_, t1) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+    let (_, t2) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+    // Spans are wall-clock and excluded; everything else must match byte
+    // for byte.
+    assert_eq!(t1.to_jsonl(false), t2.to_jsonl(false));
+}
+
+#[test]
+fn different_seeds_give_different_traces() {
+    let (_, t1) = run_with_telemetry(&scenario(1), Telemetry::new(TelemetryLevel::Full));
+    let (_, t2) = run_with_telemetry(&scenario(2), Telemetry::new(TelemetryLevel::Full));
+    assert_ne!(t1.to_jsonl(false), t2.to_jsonl(false));
+}
+
+#[test]
+fn observation_does_not_perturb_the_run() {
+    // The whole point of the read-only telemetry design: metrics from an
+    // instrumented run equal metrics from a dark run, bit for bit.
+    for s in [scenario(7), faulty_scenario(7)] {
+        let dark = run(&s);
+        for level in [
+            TelemetryLevel::Counters,
+            TelemetryLevel::Timeline,
+            TelemetryLevel::Full,
+        ] {
+            let (observed, _) = run_with_telemetry(&s, Telemetry::new(level));
+            assert_eq!(observed, dark, "telemetry level {level} changed the run");
+        }
+    }
+}
+
+#[test]
+fn trace_reconstructs_error_and_energy_curves_exactly() {
+    let s = scenario(9);
+    let (metrics, t) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Timeline));
+    let trace = TraceFile::parse(&t.to_jsonl(false)).expect("valid trace");
+    let curve = trace.team_error_curve();
+    assert_eq!(curve.len(), metrics.error_series.len());
+    for (rebuilt, original) in curve.iter().zip(&metrics.error_series) {
+        assert_eq!(rebuilt.0, original.t_s, "sample times diverge");
+        assert_eq!(
+            rebuilt.1, original.mean_error_m,
+            "mean error diverges at t = {} s",
+            original.t_s
+        );
+        assert_eq!(rebuilt.2 as usize, original.robots);
+    }
+    // Energy: the final sample's cumulative ledger must match the final
+    // report's total for robots that were sampled at the same instant.
+    let energy = trace.team_energy_curve();
+    assert_eq!(energy.len(), metrics.error_series.len());
+    let (_, last_j) = *energy.last().expect("samples exist");
+    let total_j = metrics.energy.total_j();
+    assert!(
+        (last_j - total_j).abs() < 1e-6,
+        "trace energy {last_j} J vs metrics {total_j} J"
+    );
+}
+
+#[test]
+fn full_trace_round_trips_through_the_parser() {
+    let s = faulty_scenario(11);
+    let (_, t) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+    let trace = TraceFile::parse(&t.to_jsonl(true)).expect("valid trace");
+    assert_eq!(trace.meta.events_emitted, t.events_emitted());
+    assert_eq!(trace.meta.dropped, 0);
+    assert_eq!(trace.events.len() as u64, t.events_emitted());
+    // The chaos preset must leave visible fingerprints in the stream.
+    let kinds: Vec<&str> = trace.events.iter().map(|e| e.kind.as_str()).collect();
+    for expected in [
+        "window_start",
+        "beacon_tx",
+        "beacon_rx",
+        "fix",
+        "fault",
+        "team_sample",
+    ] {
+        assert!(kinds.contains(&expected), "no {expected} events in trace");
+    }
+    // Counters must be exported and include every subsystem prefix.
+    for prefix in ["traffic.", "mesh.", "engine.", "radio.", "telemetry."] {
+        assert!(
+            trace.counters.iter().any(|(n, _)| n.starts_with(prefix)),
+            "no {prefix} counters"
+        );
+    }
+}
+
+#[test]
+fn span_report_attributes_the_run() {
+    let s = scenario(5);
+    let (_, t) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+    let spans = t.spans();
+    let coverage = spans
+        .coverage("run.total")
+        .expect("run.total span recorded");
+    assert!(
+        coverage >= 0.95,
+        "run.* phases only cover {:.1}% of run.total",
+        coverage * 100.0
+    );
+}
+
+#[test]
+fn bounded_telemetry_counts_what_it_drops() {
+    let s = scenario(3);
+    let (_, t) = run_with_telemetry(&s, Telemetry::with_capacity(TelemetryLevel::Full, 64));
+    assert!(t.events_emitted() > 64, "run emits more than the bound");
+    assert_eq!(t.events().count(), 64, "ring buffer holds the bound");
+    assert_eq!(
+        t.dropped_events(),
+        t.events_emitted() - 64,
+        "every evicted event is counted"
+    );
+    // The drop count survives into the exported trace and its counters.
+    let trace = TraceFile::parse(&t.to_jsonl(false)).expect("valid trace");
+    assert_eq!(trace.meta.dropped, t.dropped_events());
+    let dropped = trace
+        .counters
+        .iter()
+        .find(|(n, _)| n == "telemetry.events_dropped")
+        .map(|(_, v)| *v);
+    assert_eq!(dropped, Some(t.dropped_events()));
+}
+
+#[test]
+fn legacy_trace_rides_the_bus_unchanged() {
+    // `run_traced` must keep producing the same string records whether or
+    // not it is re-routed through the telemetry bus internally.
+    use cocoa_sim::trace::{Trace, TraceLevel};
+    let s = faulty_scenario(13);
+    let trace_a = run_traced(&s, Trace::new(TraceLevel::Debug)).1;
+    let trace_b = run_traced(&s, Trace::new(TraceLevel::Debug)).1;
+    let lines = |tr: &Trace| -> Vec<String> {
+        tr.records()
+            .map(|r| format!("{} {} {}", r.time, r.subsystem, r.message))
+            .collect()
+    };
+    assert!(trace_a.emitted() > 0, "debug trace captures records");
+    assert_eq!(lines(&trace_a), lines(&trace_b));
+}

@@ -363,6 +363,24 @@ impl WindowedRfEstimator {
         }
     }
 
+    /// Posterior entropy as a fraction of the uniform-grid maximum, in
+    /// `[0, 1]` (1 = completely uninformative). `None` for the
+    /// multilateration backend, which has no posterior — telemetry
+    /// timelines record it as null rather than a fake number.
+    pub fn entropy_fraction(&self) -> Option<f64> {
+        match &self.backend {
+            Backend::Bayes(b) => {
+                let max = b.max_entropy();
+                if max > 0.0 {
+                    Some(b.entropy() / max)
+                } else {
+                    Some(0.0)
+                }
+            }
+            Backend::Lateration(_) => None,
+        }
+    }
+
     /// Lifetime statistics.
     pub fn stats(&self) -> WindowStats {
         self.stats

@@ -111,6 +111,24 @@ impl MeshStats {
         self.data_undecodable += other.data_undecodable;
     }
 
+    /// Every counter as a stable `(name, value)` list, in declaration
+    /// order. Names match the telemetry counter registry (`mesh.*` after
+    /// prefixing) and the trace schema.
+    pub fn counters(&self) -> [(&'static str, u64); 10] {
+        [
+            ("queries_originated", self.queries_originated),
+            ("queries_rebroadcast", self.queries_rebroadcast),
+            ("queries_suppressed", self.queries_suppressed),
+            ("replies_sent", self.replies_sent),
+            ("fg_activations", self.fg_activations),
+            ("data_originated", self.data_originated),
+            ("data_forwarded", self.data_forwarded),
+            ("data_delivered", self.data_delivered),
+            ("data_duplicates", self.data_duplicates),
+            ("data_undecodable", self.data_undecodable),
+        ]
+    }
+
     /// ODMRP's forwarding efficiency: deliveries per data transmission.
     /// Higher is better; MRMM's sparser mesh should beat plain ODMRP.
     pub fn forwarding_efficiency(&self) -> f64 {

@@ -76,6 +76,17 @@ pub enum PowerState {
     Idle,
 }
 
+impl PowerState {
+    /// Stable machine name of this state (telemetry event field).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            PowerState::Off => "off",
+            PowerState::Sleep => "sleep",
+            PowerState::Idle => "idle",
+        }
+    }
+}
+
 /// Per-category energy account for one radio, microjoules.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct EnergyLedger {

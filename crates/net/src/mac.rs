@@ -108,6 +108,7 @@ pub struct Medium {
     next_id: u64,
     total_tx: u64,
     total_collisions: u64,
+    total_half_duplex: u64,
 }
 
 impl Default for Medium {
@@ -137,6 +138,7 @@ impl Medium {
             next_id: 0,
             total_tx: 0,
             total_collisions: 0,
+            total_half_duplex: 0,
         }
     }
 
@@ -192,6 +194,7 @@ impl Medium {
             .any(|t| t.src == rx && t.start < frame.end && t.end > frame.start);
         if rx_was_txing {
             self.total_collisions += 1;
+            self.total_half_duplex += 1;
             return ReceptionOutcome::HalfDuplex;
         }
         // Strongest overlapping interferer that this receiver could hear.
@@ -256,6 +259,12 @@ impl Medium {
     /// Number of reception attempts judged collided or half-duplex.
     pub fn collisions(&self) -> u64 {
         self.total_collisions
+    }
+
+    /// The subset of [`Medium::collisions`] lost to the receiver itself
+    /// transmitting (half-duplex), rather than to an interfering frame.
+    pub fn half_duplex(&self) -> u64 {
+        self.total_half_duplex
     }
 }
 
@@ -383,6 +392,8 @@ mod tests {
         );
         m.record_rssi(a, NodeId(2), Dbm::new(-40.0));
         assert_eq!(m.outcome(a, NodeId(2)), ReceptionOutcome::HalfDuplex);
+        assert_eq!(m.half_duplex(), 1);
+        assert_eq!(m.collisions(), 1);
     }
 
     #[test]

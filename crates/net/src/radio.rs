@@ -143,6 +143,21 @@ impl Radio {
         self.ledger
     }
 
+    /// The ledger as it would read if finalized at `now`, without mutating
+    /// the radio. Mid-run observers (telemetry sampling) must use this
+    /// instead of [`Radio::finalize`]: checkpointing splits the f64 accrual
+    /// into different interval sums, perturbing the final ledger by ulps.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `now` precedes the last transition.
+    pub fn peek_ledger(&self, now: SimTime) -> EnergyLedger {
+        let dt = now.since(self.since);
+        let mut ledger = self.ledger;
+        ledger.accrue(&self.params, self.state, dt);
+        ledger
+    }
+
     /// Number of wake-up transitions so far.
     pub fn wake_count(&self) -> u32 {
         self.wakes
@@ -231,6 +246,27 @@ mod tests {
         assert_eq!(l.sleep_uj, 0.0);
         // But waking from off costs energy.
         assert!(l.wake_uj > 0.0);
+    }
+
+    #[test]
+    fn peek_ledger_matches_finalize_without_mutating() {
+        let mut r = Radio::new(EnergyParams::default(), t(0));
+        r.record_tx(t(5), 65);
+        r.set_state(t(10), PowerState::Sleep);
+        let peeked = r.peek_ledger(t(20));
+        let snapshot = r.clone();
+        let finalized = r.finalize(t(20));
+        assert_eq!(peeked, finalized);
+        // Peeking must leave the radio bit-identical.
+        let mut again = snapshot;
+        assert_eq!(again.finalize(t(20)), finalized);
+    }
+
+    #[test]
+    fn power_state_names_are_stable() {
+        assert_eq!(PowerState::Idle.as_str(), "idle");
+        assert_eq!(PowerState::Sleep.as_str(), "sleep");
+        assert_eq!(PowerState::Off.as_str(), "off");
     }
 
     #[test]

@@ -77,6 +77,12 @@ impl<E> Engine<E> {
         self.queue.len()
     }
 
+    /// The highest number of events ever pending at once (queue high-water
+    /// mark; a telemetry counter for sizing long runs).
+    pub fn peak_pending(&self) -> usize {
+        self.queue.peak_len()
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics

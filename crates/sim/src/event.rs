@@ -65,6 +65,7 @@ pub struct EventQueue<E> {
     next_seq: u64,
     // Number of live (non-cancelled) events; keeps len()/is_empty() O(1).
     live: usize,
+    peak_live: usize,
     cancelled: Vec<u64>,
 }
 
@@ -81,6 +82,7 @@ impl<E> EventQueue<E> {
             heap: BinaryHeap::new(),
             next_seq: 0,
             live: 0,
+            peak_live: 0,
             cancelled: Vec::new(),
         }
     }
@@ -97,6 +99,7 @@ impl<E> EventQueue<E> {
             payload,
         });
         self.live += 1;
+        self.peak_live = self.peak_live.max(self.live);
         EventId(seq)
     }
 
@@ -156,6 +159,11 @@ impl<E> EventQueue<E> {
     /// Whether no live events remain.
     pub fn is_empty(&self) -> bool {
         self.live == 0
+    }
+
+    /// The highest number of live events ever pending at once.
+    pub fn peak_len(&self) -> usize {
+        self.peak_live
     }
 }
 
@@ -243,5 +251,19 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn peak_len_is_high_water_mark() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::ZERO, ());
+        q.push(SimTime::ZERO, ());
+        q.pop();
+        q.push(SimTime::ZERO, ());
+        assert_eq!(q.len(), 2);
+        assert_eq!(q.peak_len(), 2);
+        q.pop();
+        q.pop();
+        assert_eq!(q.peak_len(), 2);
     }
 }

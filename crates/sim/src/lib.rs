@@ -10,7 +10,9 @@
 //! - a generic run loop, [`engine::Engine`], that dispatches events to a
 //!   caller-supplied handler,
 //! - reproducible per-subsystem random streams via [`rng::SeedSplitter`],
-//! - per-run structured tracing in [`trace::Trace`].
+//! - per-run structured tracing in [`trace::Trace`],
+//! - a typed observability bus — events, counters, span timers — in
+//!   [`telemetry::Telemetry`].
 //!
 //! The crate knows nothing about radios or robots; protocol models live in
 //! `cocoa-net`, `cocoa-mobility`, `cocoa-multicast` and `cocoa-core`.
@@ -40,6 +42,7 @@ pub mod event;
 pub mod faults;
 pub mod rng;
 pub mod stats;
+pub mod telemetry;
 pub mod time;
 pub mod trace;
 
@@ -50,6 +53,10 @@ pub mod prelude {
     pub use crate::faults::{Fault, FaultEvent, FaultPlan, GilbertElliott, GilbertElliottLink};
     pub use crate::rng::{DetRng, SeedSplitter};
     pub use crate::stats::{Histogram, RunningStats};
+    pub use crate::telemetry::{
+        CounterId, CounterRegistry, SpanId, SpanProfiler, StampedEvent, Telemetry, TelemetryEvent,
+        TelemetryLevel,
+    };
     pub use crate::time::{SimDuration, SimTime};
     pub use crate::trace::{Trace, TraceLevel};
 }

@@ -7,6 +7,47 @@
 
 use serde::{Deserialize, Serialize};
 
+/// Arithmetic mean of a slice (0 if empty).
+///
+/// This is the one shared definition of "mean of a batch" — the metrics
+/// and report layers both call it, so a summary table can never disagree
+/// with the series it was derived from. Summation is left-to-right, so
+/// results are bit-identical to a hand-rolled `iter().sum() / len`.
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        0.0
+    } else {
+        xs.iter().sum::<f64>() / xs.len() as f64
+    }
+}
+
+/// Sorts samples ascending for [`percentile_sorted`].
+///
+/// # Panics
+///
+/// Panics if any sample is NaN — a NaN would make the order (and every
+/// later quantile) meaningless.
+pub fn sort_finite(xs: &mut [f64]) {
+    xs.sort_by(|a, b| {
+        a.partial_cmp(b)
+            .unwrap_or_else(|| panic!("cannot order NaN samples"))
+    });
+}
+
+/// The `p`-quantile of an ascending-sorted slice (`p` in `[0, 1]`,
+/// nearest-rank with rounding: `p = 0` is the minimum, `p = 1` the
+/// maximum, a single sample is every quantile).
+///
+/// # Panics
+///
+/// Panics if the slice is empty or `p` is outside `[0, 1]`.
+pub fn percentile_sorted(xs: &[f64], p: f64) -> f64 {
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1]");
+    assert!(!xs.is_empty(), "empty sample set has no quantiles");
+    let idx = ((xs.len() - 1) as f64 * p).round() as usize;
+    xs[idx]
+}
+
 /// Exact running mean/variance/min/max (Welford's online algorithm).
 ///
 /// # Examples
@@ -262,6 +303,53 @@ impl Histogram {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn mean_of_empty_is_zero() {
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn mean_of_single_sample_is_itself() {
+        assert_eq!(mean(&[3.25]), 3.25);
+    }
+
+    #[test]
+    fn mean_matches_manual_sum() {
+        let xs = [1.0, 2.0, 4.0];
+        assert_eq!(mean(&xs), (1.0 + 2.0 + 4.0) / 3.0);
+    }
+
+    #[test]
+    fn percentile_endpoints_and_single_sample() {
+        let mut xs = vec![5.0, 1.0, 3.0];
+        sort_finite(&mut xs);
+        assert_eq!(xs, vec![1.0, 3.0, 5.0]);
+        assert_eq!(percentile_sorted(&xs, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&xs, 0.5), 3.0);
+        assert_eq!(percentile_sorted(&xs, 1.0), 5.0);
+        let one = [42.0];
+        assert_eq!(percentile_sorted(&one, 0.0), 42.0);
+        assert_eq!(percentile_sorted(&one, 1.0), 42.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample set")]
+    fn percentile_of_empty_panics() {
+        percentile_sorted(&[], 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be in [0,1]")]
+    fn percentile_rejects_out_of_range_p() {
+        percentile_sorted(&[1.0], 1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn sort_finite_rejects_nan() {
+        sort_finite(&mut [1.0, f64::NAN]);
+    }
 
     #[test]
     fn welford_matches_naive() {

@@ -1,0 +1,111 @@
+//! Telemetry walkthrough: observe a run without perturbing it.
+//!
+//! ```sh
+//! cargo run --release --example telemetry
+//! ```
+//!
+//! Runs one small CoCoA deployment with the telemetry bus at `Full`,
+//! then tours the three surfaces the bus records:
+//!
+//! 1. **events** — the typed, sim-time-stamped stream (beacons, fixes,
+//!    SYNC delivery, faults, per-robot samples);
+//! 2. **counters** — end-of-run totals from every subsystem under one
+//!    registry;
+//! 3. **spans** — wall-clock attribution of where the run actually
+//!    spent its time.
+//!
+//! Finally it exports the trace as JSONL, re-parses it with the
+//! `tracefile` reader (what the `cocoa-trace` binary uses) and rebuilds
+//! the error curve from the trace alone — exactly equal to the metrics
+//! the run returned, which is the whole point: the trace is a complete,
+//! deterministic record of the run.
+
+use cocoa_suite::core::prelude::*;
+use cocoa_suite::core::tracefile::TraceFile;
+use cocoa_suite::sim::telemetry::{Telemetry, TelemetryEvent, TelemetryLevel};
+use cocoa_suite::sim::time::SimDuration;
+
+fn main() {
+    let scenario = Scenario::builder()
+        .seed(7)
+        .robots(12)
+        .equipped(6)
+        .duration(SimDuration::from_secs(300))
+        .beacon_period(SimDuration::from_secs(50))
+        .grid_resolution(4.0)
+        .build();
+
+    // Per-robot timeline samples every 5 s (default: the metrics interval).
+    let mut telemetry = Telemetry::new(TelemetryLevel::Full);
+    telemetry.set_sample_interval(SimDuration::from_secs(5));
+
+    let (metrics, telemetry) = run_with_telemetry(&scenario, telemetry);
+
+    // --- Surface 1: the typed event stream -----------------------------
+    println!(
+        "events: {} emitted, {} dropped",
+        telemetry.events_emitted(),
+        telemetry.dropped_events()
+    );
+    let mut fixes = 0u32;
+    let mut first_fix: Option<(f64, u32, f64)> = None;
+    for e in telemetry.events() {
+        if let TelemetryEvent::Fix { robot, err_m, .. } = e.event {
+            fixes += 1;
+            if first_fix.is_none() {
+                first_fix = Some((e.t_us as f64 / 1e6, robot, err_m));
+            }
+        }
+    }
+    if let Some((t_s, robot, err_m)) = first_fix {
+        println!(
+            "first fix: robot {robot} at t = {t_s:.2} s, error {err_m:.2} m ({fixes} fixes total)"
+        );
+    }
+
+    // --- Surface 2: the counter registry -------------------------------
+    println!("\ncounters (subsystem totals):");
+    for (name, value) in telemetry.counters().sorted() {
+        if name.starts_with("traffic.") || name.starts_with("telemetry.") {
+            println!("  {name:<28} {value}");
+        }
+    }
+
+    // --- Surface 3: the span profile -----------------------------------
+    println!("\nhottest spans:");
+    let spans = telemetry.spans();
+    let root = spans.total_ns("run.total").unwrap_or(1);
+    for s in spans.report().into_iter().take(6) {
+        println!(
+            "  {:<20} {:>9.3} ms  ×{:<6} {:>5.1}%",
+            s.name,
+            s.total_ns as f64 / 1e6,
+            s.count,
+            100.0 * s.total_ns as f64 / root as f64
+        );
+    }
+    if let Some(c) = spans.coverage("run.total") {
+        println!("  run.* phases cover {:.1}% of the run", c * 100.0);
+    }
+
+    // --- Round trip: JSONL out, tracefile in, curves rebuilt -----------
+    let jsonl = telemetry.to_jsonl(false);
+    let trace = TraceFile::parse(&jsonl).expect("the bus writes valid traces");
+    let rebuilt = trace.team_error_curve();
+    let exact = rebuilt
+        .iter()
+        .zip(&metrics.error_series)
+        .all(|(r, p)| r.0 == p.t_s && r.1 == p.mean_error_m);
+    println!(
+        "\ntrace: {} JSONL lines; error curve rebuilt from the trace {} the metrics series ({} points)",
+        jsonl.lines().count(),
+        if exact { "exactly matches" } else { "DIVERGES FROM" },
+        rebuilt.len()
+    );
+    println!(
+        "final mean error {:.2} m, team energy {:.1} J — and the run itself is \
+         bit-identical to one executed with telemetry off",
+        metrics.mean_error_over_time(),
+        metrics.energy.total_j()
+    );
+}
