@@ -31,7 +31,12 @@ OPTIONS:
     --window SECS       transmit window t                 [default: 3]
     --beacons K         beacons per robot per window      [default: 3]
     --vmax M_PER_S      maximum robot speed               [default: 2.0]
+    --vmin M_PER_S      minimum robot speed               [default: 0.1]
+    --static            pin every robot in place (vmin = vmax = 0);
+                        requires --multicast flood or odmrp
     --mode MODE         cocoa | rf-only | odometry        [default: cocoa]
+    --multicast PROTO   SYNC transport: flood | odmrp | mrmm
+                                                          [default: mrmm]
     --algorithm ALGO    bayes | multilateration           [default: bayes]
     --grid METRES       Bayesian grid resolution          [default: 2.0]
     --snapshot SECS     record a per-robot CDF snapshot (repeatable)
@@ -40,7 +45,7 @@ OPTIONS:
     --relay             localized robots also beacon (Section 6 extension)
     --faults NAME       inject a canned fault schedule:
                         none | sync-crash | burst30 | corrupt | chaos
-    --csv PREFIX        write PREFIX-{errors,energy,snapshots,robustness,health}.csv
+    --csv PREFIX        write PREFIX-{errors,energy,mesh,snapshots,robustness,health}.csv
     --telemetry LEVEL   off | counters | timeline | full    [default: off]
     --trace-out PATH    write a JSONL trace (implies --telemetry full);
                         inspect it with cocoa-trace
@@ -127,6 +132,22 @@ fn parse_args() -> Result<Args, String> {
                         .parse()
                         .map_err(|e| format!("--vmax: {e}"))?,
                 );
+            }
+            "--vmin" => {
+                b.v_min(
+                    value("--vmin")?
+                        .parse()
+                        .map_err(|e| format!("--vmin: {e}"))?,
+                );
+            }
+            "--static" => {
+                b.static_team();
+            }
+            "--multicast" => {
+                let v = value("--multicast")?;
+                let protocol = MulticastProtocol::parse(&v)
+                    .ok_or_else(|| format!("unknown multicast protocol '{v}'"))?;
+                b.multicast(protocol);
             }
             "--mode" => match value("--mode")?.as_str() {
                 "cocoa" => {
@@ -261,6 +282,7 @@ fn main() {
         };
         write("errors", report::error_series_csv(&metrics));
         write("energy", report::energy_csv(&metrics));
+        write("mesh", report::mesh_csv(&args.scenario, &metrics));
         if !metrics.snapshots.is_empty() {
             write("snapshots", report::snapshots_csv(&metrics));
         }

@@ -18,7 +18,9 @@
 //!   clock) and its estimate logic;
 //! - [`sync`]: drifting clocks, SYNC messages and the escalating-guard
 //!   re-acquisition policy;
-//! - [`runner`]: the deterministic event-driven simulation;
+//! - [`world`]: the deterministic event-driven simulation, split by
+//!   concern (events, windows, beacons, mesh backends, faults, metrics);
+//! - [`runner`]: the stable facade over [`world`]'s entry points;
 //! - [`metrics`]: localization-error series, CDF snapshots and the energy
 //!   ledger;
 //! - [`experiment`]: one driver per paper figure (4 through 10);
@@ -54,6 +56,7 @@ pub mod runner;
 pub mod scenario;
 pub mod sync;
 pub mod tracefile;
+pub mod world;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
@@ -67,7 +70,9 @@ pub mod prelude {
     pub use crate::scenario::{Scenario, ScenarioBuilder};
     pub use crate::sync::{DriftingClock, SyncMessage};
     pub use crate::tracefile::TraceFile;
+    pub use crate::world::mesh::{make_backend, MeshBackend};
     pub use cocoa_localization::estimator::EstimatorMode;
+    pub use cocoa_multicast::protocol::MulticastProtocol;
     pub use cocoa_sim::faults::{Fault, FaultPlan, GilbertElliott};
     pub use cocoa_sim::telemetry::{Telemetry, TelemetryEvent, TelemetryLevel};
 }

@@ -82,6 +82,19 @@ pub fn robustness_csv(metrics: &RunMetrics) -> String {
     out
 }
 
+/// Mesh transport counters as CSV (`backend,counter,value`) — one row per
+/// [`cocoa_multicast::mesh::MeshStats`] counter, tagged with the backend
+/// (`flood`/`odmrp`/`mrmm`) that produced them, so multi-backend sweeps
+/// concatenate into one comparable table.
+pub fn mesh_csv(scenario: &Scenario, metrics: &RunMetrics) -> String {
+    let backend = scenario.multicast.as_str();
+    let mut out = String::from("backend,counter,value\n");
+    for (name, value) in metrics.mesh.counters() {
+        let _ = writeln!(out, "{backend},{name},{value}");
+    }
+    out
+}
+
 /// Per-robot degradation time ledgers as CSV
 /// (`robot,healthy_s,degraded_s,dead_reckoning_s,down_s`).
 pub fn health_csv(metrics: &RunMetrics) -> String {
@@ -200,6 +213,19 @@ pub fn markdown_summary(scenario: &Scenario, metrics: &RunMetrics) -> String {
         metrics.traffic.syncs_missed,
         metrics.mesh.control_overhead()
     );
+    let mm = &metrics.mesh;
+    let _ = writeln!(
+        out,
+        "- mesh ({}): {} data originated, {} forwarded, {} delivered ({} duplicates); \
+         {} queries rebroadcast, {} pruned",
+        scenario.multicast.as_str(),
+        mm.data_originated,
+        mm.data_forwarded,
+        mm.data_delivered,
+        mm.data_duplicates,
+        mm.queries_rebroadcast,
+        mm.queries_suppressed,
+    );
     let _ = writeln!(
         out,
         "- energy: {:.1} J team total (tx {:.3}, rx {:.3}, idle {:.1}, sleep {:.1}, wake {:.3})",
@@ -312,6 +338,26 @@ mod tests {
         assert!(csv.starts_with("counter,value"));
         assert_eq!(csv.lines().count(), 11, "header + 10 counters");
         assert!(csv.contains("failovers,"));
+    }
+
+    #[test]
+    fn mesh_csv_tags_every_counter_with_the_backend() {
+        let (s, m) = small_run();
+        let csv = mesh_csv(&s, &m);
+        assert!(csv.starts_with("backend,counter,value"));
+        assert_eq!(csv.lines().count(), 11, "header + 10 counters");
+        for line in csv.lines().skip(1) {
+            assert!(line.starts_with("mrmm,"), "default backend is mrmm: {line}");
+        }
+        assert!(csv.contains("mrmm,data_forwarded,"));
+        assert!(csv.contains("mrmm,queries_suppressed,"));
+    }
+
+    #[test]
+    fn markdown_names_the_mesh_backend() {
+        let (s, m) = small_run();
+        let md = markdown_summary(&s, &m);
+        assert!(md.contains("- mesh (mrmm):"), "missing mesh line:\n{md}");
     }
 
     #[test]

@@ -3,13 +3,13 @@
 use cocoa_localization::estimator::{EstimatorMode, WindowedRfEstimator};
 use cocoa_mobility::motion::RobotMotion;
 use cocoa_multicast::mrmm::MobilityInfo;
-use cocoa_multicast::odmrp::OdmrpNode;
 use cocoa_net::geometry::{Area, Point};
 use cocoa_net::packet::NodeId;
 use cocoa_net::radio::Radio;
 
 use crate::health::HealthMonitor;
 use crate::sync::DriftingClock;
+use crate::world::mesh::MeshBackend;
 
 /// The reference pair stored at each RF fix, used to re-anchor the
 /// dead-reckoned heading from consecutive fixes: comparing the
@@ -38,8 +38,9 @@ pub struct Robot {
     pub radio: Radio,
     /// The windowed Bayesian RF estimator (unequipped robots in RF modes).
     pub rf: Option<WindowedRfEstimator>,
-    /// The MRMM/ODMRP protocol state.
-    pub mesh: OdmrpNode,
+    /// The mesh multicast transport (flood, ODMRP or MRMM), behind the
+    /// [`MeshBackend`] trait so the runner never names a concrete protocol.
+    pub mesh: Box<dyn MeshBackend>,
     /// The drifting local clock.
     pub clock: DriftingClock,
     /// Whether an RF fix has ever been obtained.
@@ -148,7 +149,8 @@ mod tests {
     use cocoa_localization::grid::GridConfig;
     use cocoa_mobility::odometry::OdometryConfig;
     use cocoa_mobility::waypoint::WaypointConfig;
-    use cocoa_multicast::odmrp::{OdmrpConfig, OdmrpNode};
+    use cocoa_multicast::odmrp::OdmrpConfig;
+    use cocoa_multicast::protocol::MulticastProtocol;
     use cocoa_net::energy::EnergyParams;
     use cocoa_net::packet::GroupId;
     use cocoa_sim::rng::SeedSplitter;
@@ -169,7 +171,13 @@ mod tests {
             ),
             radio: Radio::new(EnergyParams::default(), SimTime::ZERO),
             rf: Some(WindowedRfEstimator::new(GridConfig::new(area, 2.0))),
-            mesh: OdmrpNode::new(NodeId(0), GroupId(1), true, OdmrpConfig::default()),
+            mesh: crate::world::mesh::make_backend(
+                MulticastProtocol::Mrmm,
+                NodeId(0),
+                GroupId(1),
+                true,
+                OdmrpConfig::default(),
+            ),
             clock: DriftingClock::new(0.0),
             has_fix: false,
             last_fix_window: None,

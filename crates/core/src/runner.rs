@@ -1,1523 +1,8 @@
-//! The CoCoA simulation runner: wires robots, radios, the medium, the
-//! mesh, the coordination timeline and the metrics into one deterministic
-//! discrete-event run.
+//! Facade over the [`crate::world`] module tree, kept so existing callers
+//! (`cocoa_core::runner::run`) and the prelude stay stable.
 //!
-//! This module is the equivalent of the paper's Glomosim experiment
-//! scripts: it realizes the timeline of Fig. 2 (beacon periods `T`,
-//! transmit windows `t`, `k` beacons, radios sleeping in between) and the
-//! SYNC dissemination of Fig. 3, and produces the error/energy metrics of
-//! Section 4.
+//! The simulation itself — event vocabulary, coordination timeline,
+//! physical layer, mesh backends, fault hooks and metrics finalization —
+//! lives in [`crate::world`]; see that module's docs for the map.
 
-use bytes::Bytes;
-use cocoa_localization::bayes::{radial_constraints_for_grid, ObservationResult};
-use cocoa_localization::estimator::{EstimatorMode, WindowOutcome, WindowedRfEstimator};
-use cocoa_localization::grid::GridConfig;
-use cocoa_mobility::motion::RobotMotion;
-use cocoa_mobility::pose::{normalize_angle, Pose};
-use cocoa_mobility::waypoint::WaypointConfig;
-use cocoa_multicast::odmrp::{OdmrpNode, ProtocolAction};
-use cocoa_net::calibration::{calibrate, CalibrationConfig, PdfTable, RadialConstraintTable};
-use cocoa_net::channel::RfChannel;
-use cocoa_net::energy::PowerState;
-use cocoa_net::geometry::Point;
-use cocoa_net::mac::{Medium, ReceptionOutcome, TxId};
-use cocoa_net::packet::{GroupId, NodeId, Packet, Payload};
-use cocoa_net::radio::Radio;
-use cocoa_sim::dist::uniform;
-use cocoa_sim::engine::Engine;
-use cocoa_sim::faults::{garble_bytes, Fault, GilbertElliottLink};
-use cocoa_sim::rng::{DetRng, SeedSplitter};
-use cocoa_sim::telemetry::{SpanId, Telemetry, TelemetryEvent};
-use cocoa_sim::time::{SimDuration, SimTime};
-use cocoa_sim::trace::{Trace, TraceLevel};
-
-use crate::health::{DegradationState, HealthMonitor};
-use crate::metrics::{
-    EnergyReport, ErrorPoint, ErrorSnapshot, RobustnessStats, RunMetrics, TrafficStats,
-};
-use crate::robot::{FixAnchor, Robot};
-use crate::scenario::Scenario;
-use crate::sync::{DriftingClock, SyncMessage};
-
-/// The multicast group every robot joins for SYNC delivery.
-const SYNC_GROUP: GroupId = GroupId(1);
-
-/// Offset of the JOIN QUERY flood from the window start.
-const QUERY_OFFSET: SimDuration = SimDuration::from_millis(5);
-/// Offset of the SYNC data from the window start (lets the mesh form:
-/// query flood + jittered rebroadcasts + aggregated replies take a few
-/// hundred milliseconds).
-const SYNC_OFFSET: SimDuration = SimDuration::from_millis(600);
-/// Beacons start this far into the window, clear of the mesh-control burst.
-const BEACON_LEAD_IN: SimDuration = SimDuration::from_millis(700);
-
-/// What a deferred transmission should put on the air.
-#[derive(Debug, Clone)]
-enum TxIntent {
-    /// A localization beacon; the position is read at fire time.
-    Beacon,
-    /// A mesh packet built earlier (query/reply/data).
-    Mesh(Packet),
-}
-
-#[derive(Debug, Clone)]
-enum Event {
-    /// Advance all robots' motion by one tick.
-    MoveTick,
-    /// Sample the error series.
-    MetricsSample,
-    /// Global window start (the Sync robot's reference timeline).
-    WindowStart { index: u64 },
-    /// A robot's local wake-up for a window. `epoch` ties the event to one
-    /// life of the robot: a crash bumps the epoch, orphaning the pending
-    /// wake chain of the previous life.
-    RobotWake {
-        robot: usize,
-        window: u64,
-        epoch: u32,
-    },
-    /// A robot's local end-of-window processing (then sleep).
-    RobotWindowEnd {
-        robot: usize,
-        window: u64,
-        epoch: u32,
-    },
-    /// A deferred transmission fires.
-    Transmit { robot: usize, intent: TxIntent },
-    /// A frame's airtime ends; judge receptions.
-    TxEnd { tx: TxId, receivers: Vec<usize> },
-    /// A member's deferred JOIN REPLY.
-    MeshReply { robot: usize, source: NodeId },
-    /// A node's deferred JOIN QUERY rebroadcast decision.
-    MeshRebroadcast {
-        robot: usize,
-        source: NodeId,
-        seq: u32,
-    },
-    /// Reclaim old frames from the medium.
-    MediumGc,
-    /// Record a per-robot error snapshot (Fig. 8 CDFs).
-    Snapshot { index: usize },
-    /// An injected fault fires (from the scenario's `FaultPlan`).
-    Fault(Fault),
-}
-
-/// Pre-registered span handles, so hot paths never look a span up by name.
-/// `run.*` spans tile the whole run; `event.*` spans tile the event loop by
-/// category; the rest are nested subsystem spans.
-#[derive(Clone, Copy)]
-struct SpanIds {
-    run_total: SpanId,
-    run_calibrate: SpanId,
-    run_setup: SpanId,
-    run_event_loop: SpanId,
-    run_finalize: SpanId,
-    event_move_tick: SpanId,
-    event_metrics_sample: SpanId,
-    event_snapshot: SpanId,
-    event_window_start: SpanId,
-    event_robot_wake: SpanId,
-    event_robot_window_end: SpanId,
-    event_transmit: SpanId,
-    event_tx_end: SpanId,
-    event_mesh_reply: SpanId,
-    event_mesh_rebroadcast: SpanId,
-    event_medium_gc: SpanId,
-    event_fault: SpanId,
-    grid_update: SpanId,
-    grid_fix: SpanId,
-    channel_sample: SpanId,
-    mesh_handle: SpanId,
-    mobility_step: SpanId,
-}
-
-impl SpanIds {
-    fn register(t: &mut Telemetry) -> SpanIds {
-        SpanIds {
-            run_total: t.span_id("run.total"),
-            run_calibrate: t.span_id("run.calibrate"),
-            run_setup: t.span_id("run.setup"),
-            run_event_loop: t.span_id("run.event_loop"),
-            run_finalize: t.span_id("run.finalize"),
-            event_move_tick: t.span_id("event.move_tick"),
-            event_metrics_sample: t.span_id("event.metrics_sample"),
-            event_snapshot: t.span_id("event.snapshot"),
-            event_window_start: t.span_id("event.window_start"),
-            event_robot_wake: t.span_id("event.robot_wake"),
-            event_robot_window_end: t.span_id("event.robot_window_end"),
-            event_transmit: t.span_id("event.transmit"),
-            event_tx_end: t.span_id("event.tx_end"),
-            event_mesh_reply: t.span_id("event.mesh_reply"),
-            event_mesh_rebroadcast: t.span_id("event.mesh_rebroadcast"),
-            event_medium_gc: t.span_id("event.medium_gc"),
-            event_fault: t.span_id("event.fault"),
-            grid_update: t.span_id("grid.update"),
-            grid_fix: t.span_id("grid.fix"),
-            channel_sample: t.span_id("channel.sample"),
-            mesh_handle: t.span_id("mesh.handle"),
-            mobility_step: t.span_id("mobility.step"),
-        }
-    }
-
-    fn for_event(&self, event: &Event) -> SpanId {
-        match event {
-            Event::MoveTick => self.event_move_tick,
-            Event::MetricsSample => self.event_metrics_sample,
-            Event::Snapshot { .. } => self.event_snapshot,
-            Event::WindowStart { .. } => self.event_window_start,
-            Event::RobotWake { .. } => self.event_robot_wake,
-            Event::RobotWindowEnd { .. } => self.event_robot_window_end,
-            Event::Transmit { .. } => self.event_transmit,
-            Event::TxEnd { .. } => self.event_tx_end,
-            Event::MeshReply { .. } => self.event_mesh_reply,
-            Event::MeshRebroadcast { .. } => self.event_mesh_rebroadcast,
-            Event::MediumGc => self.event_medium_gc,
-            Event::Fault(_) => self.event_fault,
-        }
-    }
-}
-
-/// Stable telemetry name of an injected fault.
-fn fault_kind(fault: &Fault) -> &'static str {
-    match fault {
-        Fault::Crash { .. } => "crash",
-        Fault::Reboot { .. } => "reboot",
-        Fault::ClockSkewStep { .. } => "clock_skew_step",
-        Fault::GarbleTxStart { .. } => "garble_tx_start",
-        Fault::GarbleTxEnd { .. } => "garble_tx_end",
-        Fault::BeaconOffsetStart { .. } => "beacon_offset_start",
-        Fault::BeaconOffsetEnd { .. } => "beacon_offset_end",
-        Fault::BurstLossStart { .. } => "burst_loss_start",
-        Fault::BurstLossEnd => "burst_loss_end",
-    }
-}
-
-struct World {
-    scenario: Scenario,
-    channel: RfChannel,
-    table: PdfTable,
-    /// Pre-sampled radial constraint profiles (one per calibrated RSSI
-    /// bin, floor baked in), shared by every robot's Bayesian update.
-    radial: RadialConstraintTable,
-    medium: Medium,
-    robots: Vec<Robot>,
-    move_rngs: Vec<DetRng>,
-    odo_rngs: Vec<DetRng>,
-    channel_rng: DetRng,
-    jitter_rng: DetRng,
-    // Metric accumulators.
-    error_series: Vec<ErrorPoint>,
-    snapshots: Vec<ErrorSnapshot>,
-    position_snapshots: Vec<(SimTime, Vec<crate::metrics::RobotFinalState>)>,
-    traffic: TrafficStats,
-    sync_robot: usize,
-    max_guard: SimDuration,
-    telemetry: Telemetry,
-    spans: SpanIds,
-    /// Next sim time at which per-robot timeline samples are due.
-    next_robot_sample: Option<SimTime>,
-    // Fault-injection state.
-    fault_rng: DetRng,
-    /// Per-receiver Gilbert–Elliott link state while a burst-loss overlay
-    /// is active.
-    burst: Option<Vec<GilbertElliottLink>>,
-    /// Transmissions whose garbled frame no longer decodes: receivers pay
-    /// the reception energy, then drop the frame.
-    corrupt_txs: std::collections::HashSet<TxId>,
-    robustness: RobustnessStats,
-    /// Consecutive beacon periods the Sync timebase has been silent.
-    sync_dead_windows: u32,
-}
-
-impl World {
-    fn mode(&self) -> EstimatorMode {
-        self.scenario.mode
-    }
-
-    fn uses_rf(&self) -> bool {
-        self.scenario.mode.uses_rf()
-    }
-
-    fn window_start_time(&self, index: u64) -> SimTime {
-        SimTime::ZERO + self.scenario.beacon_period * index
-    }
-
-    /// Whether `robot` beacons during window `w` (equipped robots always,
-    /// relayers when their fix is fresh enough).
-    fn beacons_in_window(&self, robot: usize, window: u64) -> bool {
-        let r = &self.robots[robot];
-        if r.equipped {
-            return true;
-        }
-        if !self.scenario.relay_beaconing || !r.has_fix {
-            return false;
-        }
-        r.last_fix_window
-            .is_some_and(|w| window.saturating_sub(w) <= self.scenario.relay_max_fix_age_windows)
-    }
-}
-
-/// Runs `scenario` to completion and returns its metrics.
-///
-/// Deterministic: the same scenario (including seed) always produces the
-/// same metrics, bit for bit.
-///
-/// # Panics
-///
-/// Panics if the scenario fails validation — construct it through
-/// [`Scenario::builder`] to catch that earlier.
-///
-/// # Examples
-///
-/// ```no_run
-/// use cocoa_core::runner::run;
-/// use cocoa_core::scenario::Scenario;
-///
-/// let metrics = run(&Scenario::builder().build());
-/// println!("mean error {:.1} m", metrics.mean_error_over_time());
-/// ```
-pub fn run(scenario: &Scenario) -> RunMetrics {
-    run_with_telemetry(scenario, Telemetry::off()).0
-}
-
-/// Like [`run`], but records protocol milestones (window starts, fixes,
-/// starved windows, lost syncs) into the supplied [`Trace`] and returns it
-/// alongside the metrics. Use [`Trace::with_capacity`] to bound memory on
-/// long runs.
-///
-/// The string trace is the legacy observability surface; it now rides on
-/// the typed telemetry bus (see [`run_with_telemetry`]) as its legacy sink,
-/// so existing callers keep working unchanged.
-///
-/// # Panics
-///
-/// Panics if the scenario fails validation.
-pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
-    let mut telemetry = Telemetry::off();
-    telemetry.attach_legacy(trace);
-    let (metrics, mut telemetry) = run_with_telemetry(scenario, telemetry);
-    let trace = telemetry
-        .take_legacy()
-        .expect("legacy trace survives the run");
-    (metrics, trace)
-}
-
-/// Like [`run`], but records typed events, counters and span timings into
-/// the supplied [`Telemetry`] bus and returns it alongside the metrics.
-///
-/// Telemetry is strictly an observer: for any fixed scenario the returned
-/// [`RunMetrics`] are bit-identical whatever the bus level, and the
-/// deterministic part of the trace ([`Telemetry::to_jsonl`] without spans)
-/// is byte-identical across runs of the same seed.
-///
-/// # Panics
-///
-/// Panics if the scenario fails validation.
-pub fn run_with_telemetry(
-    scenario: &Scenario,
-    mut telemetry: Telemetry,
-) -> (RunMetrics, Telemetry) {
-    let spans = SpanIds::register(&mut telemetry);
-    let t_total = telemetry.span_start();
-    let t_calibrate = telemetry.span_start();
-    scenario
-        .validate()
-        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
-    let split = SeedSplitter::new(scenario.seed);
-
-    // --- Offline calibration phase (paper Section 2.2). ---
-    let channel = RfChannel::new(scenario.channel);
-    let table = calibrate(
-        &channel,
-        &CalibrationConfig::default(),
-        &mut split.stream("calibration", 0),
-    );
-    // One radial constraint cache per run, shared by every robot.
-    let radial = radial_constraints_for_grid(
-        &table,
-        &GridConfig::new(scenario.area, scenario.grid_resolution_m),
-    );
-    telemetry.span_end(spans.run_calibrate, t_calibrate);
-    let t_setup = telemetry.span_start();
-
-    // --- Team construction. ---
-    let mut placement_rng = split.stream("placement", 0);
-    let mut clock_rng = split.stream("clock", 0);
-    let num_equipped = if scenario.mode.uses_rf() {
-        scenario.num_equipped
-    } else {
-        0
-    };
-    let mut robots = Vec::with_capacity(scenario.num_robots);
-    let mut move_rngs = Vec::with_capacity(scenario.num_robots);
-    let mut odo_rngs = Vec::with_capacity(scenario.num_robots);
-    for i in 0..scenario.num_robots {
-        let start = Point::new(
-            uniform(scenario.area.x_min, scenario.area.x_max, &mut placement_rng),
-            uniform(scenario.area.y_min, scenario.area.y_max, &mut placement_rng),
-        );
-        let mut move_rng = split.stream("move", i as u64);
-        let odo_rng = split.stream("odo", i as u64);
-        let equipped = i < num_equipped;
-        let skew = if i == 0 {
-            0.0 // the Sync robot is the timebase
-        } else {
-            uniform(
-                -scenario.clock_skew_ppm * 1e-6,
-                scenario.clock_skew_ppm * 1e-6 + f64::EPSILON,
-                &mut clock_rng,
-            )
-        };
-        let motion = RobotMotion::new(
-            WaypointConfig::paper(scenario.area, scenario.v_max),
-            scenario.odometry,
-            start,
-            &mut move_rng,
-        );
-        let mut radio = Radio::new(scenario.energy, SimTime::ZERO);
-        if !scenario.mode.uses_rf() {
-            radio.set_state(SimTime::ZERO, PowerState::Off);
-        }
-        let rf = if !equipped && scenario.mode.uses_rf() {
-            Some(WindowedRfEstimator::with_algorithm(
-                GridConfig::new(scenario.area, scenario.grid_resolution_m),
-                scenario.rf_algorithm,
-            ))
-        } else {
-            None
-        };
-        // Equipped robots are healthy by construction; everyone else starts
-        // dead-reckoning (no fix yet — the RF estimator has not run, and
-        // odometry-only robots never get one).
-        let initial_health = if equipped && scenario.mode.uses_rf() {
-            DegradationState::Healthy
-        } else {
-            DegradationState::DeadReckoning
-        };
-        robots.push(Robot {
-            id: NodeId(i as u32),
-            index: i,
-            equipped,
-            motion,
-            radio,
-            rf,
-            mesh: OdmrpNode::new(NodeId(i as u32), SYNC_GROUP, true, scenario.mesh),
-            clock: DriftingClock::new(skew),
-            has_fix: false,
-            last_fix_window: None,
-            synced_this_window: false,
-            fix_anchor: None,
-            alive: true,
-            epoch: 0,
-            garbled_tx: false,
-            beacon_offset: None,
-            health: HealthMonitor::new(initial_health, SimTime::ZERO),
-        });
-        move_rngs.push(move_rng);
-        odo_rngs.push(odo_rng);
-    }
-
-    let max_guard = (scenario.beacon_period / 4).max(scenario.guard_band);
-    let mut world = World {
-        scenario: scenario.clone(),
-        channel,
-        table,
-        radial,
-        medium: Medium::new(),
-        robots,
-        move_rngs,
-        odo_rngs,
-        channel_rng: split.stream("channel", 0),
-        jitter_rng: split.stream("jitter", 0),
-        error_series: Vec::new(),
-        snapshots: Vec::new(),
-        position_snapshots: Vec::new(),
-        traffic: TrafficStats::default(),
-        sync_robot: 0,
-        max_guard,
-        telemetry,
-        spans,
-        next_robot_sample: None,
-        fault_rng: split.stream("faults", 0),
-        burst: None,
-        corrupt_txs: std::collections::HashSet::new(),
-        robustness: RobustnessStats::default(),
-        sync_dead_windows: 0,
-    };
-
-    // --- Initial event schedule. ---
-    let horizon = SimTime::ZERO + scenario.duration;
-    let mut engine: Engine<Event> = Engine::new(horizon);
-    engine.schedule_at(SimTime::ZERO + scenario.tick, Event::MoveTick);
-    engine.schedule_at(
-        SimTime::ZERO + scenario.metrics_interval,
-        Event::MetricsSample,
-    );
-    if world.uses_rf() {
-        engine.schedule_at(SimTime::ZERO, Event::WindowStart { index: 0 });
-        for i in 0..world.robots.len() {
-            engine.schedule_at(
-                SimTime::ZERO,
-                Event::RobotWake {
-                    robot: i,
-                    window: 0,
-                    epoch: 0,
-                },
-            );
-        }
-        engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(10), Event::MediumGc);
-    }
-    for e in scenario.faults.events() {
-        if e.at <= horizon {
-            engine.schedule_at(e.at, Event::Fault(e.fault.clone()));
-        }
-    }
-    let mut snapshot_times = scenario.snapshot_times.clone();
-    snapshot_times.sort();
-    for (i, &t) in snapshot_times.iter().enumerate() {
-        if t <= horizon {
-            engine.schedule_at(t, Event::Snapshot { index: i });
-        }
-    }
-    world.snapshots = snapshot_times
-        .iter()
-        .map(|&t| ErrorSnapshot::new(t, Vec::new()))
-        .collect();
-    world.telemetry.span_end(spans.run_setup, t_setup);
-
-    // --- Run. ---
-    let t_loop = world.telemetry.span_start();
-    engine.run(&mut world, handle_event);
-    world.telemetry.span_end(spans.run_event_loop, t_loop);
-
-    // --- Finalize. ---
-    let t_finalize = world.telemetry.span_start();
-    let mut per_robot = Vec::with_capacity(world.robots.len());
-    let mut mesh = cocoa_multicast::mesh::MeshStats::default();
-    let mut final_states = Vec::with_capacity(world.robots.len());
-    for r in &mut world.robots {
-        per_robot.push(r.radio.finalize(horizon));
-        mesh.merge(&r.mesh.stats());
-    }
-    for r in &world.robots {
-        final_states.push(crate::metrics::RobotFinalState {
-            true_position: r.motion.true_position(),
-            estimate: r.estimate(world.scenario.mode, &world.scenario.area),
-            equipped: r.equipped,
-        });
-    }
-    world.traffic.collisions = world.medium.collisions();
-    let health = world
-        .robots
-        .iter()
-        .map(|r| r.health.finalize(horizon))
-        .collect();
-
-    // Absorb every subsystem's lifetime statistics into the unified
-    // counter registry (no-op below `Counters`).
-    if world.telemetry.wants_counters() {
-        let t = &mut world.telemetry;
-        let tr = &world.traffic;
-        t.absorb("traffic.beacons_sent", tr.beacons_sent);
-        t.absorb("traffic.beacons_received", tr.beacons_received);
-        t.absorb("traffic.collisions", tr.collisions);
-        t.absorb("traffic.syncs_delivered", tr.syncs_delivered);
-        t.absorb("traffic.syncs_missed", tr.syncs_missed);
-        t.absorb("traffic.fixes", tr.fixes);
-        t.absorb("traffic.starved_windows", tr.starved_windows);
-        let ro = &world.robustness;
-        t.absorb("robustness.crashes", ro.crashes);
-        t.absorb("robustness.reboots", ro.reboots);
-        t.absorb("robustness.failovers", ro.failovers);
-        t.absorb("robustness.burst_losses", ro.burst_losses);
-        t.absorb(
-            "robustness.corrupt_frames_dropped",
-            ro.corrupt_frames_dropped,
-        );
-        t.absorb(
-            "robustness.garbled_frames_delivered",
-            ro.garbled_frames_delivered,
-        );
-        t.absorb(
-            "robustness.outlier_beacons_rejected",
-            ro.outlier_beacons_rejected,
-        );
-        t.absorb("robustness.flat_posteriors", ro.flat_posteriors);
-        t.absorb("robustness.stale_syncs_ignored", ro.stale_syncs_ignored);
-        t.absorb("robustness.malformed_sync_bodies", ro.malformed_sync_bodies);
-        t.absorb("mesh.queries_originated", mesh.queries_originated);
-        t.absorb("mesh.queries_rebroadcast", mesh.queries_rebroadcast);
-        t.absorb("mesh.queries_suppressed", mesh.queries_suppressed);
-        t.absorb("mesh.replies_sent", mesh.replies_sent);
-        t.absorb("mesh.fg_activations", mesh.fg_activations);
-        t.absorb("mesh.data_originated", mesh.data_originated);
-        t.absorb("mesh.data_forwarded", mesh.data_forwarded);
-        t.absorb("mesh.data_delivered", mesh.data_delivered);
-        t.absorb("mesh.data_duplicates", mesh.data_duplicates);
-        t.absorb("mesh.data_undecodable", mesh.data_undecodable);
-        t.absorb("mac.half_duplex", world.medium.half_duplex());
-        t.absorb("engine.events_processed", engine.events_processed());
-        t.absorb("engine.peak_pending", engine.peak_pending() as u64);
-        let (mut wakes, mut sent, mut received) = (0u64, 0u64, 0u64);
-        for r in &world.robots {
-            wakes += u64::from(r.radio.wake_count());
-            sent += u64::from(r.radio.packets_sent());
-            received += u64::from(r.radio.packets_received());
-        }
-        t.absorb("radio.wakes", wakes);
-        t.absorb("radio.packets_sent", sent);
-        t.absorb("radio.packets_received", received);
-        // The legacy string trace reports its ring-buffer drops here too,
-        // so a bounded trace never evicts silently.
-        if let Some(trace) = t.legacy_trace() {
-            let (emitted, dropped) = (trace.emitted(), trace.dropped());
-            t.absorb("trace.emitted", emitted);
-            t.absorb("trace.dropped", dropped);
-        }
-        let (emitted, dropped) = (t.events_emitted(), t.dropped_events());
-        t.absorb("telemetry.events_emitted", emitted);
-        t.absorb("telemetry.events_dropped", dropped);
-    }
-
-    let metrics = RunMetrics {
-        error_series: world.error_series,
-        snapshots: world.snapshots,
-        energy: EnergyReport { per_robot },
-        mesh,
-        traffic: world.traffic,
-        final_states,
-        position_snapshots: world.position_snapshots,
-        robustness: world.robustness,
-        health,
-        events_processed: engine.events_processed(),
-    };
-    world.telemetry.span_end(spans.run_finalize, t_finalize);
-    world.telemetry.span_end(spans.run_total, t_total);
-    (metrics, world.telemetry)
-}
-
-fn handle_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
-    // Attribute the wall-clock cost of every dispatch to its event
-    // category; dispatch_event holds the actual logic so early returns
-    // inside the arms cannot skip closing the span.
-    let span = world.telemetry.span_start();
-    let span_id = world.spans.for_event(&event);
-    dispatch_event(engine, world, event);
-    world.telemetry.span_end(span_id, span);
-}
-
-fn dispatch_event(engine: &mut Engine<Event>, world: &mut World, event: Event) {
-    let now = engine.now();
-    match event {
-        Event::MoveTick => {
-            let dt = world.scenario.tick.as_secs_f64();
-            let sp = world.telemetry.span_start();
-            for i in 0..world.robots.len() {
-                let r = &mut world.robots[i];
-                if !r.alive {
-                    continue; // crashed robots stop where they are
-                }
-                r.motion
-                    .step(dt, &mut world.move_rngs[i], &mut world.odo_rngs[i]);
-            }
-            world.telemetry.span_end(world.spans.mobility_step, sp);
-            engine.schedule_in(world.scenario.tick, Event::MoveTick);
-        }
-
-        Event::MetricsSample => {
-            let mode = world.mode();
-            let area = world.scenario.area;
-            let mut sum = 0.0;
-            let mut n = 0usize;
-            for r in &world.robots {
-                if r.alive && r.reports_error(mode) {
-                    sum += r.localization_error(mode, &area);
-                    n += 1;
-                }
-            }
-            if n > 0 {
-                world.error_series.push(ErrorPoint {
-                    t_s: now.as_secs_f64(),
-                    mean_error_m: sum / n as f64,
-                    robots: n,
-                });
-                // The team sample mirrors the error point exactly (same
-                // expression, same operands) so traces reconstruct the
-                // metrics curve bit-for-bit.
-                if world.telemetry.wants_events() {
-                    let energy_j: f64 = world
-                        .robots
-                        .iter()
-                        .map(|r| r.radio.peek_ledger(now).total_j())
-                        .sum();
-                    world.telemetry.emit(
-                        now,
-                        TelemetryEvent::TeamSample {
-                            mean_err_m: sum / n as f64,
-                            robots: n as u32,
-                            energy_j,
-                        },
-                    );
-                }
-            }
-            // Per-robot timelines ride the metrics tick (no extra engine
-            // events, so `events_processed` is telemetry-invariant) but
-            // thin out to the configured sampling interval.
-            if world.telemetry.wants_events() {
-                let due = world.next_robot_sample.is_none_or(|t| now >= t);
-                if due {
-                    let interval = world
-                        .telemetry
-                        .sample_interval()
-                        .unwrap_or(world.scenario.metrics_interval);
-                    world.next_robot_sample = Some(now + interval);
-                    for (i, r) in world.robots.iter().enumerate() {
-                        let true_pos = r.motion.true_position();
-                        let est = r.estimate(mode, &area);
-                        world.telemetry.emit(
-                            now,
-                            TelemetryEvent::RobotSample {
-                                robot: i as u32,
-                                true_x_m: true_pos.x,
-                                true_y_m: true_pos.y,
-                                est_x_m: est.x,
-                                est_y_m: est.y,
-                                err_m: r.localization_error(mode, &area),
-                                entropy_frac: r.rf.as_ref().and_then(|rf| rf.entropy_fraction()),
-                                energy_j: r.radio.peek_ledger(now).total_j(),
-                                radio: r.radio.state().as_str(),
-                                health: r.health.state().as_str(),
-                            },
-                        );
-                    }
-                }
-            }
-            engine.schedule_in(world.scenario.metrics_interval, Event::MetricsSample);
-        }
-
-        Event::Snapshot { index } => {
-            let mode = world.mode();
-            let area = world.scenario.area;
-            let errors: Vec<f64> = world
-                .robots
-                .iter()
-                .filter(|r| r.alive && r.reports_error(mode))
-                .map(|r| r.localization_error(mode, &area))
-                .collect();
-            let time = world.snapshots[index].time;
-            world.snapshots[index] = ErrorSnapshot::new(time, errors);
-            let states: Vec<crate::metrics::RobotFinalState> = world
-                .robots
-                .iter()
-                .map(|r| crate::metrics::RobotFinalState {
-                    true_position: r.motion.true_position(),
-                    estimate: r.estimate(mode, &area),
-                    equipped: r.equipped,
-                })
-                .collect();
-            world.position_snapshots.push((time, states));
-        }
-
-        Event::WindowStart { index } => {
-            world
-                .telemetry
-                .emit(now, TelemetryEvent::WindowStart { window: index });
-            world
-                .telemetry
-                .legacy(now, TraceLevel::Info, "coordinator", || {
-                    format!("beacon period {index} starts")
-                });
-            // Schedule the next period on the reference timeline.
-            let next = world.window_start_time(index + 1);
-            if next < engine.horizon() {
-                engine.schedule_at(next, Event::WindowStart { index: index + 1 });
-            }
-            // The Sync robot refreshes the mesh and disseminates SYNC.
-            if world.scenario.sync_enabled {
-                // Failover: after K consecutive silent periods the team
-                // deterministically elects a new timebase (first alive
-                // equipped robot, else first alive robot). The runner
-                // models the election centrally; every robot observes the
-                // same K missed SYNCs, so a distributed election over the
-                // mesh would pick the same winner.
-                if world.robots[world.sync_robot].alive {
-                    world.sync_dead_windows = 0;
-                } else {
-                    world.sync_dead_windows += 1;
-                    if world.sync_dead_windows >= world.scenario.failover_missed_periods {
-                        let elected = world
-                            .robots
-                            .iter()
-                            .position(|r| r.alive && r.equipped)
-                            .or_else(|| world.robots.iter().position(|r| r.alive));
-                        if let Some(new_sync) = elected {
-                            world.sync_robot = new_sync;
-                            world.sync_dead_windows = 0;
-                            world.robustness.failovers += 1;
-                            world.telemetry.emit(
-                                now,
-                                TelemetryEvent::Failover {
-                                    new_sync: new_sync as u32,
-                                },
-                            );
-                            world.telemetry.legacy(now, TraceLevel::Info, "sync", || {
-                                format!("failover: robot {new_sync} elected as timebase")
-                            });
-                        }
-                    }
-                }
-                if !world.robots[world.sync_robot].alive {
-                    return; // no live timebase yet; the period goes silent
-                }
-                let s = world.sync_robot;
-                let mode = world.mode();
-                let area = world.scenario.area;
-                let info = world.robots[s].mobility_info(mode, &area);
-                let query = world.robots[s].mesh.originate_query(now, &info);
-                engine.schedule_in(
-                    QUERY_OFFSET,
-                    Event::Transmit {
-                        robot: s,
-                        intent: TxIntent::Mesh(query),
-                    },
-                );
-                let sync = SyncMessage {
-                    period_us: world.scenario.beacon_period.as_micros(),
-                    window_us: world.scenario.transmit_window.as_micros(),
-                    window_index: index,
-                    window_start_us: now.as_micros(),
-                };
-                let data = world.robots[s].mesh.originate_data(now, sync.encode());
-                engine.schedule_in(
-                    SYNC_OFFSET,
-                    Event::Transmit {
-                        robot: s,
-                        intent: TxIntent::Mesh(data),
-                    },
-                );
-                // The Sync robot trivially hears its own schedule.
-                world.robots[s].synced_this_window = true;
-            }
-        }
-
-        Event::RobotWake {
-            robot,
-            window,
-            epoch,
-        } => {
-            robot_wake(engine, world, robot, window, epoch, now);
-        }
-
-        Event::RobotWindowEnd {
-            robot,
-            window,
-            epoch,
-        } => {
-            robot_window_end(engine, world, robot, window, epoch, now);
-        }
-
-        Event::Transmit { robot, intent } => {
-            let packet = match intent {
-                TxIntent::Beacon => {
-                    let r = &world.robots[robot];
-                    if !r.alive || !r.radio.can_receive() {
-                        return; // drifted into sleep (or crashed); beacon lost
-                    }
-                    let mut pos = r.beacon_position(world.mode(), &world.scenario.area);
-                    if let Some((dx, dy)) = r.beacon_offset {
-                        // Faulty localization device: the robot honestly
-                        // advertises a wrong position.
-                        pos = Point::new(pos.x + dx, pos.y + dy);
-                    }
-                    world.traffic.beacons_sent += 1;
-                    world.telemetry.emit_full(now, || TelemetryEvent::BeaconTx {
-                        robot: robot as u32,
-                        x_m: pos.x,
-                        y_m: pos.y,
-                    });
-                    Packet::new(
-                        r.id,
-                        now.as_micros() as u32,
-                        Payload::Beacon { position: pos },
-                    )
-                }
-                TxIntent::Mesh(p) => {
-                    let r = &world.robots[robot];
-                    if !r.alive || !r.radio.can_receive() {
-                        return;
-                    }
-                    p
-                }
-            };
-            transmit(engine, world, robot, packet, now);
-        }
-
-        Event::TxEnd { tx, receivers } => {
-            deliver(engine, world, tx, &receivers, now);
-        }
-
-        Event::MeshReply { robot, source } => {
-            if !world.robots[robot].radio.can_receive() {
-                return;
-            }
-            if let Some(packet) = world.robots[robot].mesh.make_reply(now, source) {
-                transmit(engine, world, robot, packet, now);
-            }
-        }
-
-        Event::MeshRebroadcast { robot, source, seq } => {
-            if !world.robots[robot].radio.can_receive() {
-                return;
-            }
-            let mode = world.mode();
-            let area = world.scenario.area;
-            let info = world.robots[robot].mobility_info(mode, &area);
-            if let Some(packet) = world.robots[robot]
-                .mesh
-                .make_rebroadcast(now, source, seq, &info)
-            {
-                transmit(engine, world, robot, packet, now);
-            }
-        }
-
-        Event::MediumGc => {
-            world.medium.gc(now);
-            engine.schedule_in(SimDuration::from_secs(10), Event::MediumGc);
-        }
-
-        Event::Fault(fault) => {
-            apply_fault(engine, world, fault, now);
-        }
-    }
-}
-
-/// Applies one injected fault to the world at `now`.
-fn apply_fault(engine: &mut Engine<Event>, world: &mut World, fault: Fault, now: SimTime) {
-    world.telemetry.emit(
-        now,
-        TelemetryEvent::FaultInjected {
-            kind: fault_kind(&fault),
-            robot: fault.robot().map(|r| r as u32),
-        },
-    );
-    match fault {
-        Fault::Crash { robot } => {
-            let r = &mut world.robots[robot];
-            if !r.alive {
-                return;
-            }
-            r.alive = false;
-            // Orphan the pending wake chain of this life.
-            r.epoch = r.epoch.wrapping_add(1);
-            r.radio.set_state(now, PowerState::Off);
-            world.telemetry.emit(
-                now,
-                TelemetryEvent::RadioState {
-                    robot: robot as u32,
-                    state: PowerState::Off.as_str(),
-                },
-            );
-            if r.health.transition(now, DegradationState::Down) {
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::HealthTransition {
-                        robot: robot as u32,
-                        state: DegradationState::Down.as_str(),
-                    },
-                );
-            }
-            world.robustness.crashes += 1;
-            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
-                format!("robot {robot} crashed")
-            });
-        }
-        Fault::Reboot { robot } => {
-            if world.robots[robot].alive {
-                return;
-            }
-            let uses_rf = world.uses_rf();
-            let area = world.scenario.area;
-            let res = world.scenario.grid_resolution_m;
-            let alg = world.scenario.rf_algorithm;
-            let r = &mut world.robots[robot];
-            r.alive = true;
-            r.epoch = r.epoch.wrapping_add(1);
-            // Volatile state is lost: the posterior, the fix history and
-            // the heading anchor all restart from scratch.
-            r.has_fix = false;
-            r.last_fix_window = None;
-            r.fix_anchor = None;
-            r.synced_this_window = false;
-            if let Some(rf) = r.rf.as_mut() {
-                *rf = WindowedRfEstimator::with_algorithm(GridConfig::new(area, res), alg);
-            }
-            let up_state = if uses_rf {
-                PowerState::Idle
-            } else {
-                PowerState::Off
-            };
-            r.radio.set_state(now, up_state);
-            world.telemetry.emit(
-                now,
-                TelemetryEvent::RadioState {
-                    robot: robot as u32,
-                    state: up_state.as_str(),
-                },
-            );
-            let back = if r.equipped && uses_rf {
-                DegradationState::Healthy
-            } else {
-                DegradationState::DeadReckoning
-            };
-            if r.health.transition(now, back) {
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::HealthTransition {
-                        robot: robot as u32,
-                        state: back.as_str(),
-                    },
-                );
-            }
-            world.robustness.reboots += 1;
-            world.telemetry.legacy(now, TraceLevel::Info, "fault", || {
-                format!("robot {robot} rebooted")
-            });
-            // Rejoin the window cycle at the next period boundary.
-            if uses_rf {
-                let period = world.scenario.beacon_period;
-                let next_window = now.saturating_since(SimTime::ZERO).div_duration(period) + 1;
-                let at = world.window_start_time(next_window);
-                if at < engine.horizon() {
-                    let epoch = world.robots[robot].epoch;
-                    engine.schedule_at(
-                        at,
-                        Event::RobotWake {
-                            robot,
-                            window: next_window,
-                            epoch,
-                        },
-                    );
-                }
-            }
-        }
-        Fault::ClockSkewStep { robot, delta_ppm } => {
-            world.robots[robot].clock.apply_skew_step(delta_ppm, now);
-            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
-                format!("robot {robot} clock skew stepped by {delta_ppm} ppm")
-            });
-        }
-        Fault::GarbleTxStart { robot } => world.robots[robot].garbled_tx = true,
-        Fault::GarbleTxEnd { robot } => world.robots[robot].garbled_tx = false,
-        Fault::BeaconOffsetStart { robot, dx_m, dy_m } => {
-            world.robots[robot].beacon_offset = Some((dx_m, dy_m));
-        }
-        Fault::BeaconOffsetEnd { robot } => world.robots[robot].beacon_offset = None,
-        Fault::BurstLossStart { model } => {
-            // One independent link per receiver, all starting in the good
-            // state.
-            world.burst = Some(
-                world
-                    .robots
-                    .iter()
-                    .map(|_| GilbertElliottLink::new(model))
-                    .collect(),
-            );
-            world.telemetry.legacy(now, TraceLevel::Warn, "fault", || {
-                format!(
-                    "burst-loss overlay on (mean loss {:.0}%)",
-                    model.mean_loss() * 100.0
-                )
-            });
-        }
-        Fault::BurstLossEnd => world.burst = None,
-    }
-}
-
-fn robot_wake(
-    engine: &mut Engine<Event>,
-    world: &mut World,
-    robot: usize,
-    window: u64,
-    epoch: u32,
-    now: SimTime,
-) {
-    if !world.robots[robot].alive || world.robots[robot].epoch != epoch {
-        return; // stale wake from a life that ended in a crash
-    }
-    let window_start = world.window_start_time(window);
-    let scenario_window = world.scenario.transmit_window;
-    let beacons = world.beacons_in_window(robot, window);
-    {
-        let r = &mut world.robots[robot];
-        let prev = r.radio.state();
-        if world.scenario.coordination || prev != PowerState::Idle {
-            r.radio.set_state(now, PowerState::Idle);
-            if prev != PowerState::Idle {
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::RadioState {
-                        robot: robot as u32,
-                        state: PowerState::Idle.as_str(),
-                    },
-                );
-            }
-        }
-        r.synced_this_window = robot == world.sync_robot && world.scenario.sync_enabled;
-        if let Some(rf) = r.rf.as_mut() {
-            rf.begin_window();
-        }
-    }
-    // Schedule this robot's beacons, spread over the window with jitter.
-    if beacons {
-        let k = world.scenario.beacons_per_window;
-        let usable = scenario_window - BEACON_LEAD_IN;
-        let slot = usable / u64::from(k);
-        for i in 0..k {
-            let jitter = uniform(
-                0.0,
-                (slot.as_secs_f64() * 0.8).max(1e-4),
-                &mut world.jitter_rng,
-            );
-            let intended = window_start
-                + BEACON_LEAD_IN
-                + slot * u64::from(i)
-                + SimDuration::from_secs_f64(jitter);
-            let fire = world.robots[robot].clock.actual_fire_time(intended, now);
-            if fire < engine.horizon() {
-                engine.schedule_at(
-                    fire,
-                    Event::Transmit {
-                        robot,
-                        intent: TxIntent::Beacon,
-                    },
-                );
-            }
-        }
-    }
-    // Schedule the end-of-window processing.
-    let intended_end = window_start + scenario_window + world.scenario.guard_band;
-    let fire = world.robots[robot]
-        .clock
-        .actual_fire_time(intended_end, now);
-    if fire <= engine.horizon() {
-        engine.schedule_at(
-            fire,
-            Event::RobotWindowEnd {
-                robot,
-                window,
-                epoch,
-            },
-        );
-    } else {
-        // The run ends mid-window; the finalizer will checkpoint energy.
-    }
-}
-
-fn robot_window_end(
-    engine: &mut Engine<Event>,
-    world: &mut World,
-    robot: usize,
-    window: u64,
-    epoch: u32,
-    now: SimTime,
-) {
-    if !world.robots[robot].alive || world.robots[robot].epoch != epoch {
-        return; // stale window-end from a life that ended in a crash
-    }
-    let mode = world.mode();
-    let watchdog = world.scenario.entropy_watchdog_frac;
-    {
-        let r = &mut world.robots[robot];
-        // Close the RF window and process the fix.
-        if let Some(rf) = r.rf.as_mut() {
-            let had_window = rf.in_window();
-            let sp = world.telemetry.span_start();
-            let outcome = rf.end_window_guarded(watchdog);
-            world.telemetry.span_end(world.spans.grid_fix, sp);
-            match outcome {
-                WindowOutcome::Fix(fix) => {
-                    r.has_fix = true;
-                    r.last_fix_window = Some(window);
-                    world.traffic.fixes += 1;
-                    world.telemetry.emit(
-                        now,
-                        TelemetryEvent::Fix {
-                            robot: robot as u32,
-                            window,
-                            x_m: fix.x,
-                            y_m: fix.y,
-                            err_m: r.motion.true_position().distance_to(fix),
-                        },
-                    );
-                    world
-                        .telemetry
-                        .legacy(now, TraceLevel::Debug, "localization", || {
-                            format!("robot {} fixed at {} in window {window}", robot, fix)
-                        });
-                    if mode == EstimatorMode::Cocoa {
-                        // RF fixes position; heading is re-anchored from the
-                        // displacement observed between consecutive fixes.
-                        let odo_pose = r.motion.odometry_pose();
-                        let mut heading = odo_pose.heading;
-                        if let Some(anchor) = r.fix_anchor {
-                            let d_fix = fix - anchor.fix;
-                            let d_odo = odo_pose.position - anchor.odo_at_fix;
-                            // Short displacements make the bearing comparison
-                            // noisier than the heading error it would fix.
-                            if d_fix.norm() > 10.0 && d_odo.norm() > 10.0 {
-                                heading -= normalize_angle(d_odo.angle() - d_fix.angle());
-                            }
-                        }
-                        r.fix_anchor = Some(FixAnchor {
-                            fix,
-                            odo_at_fix: odo_pose.position,
-                        });
-                        r.motion.reset_odometry_to(Pose::new(fix, heading));
-                    }
-                }
-                WindowOutcome::FlatPosterior { entropy, threshold } => {
-                    // The entropy watchdog vetoed a near-uniform posterior:
-                    // the robot keeps dead-reckoning from its previous fix
-                    // rather than jumping to an uninformative centroid.
-                    world.robustness.flat_posteriors += 1;
-                    world.telemetry.emit(
-                        now,
-                        TelemetryEvent::FlatPosterior {
-                            robot: robot as u32,
-                            window,
-                            entropy,
-                            threshold,
-                        },
-                    );
-                    world
-                        .telemetry
-                        .legacy(now, TraceLevel::Warn, "localization", || {
-                            format!(
-                                "robot {robot} posterior too flat in window {window} \
-                                 (entropy {entropy:.2} > {threshold:.2}); keeping estimate"
-                            )
-                        });
-                }
-                WindowOutcome::NoFix => {
-                    if had_window {
-                        // Fewer than the minimum beacons arrived: the robot
-                        // keeps its previous estimate (paper Section 2.3).
-                        world.traffic.starved_windows += 1;
-                        world.telemetry.emit(
-                            now,
-                            TelemetryEvent::StarvedWindow {
-                                robot: robot as u32,
-                                window,
-                            },
-                        );
-                        world
-                            .telemetry
-                            .legacy(now, TraceLevel::Warn, "localization", || {
-                                format!("robot {robot} starved in window {window}")
-                            });
-                    }
-                }
-            }
-        }
-        // Degradation bookkeeping: a fresh fix means healthy; a recent one
-        // means degraded (coasting on odometry); anything older is pure
-        // dead reckoning. Equipped robots stay healthy.
-        if r.rf.is_some() {
-            let state = match r.last_fix_window {
-                Some(w) if w == window => DegradationState::Healthy,
-                Some(w) if window.saturating_sub(w) <= 2 => DegradationState::Degraded,
-                _ => DegradationState::DeadReckoning,
-            };
-            if r.health.transition(now, state) {
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::HealthTransition {
-                        robot: robot as u32,
-                        state: state.as_str(),
-                    },
-                );
-            }
-        }
-        // Synchronization accounting.
-        if world.scenario.sync_enabled {
-            if r.synced_this_window {
-                world.traffic.syncs_delivered += 1;
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::SyncDelivered {
-                        robot: robot as u32,
-                        window,
-                    },
-                );
-            } else {
-                r.clock.note_missed_sync();
-                world.traffic.syncs_missed += 1;
-                world.telemetry.emit(
-                    now,
-                    TelemetryEvent::SyncMissed {
-                        robot: robot as u32,
-                        window,
-                    },
-                );
-                world.telemetry.legacy(now, TraceLevel::Warn, "sync", || {
-                    format!("robot {robot} missed SYNC in window {window}")
-                });
-            }
-        }
-        // Sleep until the next window.
-        if world.scenario.coordination {
-            r.radio.set_state(now, PowerState::Sleep);
-            world.telemetry.emit(
-                now,
-                TelemetryEvent::RadioState {
-                    robot: robot as u32,
-                    state: PowerState::Sleep.as_str(),
-                },
-            );
-        }
-    }
-    // Schedule the next wake on the robot's local clock.
-    let next_window = window + 1;
-    let next_start = world.window_start_time(next_window);
-    if next_start >= engine.horizon() {
-        return;
-    }
-    let guard = world.robots[robot]
-        .clock
-        .effective_guard(world.scenario.guard_band, world.max_guard);
-    let intended = next_start - guard.min(next_start.saturating_since(SimTime::ZERO));
-    let fire = world.robots[robot].clock.actual_fire_time(intended, now);
-    engine.schedule_at(
-        fire.min(engine.horizon()),
-        Event::RobotWake {
-            robot,
-            window: next_window,
-            epoch,
-        },
-    );
-}
-
-/// Puts `packet` on the air from `robot` and schedules the delivery
-/// judgment at the end of its airtime.
-fn transmit(
-    engine: &mut Engine<Event>,
-    world: &mut World,
-    robot: usize,
-    packet: Packet,
-    now: SimTime,
-) {
-    // A garbling transmitter corrupts the frame on the air: if the garbled
-    // bytes still parse the receivers get a wrong-but-well-formed packet;
-    // if not, the frame occupies airtime and reception energy but is
-    // dropped at every receiver's decoder.
-    let mut packet = packet;
-    let mut corrupt = false;
-    if world.robots[robot].garbled_tx {
-        let mut raw = packet.encode().to_vec();
-        garble_bytes(&mut raw, &mut world.fault_rng);
-        match Packet::decode(Bytes::from(raw)) {
-            Ok(altered) => {
-                world.robustness.garbled_frames_delivered += 1;
-                packet = altered;
-            }
-            Err(_) => corrupt = true,
-        }
-    }
-    let bytes = packet.wire_size();
-    let src_pos = world.robots[robot].motion.true_position();
-    let src_id = world.robots[robot].id;
-    world.robots[robot].radio.record_tx(now, bytes);
-    let duration = world.robots[robot].radio.tx_duration(bytes);
-    let tx = world
-        .medium
-        .begin_tx(src_id, src_pos, packet, now, duration);
-    if corrupt {
-        world.corrupt_txs.insert(tx);
-    }
-    let mut receivers = Vec::new();
-    let detect_horizon = world.channel.max_range() * 1.5;
-    let sp = world.telemetry.span_start();
-    for j in 0..world.robots.len() {
-        if j == robot || !world.robots[j].radio.can_receive() {
-            continue;
-        }
-        let d = src_pos.distance_to(world.robots[j].motion.true_position());
-        if d <= 0.0 || d > detect_horizon {
-            continue;
-        }
-        let rssi = world.channel.sample_rssi(d, &mut world.channel_rng);
-        if !world.channel.is_detectable(rssi) {
-            continue;
-        }
-        // Unmodelled losses (obstructions, interference bursts).
-        if world.scenario.packet_loss > 0.0
-            && rand::Rng::gen_bool(&mut world.channel_rng, world.scenario.packet_loss)
-        {
-            continue;
-        }
-        // Injected Gilbert–Elliott burst loss on this receiver's link.
-        if let Some(links) = world.burst.as_mut() {
-            if links[j].drops(&mut world.fault_rng) {
-                world.robustness.burst_losses += 1;
-                continue;
-            }
-        }
-        world.medium.record_rssi(tx, world.robots[j].id, rssi);
-        receivers.push(j);
-    }
-    world.telemetry.span_end(world.spans.channel_sample, sp);
-    engine.schedule_at(now + duration, Event::TxEnd { tx, receivers });
-}
-
-/// Judges every reception of frame `tx` and dispatches delivered packets.
-fn deliver(
-    engine: &mut Engine<Event>,
-    world: &mut World,
-    tx: TxId,
-    receivers: &[usize],
-    now: SimTime,
-) {
-    let corrupt = world.corrupt_txs.remove(&tx);
-    for &j in receivers {
-        let id = world.robots[j].id;
-        match world.medium.outcome(tx, id) {
-            ReceptionOutcome::Delivered { rssi, packet } => {
-                if !world.robots[j].radio.can_receive() {
-                    continue; // fell asleep mid-frame
-                }
-                world.robots[j].radio.record_rx(now, packet.wire_size());
-                if corrupt {
-                    // The frame arrived but its bytes no longer parse: the
-                    // receiver paid the energy and drops it at the decoder.
-                    world.robustness.corrupt_frames_dropped += 1;
-                    continue;
-                }
-                dispatch(engine, world, j, packet, rssi, now);
-            }
-            ReceptionOutcome::Collided { .. } | ReceptionOutcome::HalfDuplex => {}
-            ReceptionOutcome::NotReceivable => {}
-            ReceptionOutcome::Expired => {}
-        }
-    }
-}
-
-/// Routes a delivered packet to the localizer or the mesh node.
-fn dispatch(
-    engine: &mut Engine<Event>,
-    world: &mut World,
-    robot: usize,
-    packet: Packet,
-    rssi: cocoa_net::rssi::Dbm,
-    now: SimTime,
-) {
-    match &packet.payload {
-        Payload::Beacon { position } => {
-            let gate = world.scenario.outlier_gate_m;
-            let mode = world.mode();
-            let area = world.scenario.area;
-            // The robot's own current estimate anchors the consistency
-            // check: a beacon whose claimed range disagrees wildly with
-            // the RSSI-implied range is rejected as an outlier.
-            let reference = {
-                let r = &world.robots[robot];
-                r.has_fix.then(|| r.estimate(mode, &area))
-            };
-            let r = &mut world.robots[robot];
-            if let Some(rf) = r.rf.as_mut() {
-                world.traffic.beacons_received += 1;
-                let sp = world.telemetry.span_start();
-                let result = rf.observe_beacon_checked(
-                    &world.table,
-                    &world.radial,
-                    *position,
-                    rssi,
-                    reference,
-                    gate,
-                );
-                world.telemetry.span_end(world.spans.grid_update, sp);
-                if result == ObservationResult::Outlier {
-                    world.robustness.outlier_beacons_rejected += 1;
-                }
-                let outcome = match result {
-                    ObservationResult::Applied => "applied",
-                    ObservationResult::Outlier => "outlier",
-                    ObservationResult::Rejected => "rejected",
-                    ObservationResult::NoPdf => "no_pdf",
-                };
-                let from = packet.src.0;
-                world.telemetry.emit_full(now, || TelemetryEvent::BeaconRx {
-                    robot: robot as u32,
-                    from,
-                    rssi_dbm: rssi.value(),
-                    outcome,
-                });
-                if result == ObservationResult::Applied {
-                    world
-                        .telemetry
-                        .emit_full(now, || TelemetryEvent::GridUpdate {
-                            robot: robot as u32,
-                        });
-                }
-            }
-        }
-        Payload::Sync { .. } => {
-            // Direct SYNC payloads are not used by the runner (SYNC rides
-            // as mesh data) but remain valid protocol traffic.
-        }
-        _ => {
-            let mode = world.mode();
-            let area = world.scenario.area;
-            let info = world.robots[robot].mobility_info(mode, &area);
-            let sp = world.telemetry.span_start();
-            let actions = world.robots[robot].mesh.handle_packet(now, &packet, &info);
-            world.telemetry.span_end(world.spans.mesh_handle, sp);
-            for action in actions {
-                match action {
-                    ProtocolAction::Broadcast {
-                        packet,
-                        jitter_bound,
-                    } => {
-                        let jitter = uniform(
-                            0.0,
-                            jitter_bound.as_secs_f64().max(1e-4),
-                            &mut world.jitter_rng,
-                        );
-                        engine.schedule_in(
-                            SimDuration::from_secs_f64(jitter),
-                            Event::Transmit {
-                                robot,
-                                intent: TxIntent::Mesh(packet),
-                            },
-                        );
-                    }
-                    ProtocolAction::Deliver { source: _, body } => {
-                        match SyncMessage::decode(body) {
-                            Some(_msg) => {
-                                let r = &mut world.robots[robot];
-                                if r.clock.resync(now) {
-                                    r.synced_this_window = true;
-                                } else {
-                                    // A replayed or reordered SYNC older than
-                                    // the clock's anchor: ignored, counted.
-                                    world.robustness.stale_syncs_ignored += 1;
-                                }
-                            }
-                            None => {
-                                // Garbled in flight: the mesh delivered bytes
-                                // the application cannot parse.
-                                world.robustness.malformed_sync_bodies += 1;
-                                world.robots[robot].mesh.note_undecodable_delivery();
-                            }
-                        }
-                    }
-                    ProtocolAction::ScheduleReply { source, after } => {
-                        engine.schedule_in(after, Event::MeshReply { robot, source });
-                    }
-                    ProtocolAction::ScheduleRebroadcast { source, seq, after } => {
-                        engine.schedule_in(after, Event::MeshRebroadcast { robot, source, seq });
-                    }
-                }
-            }
-        }
-    }
-}
+pub use crate::world::{run, run_traced, run_with_telemetry};

@@ -9,7 +9,8 @@ use serde::{Deserialize, Serialize};
 
 use cocoa_localization::estimator::{EstimatorMode, RfAlgorithm};
 use cocoa_mobility::odometry::OdometryConfig;
-use cocoa_multicast::odmrp::OdmrpConfig;
+use cocoa_multicast::odmrp::{MeshMode, OdmrpConfig};
+use cocoa_multicast::protocol::MulticastProtocol;
 use cocoa_net::channel::ChannelParams;
 use cocoa_net::energy::EnergyParams;
 use cocoa_net::geometry::Area;
@@ -39,6 +40,10 @@ pub struct Scenario {
     pub transmit_window: SimDuration,
     /// Beacons per robot per window, `k` (paper: 3).
     pub beacons_per_window: u32,
+    /// Minimum commanded robot speed, m/s (paper: 0.1). Set `v_min` and
+    /// `v_max` both to zero for a static deployment (robots hold their
+    /// start positions — a sensor-network-style baseline).
+    pub v_min: f64,
     /// Maximum robot speed, m/s (paper: 0.5 or 2.0).
     pub v_max: f64,
     /// Which estimator the unequipped robots run.
@@ -58,8 +63,13 @@ pub struct Scenario {
     pub energy: EnergyParams,
     /// Odometry noise parameters.
     pub odometry: OdometryConfig,
-    /// Mesh multicast (MRMM/ODMRP) parameters.
+    /// Mesh multicast (MRMM/ODMRP) timing/range parameters. The backend
+    /// actually run is selected by [`Scenario::multicast`], which
+    /// overrides this block's `mode`.
     pub mesh: OdmrpConfig,
+    /// Which mesh multicast backend disseminates SYNC (flood baseline,
+    /// plain ODMRP, or the paper's MRMM extension — the default).
+    pub multicast: MulticastProtocol,
     /// Whether the Sync robot disseminates SYNC over the mesh. Disabling
     /// it leaves robots free-running on drifting clocks (ablation).
     pub sync_enabled: bool,
@@ -113,6 +123,12 @@ impl Scenario {
         SimDuration::from_micros(self.duration.as_micros()).div_duration(self.beacon_period)
     }
 
+    /// Whether this scenario deploys a static team (no robot ever moves:
+    /// `v_min = v_max = 0`).
+    pub fn is_static(&self) -> bool {
+        self.v_max == 0.0
+    }
+
     /// Validates cross-field invariants.
     ///
     /// # Errors
@@ -137,8 +153,35 @@ impl Scenario {
         if self.mode.uses_rf() && self.num_equipped == 0 && !self.relay_beaconing {
             return Err("RF modes need at least one beacon source".into());
         }
-        if self.v_max <= 0.1 {
-            return Err(format!("v_max {} must exceed 0.1 m/s", self.v_max));
+        if !self.v_min.is_finite() || !self.v_max.is_finite() || self.v_min < 0.0 {
+            return Err(format!(
+                "speed range [{}, {}] m/s must be finite and non-negative",
+                self.v_min, self.v_max
+            ));
+        }
+        if self.v_max < self.v_min {
+            return Err(format!(
+                "v_max {} m/s must be at least v_min {} m/s",
+                self.v_max, self.v_min
+            ));
+        }
+        if self.v_max <= 0.1 && !self.is_static() {
+            return Err(format!(
+                "v_max {} must exceed 0.1 m/s (or set v_min = v_max = 0 for a static deployment)",
+                self.v_max
+            ));
+        }
+        if self.multicast == MulticastProtocol::Mrmm && self.is_static() {
+            // MRMM's link-lifetime scoring needs velocity: a static team
+            // advertises all-stationary MobilityInfo, every link scores
+            // the full horizon, and MRMM silently degrades to ODMRP.
+            // Surface that as a configuration error instead.
+            return Err(
+                "MRMM requires a mobile team: with v_min = v_max = 0 every MobilityInfo is \
+                 stationary and MRMM degrades to plain ODMRP — select the odmrp backend \
+                 for static deployments"
+                    .into(),
+            );
         }
         if self.beacons_per_window == 0 {
             return Err("k (beacons per window) must be at least 1".into());
@@ -190,6 +233,7 @@ impl Default for ScenarioBuilder {
                 beacon_period: SimDuration::from_secs(100),
                 transmit_window: SimDuration::from_secs(3),
                 beacons_per_window: 3,
+                v_min: 0.1,
                 v_max: 2.0,
                 mode: EstimatorMode::Cocoa,
                 rf_algorithm: RfAlgorithm::Bayes,
@@ -199,6 +243,7 @@ impl Default for ScenarioBuilder {
                 energy: EnergyParams::default(),
                 odometry: OdometryConfig::default(),
                 mesh: OdmrpConfig::default(),
+                multicast: MulticastProtocol::default(),
                 sync_enabled: true,
                 clock_skew_ppm: 100.0,
                 guard_band: SimDuration::from_millis(200),
@@ -266,9 +311,23 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Sets the minimum commanded robot speed.
+    pub fn v_min(&mut self, v: f64) -> &mut Self {
+        self.scenario.v_min = v;
+        self
+    }
+
     /// Sets the maximum robot speed.
     pub fn v_max(&mut self, v: f64) -> &mut Self {
         self.scenario.v_max = v;
+        self
+    }
+
+    /// Deploys a static team: robots hold their start positions for the
+    /// whole run (`v_min = v_max = 0`).
+    pub fn static_team(&mut self) -> &mut Self {
+        self.scenario.v_min = 0.0;
+        self.scenario.v_max = 0.0;
         self
     }
 
@@ -314,9 +373,21 @@ impl ScenarioBuilder {
         self
     }
 
-    /// Overrides the mesh multicast parameters.
+    /// Overrides the mesh multicast parameters. The parameter block's
+    /// `mode` also selects the matching backend, so pre-existing callers
+    /// that switched modes through here keep their meaning.
     pub fn mesh(&mut self, params: OdmrpConfig) -> &mut Self {
+        self.scenario.multicast = match params.mode {
+            MeshMode::Odmrp => MulticastProtocol::Odmrp,
+            MeshMode::Mrmm => MulticastProtocol::Mrmm,
+        };
         self.scenario.mesh = params;
+        self
+    }
+
+    /// Selects the mesh multicast backend (flood / odmrp / mrmm).
+    pub fn multicast(&mut self, protocol: MulticastProtocol) -> &mut Self {
+        self.scenario.multicast = protocol;
         self
     }
 
@@ -487,6 +558,55 @@ mod tests {
         let plan = FaultPlan::preset("chaos", d, 50).unwrap();
         let s = b.faults(plan).build();
         assert!(!s.faults.is_empty());
+    }
+
+    #[test]
+    fn mesh_mode_selects_the_matching_backend() {
+        let s = Scenario::builder()
+            .mesh(OdmrpConfig {
+                mode: MeshMode::Odmrp,
+                ..OdmrpConfig::default()
+            })
+            .build();
+        assert_eq!(s.multicast, MulticastProtocol::Odmrp);
+        assert_eq!(
+            Scenario::builder().build().multicast,
+            MulticastProtocol::Mrmm
+        );
+    }
+
+    #[test]
+    fn rejects_mrmm_on_a_static_team() {
+        // A static team advertises all-stationary MobilityInfo, silently
+        // degrading MRMM to ODMRP — that must be a config error.
+        let err = Scenario::builder().static_team().try_build();
+        assert!(err.is_err(), "default backend is MRMM");
+        let msg = err.unwrap_err();
+        assert!(msg.contains("MRMM"), "unexpected message: {msg}");
+        // The same deployment under ODMRP or flooding is fine.
+        for p in [MulticastProtocol::Odmrp, MulticastProtocol::Flood] {
+            assert!(Scenario::builder()
+                .static_team()
+                .multicast(p)
+                .try_build()
+                .is_ok());
+        }
+    }
+
+    #[test]
+    fn rejects_inverted_or_negative_speed_range() {
+        assert!(Scenario::builder()
+            .v_min(3.0)
+            .v_max(2.0)
+            .try_build()
+            .is_err());
+        assert!(Scenario::builder().v_min(-0.5).try_build().is_err());
+        // A crawling-but-mobile team still trips the v_max floor.
+        assert!(Scenario::builder()
+            .v_min(0.0)
+            .v_max(0.05)
+            .try_build()
+            .is_err());
     }
 
     #[test]

@@ -271,6 +271,7 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "sync_delivered",
     "sync_missed",
     "failover",
+    "mesh_prune",
     "radio_state",
     "fault",
     "health",

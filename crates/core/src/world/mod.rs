@@ -1,0 +1,393 @@
+//! The CoCoA simulation world: wires robots, radios, the medium, the
+//! mesh, the coordination timeline and the metrics into one deterministic
+//! discrete-event run.
+//!
+//! This module tree is the equivalent of the paper's Glomosim experiment
+//! scripts: it realizes the timeline of Fig. 2 (beacon periods `T`,
+//! transmit windows `t`, `k` beacons, radios sleeping in between) and the
+//! SYNC dissemination of Fig. 3, and produces the error/energy metrics of
+//! Section 4.
+//!
+//! The run is decomposed by concern, all sharing one `WorldState`:
+//!
+//! - [`events`](self): the event vocabulary, span bookkeeping and the
+//!   dispatch table;
+//! - [`mesh`]: the pluggable [`mesh::MeshBackend`] layer (flood / ODMRP /
+//!   MRMM) and the mesh-packet handling that drives it;
+//! - `window`: the coordination timeline — window starts, per-robot wakes
+//!   and end-of-window fix/sync processing;
+//! - `beacon`: the physical layer — deferred transmissions, channel
+//!   sampling, reception judgment and beacon dispatch into the estimator;
+//! - `faults_hook`: applying injected faults to the world;
+//! - `metrics_hook`: metric sampling, snapshots and the end-of-run
+//!   finalization into [`RunMetrics`].
+//!
+//! This file owns setup and teardown: scenario validation, calibration,
+//! team construction, the initial schedule, and the public entry points
+//! [`run`], [`run_traced`] and [`run_with_telemetry`].
+
+pub(crate) mod beacon;
+pub(crate) mod events;
+pub(crate) mod faults_hook;
+pub mod mesh;
+pub(crate) mod metrics_hook;
+pub(crate) mod window;
+
+use cocoa_localization::bayes::radial_constraints_for_grid;
+use cocoa_localization::estimator::EstimatorMode;
+use cocoa_localization::estimator::WindowedRfEstimator;
+use cocoa_localization::grid::GridConfig;
+use cocoa_mobility::motion::RobotMotion;
+use cocoa_mobility::waypoint::WaypointConfig;
+use cocoa_net::calibration::{calibrate, CalibrationConfig, PdfTable, RadialConstraintTable};
+use cocoa_net::channel::RfChannel;
+use cocoa_net::energy::PowerState;
+use cocoa_net::geometry::Point;
+use cocoa_net::mac::{Medium, TxId};
+use cocoa_net::packet::{GroupId, NodeId};
+use cocoa_net::radio::Radio;
+use cocoa_sim::dist::uniform;
+use cocoa_sim::engine::Engine;
+use cocoa_sim::faults::GilbertElliottLink;
+use cocoa_sim::rng::{DetRng, SeedSplitter};
+use cocoa_sim::telemetry::Telemetry;
+use cocoa_sim::time::{SimDuration, SimTime};
+use cocoa_sim::trace::Trace;
+
+use crate::health::{DegradationState, HealthMonitor};
+use crate::metrics::{ErrorPoint, ErrorSnapshot, RobustnessStats, RunMetrics, TrafficStats};
+use crate::robot::Robot;
+use crate::scenario::Scenario;
+use crate::sync::DriftingClock;
+
+use events::{Event, SpanIds};
+
+/// The multicast group every robot joins for SYNC delivery.
+pub(crate) const SYNC_GROUP: GroupId = GroupId(1);
+
+/// Offset of the JOIN QUERY flood from the window start.
+pub(crate) const QUERY_OFFSET: SimDuration = SimDuration::from_millis(5);
+/// Offset of the SYNC data from the window start (lets the mesh form:
+/// query flood + jittered rebroadcasts + aggregated replies take a few
+/// hundred milliseconds).
+pub(crate) const SYNC_OFFSET: SimDuration = SimDuration::from_millis(600);
+/// Beacons start this far into the window, clear of the mesh-control burst.
+pub(crate) const BEACON_LEAD_IN: SimDuration = SimDuration::from_millis(700);
+
+/// Everything the event handlers share: the team, the channel, the
+/// accumulators and the telemetry bus.
+pub(crate) struct WorldState {
+    pub(crate) scenario: Scenario,
+    pub(crate) channel: RfChannel,
+    pub(crate) table: PdfTable,
+    /// Pre-sampled radial constraint profiles (one per calibrated RSSI
+    /// bin, floor baked in), shared by every robot's Bayesian update.
+    pub(crate) radial: RadialConstraintTable,
+    pub(crate) medium: Medium,
+    pub(crate) robots: Vec<Robot>,
+    pub(crate) move_rngs: Vec<DetRng>,
+    pub(crate) odo_rngs: Vec<DetRng>,
+    pub(crate) channel_rng: DetRng,
+    pub(crate) jitter_rng: DetRng,
+    // Metric accumulators.
+    pub(crate) error_series: Vec<ErrorPoint>,
+    pub(crate) snapshots: Vec<ErrorSnapshot>,
+    pub(crate) position_snapshots: Vec<(SimTime, Vec<crate::metrics::RobotFinalState>)>,
+    pub(crate) traffic: TrafficStats,
+    pub(crate) sync_robot: usize,
+    pub(crate) max_guard: SimDuration,
+    pub(crate) telemetry: Telemetry,
+    pub(crate) spans: SpanIds,
+    /// Next sim time at which per-robot timeline samples are due.
+    pub(crate) next_robot_sample: Option<SimTime>,
+    // Fault-injection state.
+    pub(crate) fault_rng: DetRng,
+    /// Per-receiver Gilbert–Elliott link state while a burst-loss overlay
+    /// is active.
+    pub(crate) burst: Option<Vec<GilbertElliottLink>>,
+    /// Transmissions whose garbled frame no longer decodes: receivers pay
+    /// the reception energy, then drop the frame.
+    pub(crate) corrupt_txs: std::collections::HashSet<TxId>,
+    pub(crate) robustness: RobustnessStats,
+    /// Consecutive beacon periods the Sync timebase has been silent.
+    pub(crate) sync_dead_windows: u32,
+}
+
+impl WorldState {
+    pub(crate) fn mode(&self) -> EstimatorMode {
+        self.scenario.mode
+    }
+
+    pub(crate) fn uses_rf(&self) -> bool {
+        self.scenario.mode.uses_rf()
+    }
+
+    pub(crate) fn window_start_time(&self, index: u64) -> SimTime {
+        SimTime::ZERO + self.scenario.beacon_period * index
+    }
+
+    /// Whether `robot` beacons during window `w` (equipped robots always,
+    /// relayers when their fix is fresh enough).
+    pub(crate) fn beacons_in_window(&self, robot: usize, window: u64) -> bool {
+        let r = &self.robots[robot];
+        if r.equipped {
+            return true;
+        }
+        if !self.scenario.relay_beaconing || !r.has_fix {
+            return false;
+        }
+        r.last_fix_window
+            .is_some_and(|w| window.saturating_sub(w) <= self.scenario.relay_max_fix_age_windows)
+    }
+}
+
+/// Runs `scenario` to completion and returns its metrics.
+///
+/// Deterministic: the same scenario (including seed) always produces the
+/// same metrics, bit for bit.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation — construct it through
+/// [`Scenario::builder`] to catch that earlier.
+///
+/// # Examples
+///
+/// ```no_run
+/// use cocoa_core::runner::run;
+/// use cocoa_core::scenario::Scenario;
+///
+/// let metrics = run(&Scenario::builder().build());
+/// println!("mean error {:.1} m", metrics.mean_error_over_time());
+/// ```
+pub fn run(scenario: &Scenario) -> RunMetrics {
+    run_with_telemetry(scenario, Telemetry::off()).0
+}
+
+/// Like [`run`], but records protocol milestones (window starts, fixes,
+/// starved windows, lost syncs) into the supplied [`Trace`] and returns it
+/// alongside the metrics. Use [`Trace::with_capacity`] to bound memory on
+/// long runs.
+///
+/// The string trace is the legacy observability surface; it now rides on
+/// the typed telemetry bus (see [`run_with_telemetry`]) as its legacy sink,
+/// so existing callers keep working unchanged.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
+    let mut telemetry = Telemetry::off();
+    telemetry.attach_legacy(trace);
+    let (metrics, mut telemetry) = run_with_telemetry(scenario, telemetry);
+    let trace = telemetry
+        .take_legacy()
+        .expect("legacy trace survives the run");
+    (metrics, trace)
+}
+
+/// Like [`run`], but records typed events, counters and span timings into
+/// the supplied [`Telemetry`] bus and returns it alongside the metrics.
+///
+/// Telemetry is strictly an observer: for any fixed scenario the returned
+/// [`RunMetrics`] are bit-identical whatever the bus level, and the
+/// deterministic part of the trace ([`Telemetry::to_jsonl`] without spans)
+/// is byte-identical across runs of the same seed.
+///
+/// # Panics
+///
+/// Panics if the scenario fails validation.
+pub fn run_with_telemetry(
+    scenario: &Scenario,
+    mut telemetry: Telemetry,
+) -> (RunMetrics, Telemetry) {
+    let spans = SpanIds::register(&mut telemetry);
+    let t_total = telemetry.span_start();
+    let t_calibrate = telemetry.span_start();
+    scenario
+        .validate()
+        .unwrap_or_else(|e| panic!("invalid scenario: {e}"));
+    let split = SeedSplitter::new(scenario.seed);
+
+    // --- Offline calibration phase (paper Section 2.2). ---
+    let channel = RfChannel::new(scenario.channel);
+    let table = calibrate(
+        &channel,
+        &CalibrationConfig::default(),
+        &mut split.stream("calibration", 0),
+    );
+    // One radial constraint cache per run, shared by every robot.
+    let radial = radial_constraints_for_grid(
+        &table,
+        &GridConfig::new(scenario.area, scenario.grid_resolution_m),
+    );
+    telemetry.span_end(spans.run_calibrate, t_calibrate);
+    let t_setup = telemetry.span_start();
+
+    // --- Team construction. ---
+    let mut placement_rng = split.stream("placement", 0);
+    let mut clock_rng = split.stream("clock", 0);
+    let num_equipped = if scenario.mode.uses_rf() {
+        scenario.num_equipped
+    } else {
+        0
+    };
+    let mut robots = Vec::with_capacity(scenario.num_robots);
+    let mut move_rngs = Vec::with_capacity(scenario.num_robots);
+    let mut odo_rngs = Vec::with_capacity(scenario.num_robots);
+    for i in 0..scenario.num_robots {
+        let start = Point::new(
+            uniform(scenario.area.x_min, scenario.area.x_max, &mut placement_rng),
+            uniform(scenario.area.y_min, scenario.area.y_max, &mut placement_rng),
+        );
+        let mut move_rng = split.stream("move", i as u64);
+        let odo_rng = split.stream("odo", i as u64);
+        let equipped = i < num_equipped;
+        let skew = if i == 0 {
+            0.0 // the Sync robot is the timebase
+        } else {
+            uniform(
+                -scenario.clock_skew_ppm * 1e-6,
+                scenario.clock_skew_ppm * 1e-6 + f64::EPSILON,
+                &mut clock_rng,
+            )
+        };
+        let motion = RobotMotion::new(
+            WaypointConfig {
+                area: scenario.area,
+                v_min: scenario.v_min,
+                v_max: scenario.v_max,
+            },
+            scenario.odometry,
+            start,
+            &mut move_rng,
+        );
+        let mut radio = Radio::new(scenario.energy, SimTime::ZERO);
+        if !scenario.mode.uses_rf() {
+            radio.set_state(SimTime::ZERO, PowerState::Off);
+        }
+        let rf = if !equipped && scenario.mode.uses_rf() {
+            Some(WindowedRfEstimator::with_algorithm(
+                GridConfig::new(scenario.area, scenario.grid_resolution_m),
+                scenario.rf_algorithm,
+            ))
+        } else {
+            None
+        };
+        // Equipped robots are healthy by construction; everyone else starts
+        // dead-reckoning (no fix yet — the RF estimator has not run, and
+        // odometry-only robots never get one).
+        let initial_health = if equipped && scenario.mode.uses_rf() {
+            DegradationState::Healthy
+        } else {
+            DegradationState::DeadReckoning
+        };
+        robots.push(Robot {
+            id: NodeId(i as u32),
+            index: i,
+            equipped,
+            motion,
+            radio,
+            rf,
+            mesh: mesh::make_backend(
+                scenario.multicast,
+                NodeId(i as u32),
+                SYNC_GROUP,
+                true,
+                scenario.mesh,
+            ),
+            clock: DriftingClock::new(skew),
+            has_fix: false,
+            last_fix_window: None,
+            synced_this_window: false,
+            fix_anchor: None,
+            alive: true,
+            epoch: 0,
+            garbled_tx: false,
+            beacon_offset: None,
+            health: HealthMonitor::new(initial_health, SimTime::ZERO),
+        });
+        move_rngs.push(move_rng);
+        odo_rngs.push(odo_rng);
+    }
+
+    let max_guard = (scenario.beacon_period / 4).max(scenario.guard_band);
+    let mut world = WorldState {
+        scenario: scenario.clone(),
+        channel,
+        table,
+        radial,
+        medium: Medium::new(),
+        robots,
+        move_rngs,
+        odo_rngs,
+        channel_rng: split.stream("channel", 0),
+        jitter_rng: split.stream("jitter", 0),
+        error_series: Vec::new(),
+        snapshots: Vec::new(),
+        position_snapshots: Vec::new(),
+        traffic: TrafficStats::default(),
+        sync_robot: 0,
+        max_guard,
+        telemetry,
+        spans,
+        next_robot_sample: None,
+        fault_rng: split.stream("faults", 0),
+        burst: None,
+        corrupt_txs: std::collections::HashSet::new(),
+        robustness: RobustnessStats::default(),
+        sync_dead_windows: 0,
+    };
+
+    // --- Initial event schedule. ---
+    let horizon = SimTime::ZERO + scenario.duration;
+    let mut engine: Engine<Event> = Engine::new(horizon);
+    engine.schedule_at(SimTime::ZERO + scenario.tick, Event::MoveTick);
+    engine.schedule_at(
+        SimTime::ZERO + scenario.metrics_interval,
+        Event::MetricsSample,
+    );
+    if world.uses_rf() {
+        engine.schedule_at(SimTime::ZERO, Event::WindowStart { index: 0 });
+        for i in 0..world.robots.len() {
+            engine.schedule_at(
+                SimTime::ZERO,
+                Event::RobotWake {
+                    robot: i,
+                    window: 0,
+                    epoch: 0,
+                },
+            );
+        }
+        engine.schedule_at(SimTime::ZERO + SimDuration::from_secs(10), Event::MediumGc);
+    }
+    for e in scenario.faults.events() {
+        if e.at <= horizon {
+            engine.schedule_at(e.at, Event::Fault(e.fault.clone()));
+        }
+    }
+    let mut snapshot_times = scenario.snapshot_times.clone();
+    snapshot_times.sort();
+    for (i, &t) in snapshot_times.iter().enumerate() {
+        if t <= horizon {
+            engine.schedule_at(t, Event::Snapshot { index: i });
+        }
+    }
+    world.snapshots = snapshot_times
+        .iter()
+        .map(|&t| ErrorSnapshot::new(t, Vec::new()))
+        .collect();
+    world.telemetry.span_end(spans.run_setup, t_setup);
+
+    // --- Run. ---
+    let t_loop = world.telemetry.span_start();
+    engine.run(&mut world, events::handle_event);
+    world.telemetry.span_end(spans.run_event_loop, t_loop);
+
+    // --- Finalize. ---
+    let t_finalize = world.telemetry.span_start();
+    let metrics = metrics_hook::finalize(&mut world, &engine, horizon);
+    world.telemetry.span_end(spans.run_finalize, t_finalize);
+    world.telemetry.span_end(spans.run_total, t_total);
+    (metrics, world.telemetry)
+}

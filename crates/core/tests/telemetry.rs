@@ -153,6 +153,133 @@ fn bounded_telemetry_counts_what_it_drops() {
     assert_eq!(dropped, Some(t.dropped_events()));
 }
 
+// ---------------------------------------------------------------------------
+// Golden-seed regression: the `world/` refactor must leave the pinned-seed
+// ODMRP path bit-identical — both the `RunMetrics` value and the full-level
+// JSONL trace. The golden files were generated at the pre-refactor HEAD
+// (commit 32f1d9a) and are compared byte for byte. Regenerate deliberately
+// with:
+//
+// ```sh
+// COCOA_REGEN_GOLDEN=1 cargo test -p cocoa-core --test telemetry golden
+// ```
+//
+// Counter lines with a `mesh.<backend>.` prefix are stripped before the
+// trace comparison: the per-backend counter export is additive telemetry
+// introduced by the refactor itself and carries no simulation state.
+
+use cocoa_multicast::odmrp::{MeshMode, OdmrpConfig};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden")
+}
+
+/// The pinned scenario: the standard telemetry test scenario forced into
+/// plain-ODMRP mesh mode (reachable both before and after the refactor via
+/// the mesh parameter block).
+fn golden_odmrp_scenario() -> Scenario {
+    Scenario::builder()
+        .seed(42)
+        .robots(10)
+        .equipped(5)
+        .duration(SimDuration::from_secs(120))
+        .beacon_period(SimDuration::from_secs(30))
+        .grid_resolution(6.0)
+        .mesh(OdmrpConfig {
+            mode: MeshMode::Odmrp,
+            ..OdmrpConfig::default()
+        })
+        .build()
+}
+
+/// Drops `mesh.<backend>.*` counter lines (additive, refactor-era) so the
+/// remaining trace must match the pre-refactor bytes exactly.
+fn strip_backend_counters(trace: &str) -> String {
+    let mut out = String::with_capacity(trace.len());
+    for line in trace.lines() {
+        let is_backend_counter = line.starts_with("{\"kind\":\"counter\"")
+            && ["mesh.flood.", "mesh.odmrp.", "mesh.mrmm."]
+                .iter()
+                .any(|p| line.contains(&format!("\"name\":\"{p}")));
+        if !is_backend_counter {
+            out.push_str(line);
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Byte comparison with a readable failure: reports the first divergent
+/// line instead of dumping both multi-hundred-KB documents.
+fn assert_same_text(actual: &str, golden: &str, what: &str) {
+    if actual == golden {
+        return;
+    }
+    let mut a = actual.lines();
+    let mut g = golden.lines();
+    let mut line_no = 1usize;
+    loop {
+        match (a.next(), g.next()) {
+            (Some(x), Some(y)) if x == y => line_no += 1,
+            (Some(x), Some(y)) => panic!(
+                "{what} diverges from the pre-refactor golden at line {line_no}:\n  golden: {y}\n  actual: {x}"
+            ),
+            (Some(x), None) => panic!("{what} has extra content at line {line_no}: {x}"),
+            (None, Some(y)) => panic!("{what} is truncated at line {line_no}; golden continues: {y}"),
+            (None, None) => panic!("{what} differs from the golden in line endings only"),
+        }
+    }
+}
+
+/// Compares `text` against the pinned golden file, or rewrites the pin when
+/// `COCOA_REGEN_GOLDEN` is set.
+fn check_golden(file: &str, text: &str, what: &str) {
+    let path = golden_dir().join(file);
+    if std::env::var_os("COCOA_REGEN_GOLDEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create golden dir");
+        std::fs::write(&path, text).expect("write golden file");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "golden file {} unreadable ({e}); regenerate with COCOA_REGEN_GOLDEN=1",
+            path.display()
+        )
+    });
+    assert_same_text(text, &golden, what);
+}
+
+#[test]
+fn golden_odmrp_metrics_and_trace_survive_the_world_refactor() {
+    let s = golden_odmrp_scenario();
+    let (metrics, t) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+    check_golden(
+        "odmrp_seed42_metrics.txt",
+        &format!("{metrics:#?}\n"),
+        "ODMRP RunMetrics",
+    );
+    check_golden(
+        "odmrp_seed42_trace.jsonl",
+        &strip_backend_counters(&t.to_jsonl(false)),
+        "ODMRP full trace",
+    );
+}
+
+#[test]
+fn golden_default_metrics_survive_the_world_refactor() {
+    // The default mesh configuration (MRMM mode). Its trace may gain
+    // refactor-era `mesh_prune` events, but the metrics must stay
+    // bit-identical because prune bookkeeping consumes no randomness.
+    let s = scenario(42);
+    let metrics = run(&s);
+    check_golden(
+        "default_seed42_metrics.txt",
+        &format!("{metrics:#?}\n"),
+        "default-path RunMetrics",
+    );
+}
+
 #[test]
 fn legacy_trace_rides_the_bus_unchanged() {
     // `run_traced` must keep producing the same string records whether or

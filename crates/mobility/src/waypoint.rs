@@ -118,7 +118,15 @@ impl WaypointModel {
             uniform(a.x_min, a.x_max, rng),
             uniform(a.y_min, a.y_max, rng),
         );
-        self.speed = uniform(self.config.v_min, self.config.v_max, rng);
+        self.speed = if self.config.v_min < self.config.v_max {
+            uniform(self.config.v_min, self.config.v_max, rng)
+        } else {
+            // Degenerate range: a fixed commanded speed, including the
+            // static deployment v_min = v_max = 0. The draw still happens
+            // so the random stream stays aligned across configurations.
+            let _: f64 = rng.gen();
+            self.config.v_min
+        };
     }
 
     /// The robot's true pose.
@@ -328,6 +336,41 @@ mod tests {
             let (pa, _) = a.step(1.0, &mut rng_a);
             let (pb, _) = b.step(1.0, &mut rng_b);
             assert_eq!(pa, pb);
+        }
+    }
+
+    #[test]
+    fn static_config_never_moves_and_reports_zero_velocity() {
+        let mut rng = SeedSplitter::new(11).stream("wp", 0);
+        let cfg = WaypointConfig {
+            area: Area::square(200.0),
+            v_min: 0.0,
+            v_max: 0.0,
+        };
+        let start = Point::new(50.0, 60.0);
+        let mut m = WaypointModel::new(cfg, start, &mut rng);
+        for _ in 0..100 {
+            let (pose, segments) = m.step(1.0, &mut rng);
+            assert_eq!(pose.position, start, "static robot drifted");
+            let total: f64 = segments.iter().map(|s| s.distance).sum();
+            assert_eq!(total, 0.0);
+        }
+        assert_eq!(m.velocity(), Vec2::ZERO);
+        assert_eq!(m.legs_completed(), 0);
+    }
+
+    #[test]
+    fn fixed_speed_config_commands_that_speed() {
+        let mut rng = SeedSplitter::new(12).stream("wp", 0);
+        let cfg = WaypointConfig {
+            area: Area::square(200.0),
+            v_min: 1.5,
+            v_max: 1.5,
+        };
+        let mut m = WaypointModel::new(cfg, Point::new(100.0, 100.0), &mut rng);
+        for _ in 0..500 {
+            m.step(1.0, &mut rng);
+            assert_eq!(m.speed(), 1.5);
         }
     }
 

@@ -77,6 +77,12 @@ impl FloodNode {
         )
     }
 
+    /// Records a delivered data body the application could not decode
+    /// (same accounting hook as `OdmrpNode::note_undecodable_delivery`).
+    pub fn note_undecodable_delivery(&mut self) {
+        self.stats.data_undecodable += 1;
+    }
+
     /// Handles a received packet: deliver once, rebroadcast once.
     pub fn handle_packet(&mut self, now: SimTime, packet: &Packet) -> Vec<ProtocolAction> {
         let Payload::Data { group, body } = &packet.payload else {

@@ -12,7 +12,11 @@
 //!   prediction from `(position, velocity, d_rest)` and the pruning policy
 //!   that thins short-lived redundant forwarders out of the mesh;
 //! - [`mesh`]: duplicate caches and the protocol counters used for the
-//!   MRMM-vs-ODMRP forwarding-efficiency comparison.
+//!   MRMM-vs-ODMRP forwarding-efficiency comparison;
+//! - [`flood`]: the blind-flooding baseline behind the same sans-IO
+//!   interface;
+//! - [`protocol`]: the backend selector (`flood` / `odmrp` / `mrmm`)
+//!   shared by configuration, CLI and reporting.
 //!
 //! The node is sans-IO: it consumes packets and returns
 //! [`odmrp::ProtocolAction`]s; `cocoa-core`'s runner owns all timing.
@@ -24,6 +28,7 @@ pub mod flood;
 pub mod mesh;
 pub mod mrmm;
 pub mod odmrp;
+pub mod protocol;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
@@ -31,4 +36,5 @@ pub mod prelude {
     pub use crate::mesh::{DedupCache, MeshStats};
     pub use crate::mrmm::{link_lifetime, MobilityInfo, PathScore, PruneConfig};
     pub use crate::odmrp::{MeshMode, OdmrpConfig, OdmrpNode, ProtocolAction};
+    pub use crate::protocol::MulticastProtocol;
 }

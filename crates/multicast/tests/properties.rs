@@ -79,6 +79,45 @@ proptest! {
         prop_assert!(!(a.better_than(&b) && b.better_than(&a)));
     }
 
+    /// No score beats itself (irreflexivity of the strict order).
+    #[test]
+    fn path_score_irreflexive(l in 0.0..200.0f64, h in 0u8..16) {
+        let a = PathScore { lifetime: l, hops: h };
+        prop_assert!(!a.better_than(&a));
+    }
+
+    /// A clearly longer-lived path always wins, whatever the hop counts:
+    /// MRMM's ordering puts lifetime strictly before path length.
+    #[test]
+    fn path_score_lifetime_dominates(l in 0.0..200.0f64, extra in 1.0..100.0f64, h1 in 0u8..16, h2 in 0u8..16) {
+        let short = PathScore { lifetime: l, hops: h1 };
+        let long = PathScore { lifetime: l + extra, hops: h2 };
+        prop_assert!(long.better_than(&short));
+        prop_assert!(!short.better_than(&long));
+    }
+
+    /// The pruning policy never drops the last forwarder: a node that
+    /// heard fewer copies than the redundancy threshold keeps its
+    /// rebroadcast no matter how short-lived its best upstream link is.
+    #[test]
+    fn prune_never_drops_sole_forwarder(min_lifetime in 0.0..600.0f64, threshold in 2u32..16, lifetime in 0.0..600.0f64, copies in 0u32..16) {
+        let cfg = PruneConfig { min_lifetime_s: min_lifetime, redundancy_threshold: threshold };
+        if copies < threshold {
+            prop_assert!(!cfg.should_prune(lifetime, copies));
+        }
+        // The sole-copy case in particular (exactly one forwarder heard
+        // the query) survives under every configuration.
+        prop_assert!(!cfg.should_prune(lifetime, 1));
+    }
+
+    /// A link predicted dead on arrival (out of range) prunes whenever
+    /// redundancy evidence exists — the complementary direction.
+    #[test]
+    fn prune_fires_on_dead_redundant_links(threshold in 2u32..8, extra in 0u32..8) {
+        let cfg = PruneConfig { min_lifetime_s: 30.0, redundancy_threshold: threshold };
+        prop_assert!(cfg.should_prune(0.0, threshold + extra));
+    }
+
     /// MeshStats::merge is associative-compatible: merging equals field
     /// sums.
     #[test]

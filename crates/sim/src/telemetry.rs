@@ -192,6 +192,16 @@ pub enum TelemetryEvent {
         /// Index of the newly elected timebase robot.
         new_sync: u32,
     },
+    /// An MRMM node suppressed a JOIN QUERY rebroadcast: the link was
+    /// predicted too short-lived and enough redundant copies were heard.
+    MeshPrune {
+        /// Pruning robot.
+        robot: u32,
+        /// Source of the pruned query round.
+        source: u32,
+        /// Sequence number of the pruned query round.
+        seq: u32,
+    },
     /// A radio changed power state.
     RadioState {
         /// Robot whose radio transitioned.
@@ -271,6 +281,7 @@ impl TelemetryEvent {
             TelemetryEvent::SyncDelivered { .. } => "sync_delivered",
             TelemetryEvent::SyncMissed { .. } => "sync_missed",
             TelemetryEvent::Failover { .. } => "failover",
+            TelemetryEvent::MeshPrune { .. } => "mesh_prune",
             TelemetryEvent::RadioState { .. } => "radio_state",
             TelemetryEvent::FaultInjected { .. } => "fault",
             TelemetryEvent::HealthTransition { .. } => "health",
@@ -908,6 +919,9 @@ fn write_event_line(out: &mut String, e: &StampedEvent) {
         }
         TelemetryEvent::Failover { new_sync } => {
             let _ = write!(out, ",\"new_sync\":{new_sync}");
+        }
+        TelemetryEvent::MeshPrune { robot, source, seq } => {
+            let _ = write!(out, ",\"robot\":{robot},\"source\":{source},\"seq\":{seq}");
         }
         TelemetryEvent::RadioState { robot, state } => {
             let _ = write!(out, ",\"robot\":{robot},\"state\":\"{state}\"");
