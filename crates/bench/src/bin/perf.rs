@@ -15,7 +15,9 @@
 use std::collections::BTreeMap;
 use std::time::Instant;
 
-use cocoa_core::experiment::{fig7_comparison, ExperimentScale};
+use cocoa_core::experiment::{fig7_comparison, fig9_scenarios, ExperimentScale};
+use cocoa_core::metrics::RunMetrics;
+use cocoa_core::runner::{run, SimRun};
 use cocoa_localization::bayes::{radial_constraints_for_grid, BayesianLocalizer};
 use cocoa_localization::grid::GridConfig;
 use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf};
@@ -23,6 +25,8 @@ use cocoa_net::channel::RfChannel;
 use cocoa_net::geometry::{Area, Point};
 use cocoa_net::rssi::Dbm;
 use cocoa_sim::rng::SeedSplitter;
+use cocoa_sim::telemetry::Telemetry;
+use cocoa_sim::time::SimDuration;
 
 /// Runs `f` repeatedly until at least ~200 ms have elapsed (after one
 /// warm-up call) and returns ops per second.
@@ -105,6 +109,51 @@ fn main() {
     let fig7_secs = t0.elapsed().as_secs_f64();
     let fig7_headline = fig7.headline();
 
+    // Warm-start sweep: the default beacon-period family (Fig. 9, paper
+    // periods 10/50/100/300 s) executed point by point, cold vs forked
+    // from a shared time-zero snapshot. Both paths run serially so the
+    // numbers measure the work saved per point (calibration, radial
+    // table, team setup), independent of the machine's core count. The
+    // sweep uses a small team at full mission length — the setup-bound
+    // shard shape that distributed sweep workers run — because that is
+    // the regime warm-starting targets; per-run setup is fixed, so its
+    // share (and the speedup) shrinks as team size grows.
+    let snap_scale = ExperimentScale {
+        seed: 42,
+        duration: SimDuration::from_secs(400),
+        num_robots: 4,
+    };
+    let periods_s = [10u64, 50, 100, 300];
+    let scenarios = fig9_scenarios(snap_scale, &periods_s);
+    let t0 = Instant::now();
+    let cold: Vec<RunMetrics> = scenarios.iter().map(run).collect();
+    let snap_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let mut seed_run = SimRun::new(&scenarios[0], Telemetry::off());
+    let snapshot = seed_run.capture();
+    let (table, radial) = seed_run.calibration();
+    drop(seed_run);
+    let snap_setup_secs = t0.elapsed().as_secs_f64();
+    let warm: Vec<RunMetrics> = scenarios
+        .iter()
+        .map(|s| {
+            SimRun::warm_fork(
+                &snapshot,
+                s,
+                table.clone(),
+                radial.clone(),
+                Telemetry::off(),
+            )
+            .expect("fig9 points are fork-compatible")
+            .finish()
+            .0
+        })
+        .collect();
+    let snap_warm_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(cold, warm, "warm forks must be bit-identical to cold runs");
+    let snap_speedup = snap_cold_secs / snap_warm_secs;
+    let snapshot_bytes = snapshot.len();
+
     println!("grid update (naive):   {}", fmt_ops(grid_naive));
     println!(
         "grid update (radial):  {}  ({speedup:.1}x)",
@@ -116,6 +165,10 @@ fn main() {
     if let Some((cocoa, rf)) = fig7_headline {
         println!("fig7 headline @ 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m");
     }
+    println!(
+        "warm-start sweep:      cold {snap_cold_secs:.2} s, warm {snap_warm_secs:.2} s \
+         ({snap_speedup:.2}x, setup {snap_setup_secs:.3} s, snapshot {snapshot_bytes} B)"
+    );
 
     let json = format!(
         "{{\n  \"grid_update_naive_ops_per_sec\": {grid_naive:.1},\n  \
@@ -127,4 +180,21 @@ fn main() {
     );
     std::fs::write("BENCH_grid.json", &json).expect("write BENCH_grid.json");
     println!("wrote BENCH_grid.json");
+
+    let snap_json = format!(
+        "{{\n  \"sweep_points\": {},\n  \
+         \"duration_secs\": {},\n  \
+         \"num_robots\": {},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \
+         \"setup_wall_secs\": {snap_setup_secs:.3},\n  \
+         \"cold_wall_secs\": {snap_cold_secs:.3},\n  \
+         \"warm_wall_secs\": {snap_warm_secs:.3},\n  \
+         \"warm_speedup\": {snap_speedup:.2},\n  \
+         \"bit_identical\": true\n}}\n",
+        scenarios.len(),
+        snap_scale.duration.as_secs_f64(),
+        snap_scale.num_robots,
+    );
+    std::fs::write("BENCH_snapshot.json", &snap_json).expect("write BENCH_snapshot.json");
+    println!("wrote BENCH_snapshot.json");
 }

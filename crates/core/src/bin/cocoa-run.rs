@@ -45,6 +45,13 @@ OPTIONS:
     --relay             localized robots also beacon (Section 6 extension)
     --faults NAME       inject a canned fault schedule:
                         none | sync-crash | burst30 | corrupt | chaos
+    --snapshot-at SECS  serialize the full run state at this instant
+                        (the run then continues to completion)
+    --snapshot-out PATH where to write the --snapshot-at bytes
+                        [default: cocoa-run.csnp]
+    --resume PATH       restore a --snapshot-out file and run it to the
+                        horizon; scenario flags are ignored (the snapshot
+                        carries its own scenario)
     --csv PREFIX        write PREFIX-{errors,energy,mesh,snapshots,robustness,health}.csv
     --telemetry LEVEL   off | counters | timeline | full    [default: off]
     --trace-out PATH    write a JSONL trace (implies --telemetry full);
@@ -64,6 +71,9 @@ struct Args {
     telemetry_level: TelemetryLevel,
     trace_out: Option<String>,
     sample_interval: Option<SimDuration>,
+    snapshot_at: Option<SimTime>,
+    snapshot_out: String,
+    resume: Option<String>,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -74,6 +84,9 @@ fn parse_args() -> Result<Args, String> {
     let mut telemetry_level = TelemetryLevel::Off;
     let mut trace_out = None;
     let mut sample_interval = None;
+    let mut snapshot_at = None;
+    let mut snapshot_out = String::from("cocoa-run.csnp");
+    let mut resume = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
         let mut value = |name: &str| -> Result<String, String> {
@@ -193,6 +206,17 @@ fn parse_args() -> Result<Args, String> {
                 b.relay_beaconing(true);
             }
             "--faults" => faults_preset = Some(value("--faults")?),
+            "--snapshot-at" => {
+                let s: f64 = value("--snapshot-at")?
+                    .parse()
+                    .map_err(|e| format!("--snapshot-at: {e}"))?;
+                if !s.is_finite() || s < 0.0 {
+                    return Err("--snapshot-at must be non-negative".into());
+                }
+                snapshot_at = Some(SimTime::from_secs_f64(s));
+            }
+            "--snapshot-out" => snapshot_out = value("--snapshot-out")?,
+            "--resume" => resume = Some(value("--resume")?),
             "--csv" => csv_prefix = Some(value("--csv")?),
             "--telemetry" => {
                 let v = value("--telemetry")?;
@@ -243,6 +267,9 @@ fn parse_args() -> Result<Args, String> {
         telemetry_level,
         trace_out,
         sample_interval,
+        snapshot_at,
+        snapshot_out,
+        resume,
     })
 }
 
@@ -259,8 +286,49 @@ fn main() {
     if let Some(interval) = args.sample_interval {
         telemetry.set_sample_interval(interval);
     }
-    let (metrics, telemetry) = run_with_telemetry(&args.scenario, telemetry);
-    print!("{}", report::markdown_summary(&args.scenario, &metrics));
+    let (scenario, metrics, telemetry) = if let Some(path) = &args.resume {
+        // The snapshot carries the scenario and telemetry bus; CLI
+        // scenario/telemetry flags only describe *new* runs.
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("error: cannot read snapshot {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let run = match cocoa_core::runner::SimRun::resume_marked(&bytes) {
+            Ok(r) => r,
+            Err(e) => {
+                eprintln!("error: cannot restore snapshot {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("resumed {path} at t = {}", run.now());
+        let scenario = run.scenario().clone();
+        let (metrics, telemetry) = run.finish();
+        (scenario, metrics, telemetry)
+    } else {
+        let mut run = cocoa_core::runner::SimRun::new(&args.scenario, telemetry);
+        if let Some(at) = args.snapshot_at {
+            run.run_until(at);
+            let bytes = run.capture();
+            match std::fs::write(&args.snapshot_out, &bytes) {
+                Ok(()) => eprintln!(
+                    "wrote {} ({} bytes at t = {})",
+                    args.snapshot_out,
+                    bytes.len(),
+                    run.now()
+                ),
+                Err(e) => {
+                    eprintln!("error: cannot write {}: {e}", args.snapshot_out);
+                    std::process::exit(2);
+                }
+            }
+        }
+        let (metrics, telemetry) = run.finish();
+        (args.scenario, metrics, telemetry)
+    };
+    print!("{}", report::markdown_summary(&scenario, &metrics));
     eprintln!("\n(wall time {:.1} s)", start.elapsed().as_secs_f64());
     if let Some(path) = &args.trace_out {
         match std::fs::write(path, telemetry.to_jsonl(true)) {
@@ -282,11 +350,11 @@ fn main() {
         };
         write("errors", report::error_series_csv(&metrics));
         write("energy", report::energy_csv(&metrics));
-        write("mesh", report::mesh_csv(&args.scenario, &metrics));
+        write("mesh", report::mesh_csv(&scenario, &metrics));
         if !metrics.snapshots.is_empty() {
             write("snapshots", report::snapshots_csv(&metrics));
         }
-        if !args.scenario.faults.is_empty() {
+        if !scenario.faults.is_empty() {
             write("robustness", report::robustness_csv(&metrics));
             write("health", report::health_csv(&metrics));
         }

@@ -11,12 +11,15 @@
 //! status doubles as a trace-integrity check for CI.
 
 use cocoa_core::tracefile::{TraceFile, TraceSpan};
+use cocoa_sim::snapshot::Snapshot;
 
 const USAGE: &str = "\
 cocoa-trace — query a CoCoA telemetry trace (JSONL)
 
 USAGE:
     cocoa-trace <FILE> <COMMAND> [OPTIONS]
+    cocoa-trace bisect <A.jsonl> <B.jsonl>
+    cocoa-trace snapdiff <A.csnp> <B.csnp>
 
 COMMANDS:
     summary                 meta line, event/counter totals, drop count
@@ -27,6 +30,10 @@ COMMANDS:
     replay [--from SECS] [--limit N]
                             print events from a point in time onwards
     curves                  reconstructed team error + energy curves
+    bisect <A> <B>          localize the first diverging event between two
+                            traces of the same scenario (exit 1 if found)
+    snapdiff <A> <B>        section-level delta report between two binary
+                            snapshots (exit 1 if they differ)
 
     -h, --help              print this help
 ";
@@ -44,6 +51,12 @@ fn main() {
 }
 
 fn run(args: &[String]) -> Result<(), String> {
+    // Two-file commands lead with the command name instead of a file.
+    match args.first().map(String::as_str) {
+        Some("bisect") => return two_files(&args[1..], "bisect", bisect),
+        Some("snapdiff") => return two_files(&args[1..], "snapdiff", snapdiff),
+        _ => {}
+    }
     let [file, command, rest @ ..] = args else {
         return Err("expected <FILE> <COMMAND>".into());
     };
@@ -201,4 +214,120 @@ fn replay(trace: &TraceFile, from_s: f64, limit: Option<usize>) {
         println!("{}", TraceFile::format_event(e));
     }
     eprintln!("({} events)", events.len());
+}
+
+/// Dispatches a command that takes exactly two file paths.
+fn two_files(
+    rest: &[String],
+    name: &str,
+    f: fn(&str, &str) -> Result<(), String>,
+) -> Result<(), String> {
+    let [a, b] = rest else {
+        return Err(format!("{name} needs exactly two files"));
+    };
+    f(a, b)
+}
+
+/// Localizes the first diverging event between two traces of the same
+/// scenario. Prints the shared-prefix length, the diverging pair with
+/// surrounding context, and any end-of-run counter deltas; exits 1 when
+/// a divergence is found so CI can assert determinism.
+fn bisect(path_a: &str, path_b: &str) -> Result<(), String> {
+    let read = |p: &str| -> Result<TraceFile, String> {
+        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
+        TraceFile::parse(&text).map_err(|e| format!("{p}: {e}"))
+    };
+    let a = read(path_a)?;
+    let b = read(path_b)?;
+    if a.meta.level != b.meta.level {
+        eprintln!(
+            "warning: telemetry levels differ ({} vs {}) — event streams are \
+             only comparable at equal levels",
+            a.meta.level, b.meta.level
+        );
+    }
+    let counter_diffs = a.counter_diffs(&b);
+    let Some(idx) = a.first_divergence(&b) else {
+        println!(
+            "event streams identical ({} events in lockstep)",
+            a.events.len()
+        );
+        if counter_diffs.is_empty() {
+            println!("counters identical");
+        } else {
+            print_counter_diffs(&counter_diffs);
+            std::process::exit(1);
+        }
+        return Ok(());
+    };
+
+    println!(
+        "traces diverge after {idx} shared events (A has {}, B has {})",
+        a.events.len(),
+        b.events.len()
+    );
+    if let Some(last) = idx.checked_sub(1).and_then(|i| a.events.get(i)) {
+        println!(
+            "last common event: seq={} {}",
+            last.seq,
+            TraceFile::format_event(last)
+        );
+    }
+    for (label, trace) in [("A", &a), ("B", &b)] {
+        match trace.events.get(idx) {
+            Some(e) => println!(
+                "first divergent {label}: seq={} {}",
+                e.seq,
+                TraceFile::format_event(e)
+            ),
+            None => println!("first divergent {label}: <stream ends>"),
+        }
+    }
+    const CONTEXT: usize = 3;
+    let from = idx.saturating_sub(CONTEXT);
+    if from < idx {
+        println!("context (shared prefix):");
+        for e in &a.events[from..idx] {
+            println!("  seq={} {}", e.seq, TraceFile::format_event(e));
+        }
+    }
+    for (label, trace) in [("A", &a), ("B", &b)] {
+        let tail: Vec<_> = trace.events.iter().skip(idx).take(CONTEXT).collect();
+        if !tail.is_empty() {
+            println!("{label} continues:");
+            for e in tail {
+                println!("  seq={} {}", e.seq, TraceFile::format_event(e));
+            }
+        }
+    }
+    print_counter_diffs(&counter_diffs);
+    std::process::exit(1);
+}
+
+fn print_counter_diffs(diffs: &[(String, Option<u64>, Option<u64>)]) {
+    if diffs.is_empty() {
+        return;
+    }
+    println!("counters differing ({}):", diffs.len());
+    let fmt = |v: Option<u64>| v.map_or("absent".to_string(), |v| v.to_string());
+    for (name, va, vb) in diffs {
+        println!("  {name}: A={} B={}", fmt(*va), fmt(*vb));
+    }
+}
+
+/// Prints the section-level [`Snapshot::diff`] report between two binary
+/// snapshot files; exits 1 when they differ.
+fn snapdiff(path_a: &str, path_b: &str) -> Result<(), String> {
+    let read = |p: &str| -> Result<Snapshot, String> {
+        let bytes = std::fs::read(p).map_err(|e| format!("reading {p}: {e}"))?;
+        Snapshot::parse(&bytes).map_err(|e| format!("{p}: {e}"))
+    };
+    let a = read(path_a)?;
+    let b = read(path_b)?;
+    let diff = a.diff(&b);
+    print!("{diff}");
+    if !diff.is_empty() {
+        std::process::exit(1);
+    }
+    Ok(())
 }

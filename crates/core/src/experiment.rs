@@ -18,8 +18,10 @@ use cocoa_sim::rng::SeedSplitter;
 use cocoa_sim::stats;
 use cocoa_sim::time::{SimDuration, SimTime};
 
+use cocoa_sim::telemetry::Telemetry;
+
 use crate::metrics::RunMetrics;
-use crate::runner::run;
+use crate::runner::{run, SimRun};
 use crate::scenario::{Scenario, ScenarioBuilder};
 
 /// How big to run an experiment.
@@ -71,6 +73,40 @@ impl ExperimentScale {
 /// thread per scenario.
 fn run_parallel(scenarios: Vec<Scenario>) -> Vec<RunMetrics> {
     crate::executor::map_bounded(scenarios, run)
+}
+
+/// Runs a sweep family on the bounded executor, warm-starting every
+/// point from a shared time-zero snapshot of the first scenario.
+///
+/// The base scenario's setup — validation, RF calibration, team
+/// placement, RNG stream splits — is performed once; each point then
+/// forks the captured state under its own schedule-side parameters via
+/// [`SimRun::warm_fork`], reusing the calibration tables instead of
+/// recomputing them per run. A point that changes a setup-feeding field
+/// (and is therefore not fork-compatible with the base) falls back to a
+/// cold [`run`], so the output is always identical to what
+/// the cold path would produce: warm starting is purely a wall-clock
+/// optimization, measured by the perf harness in `BENCH_snapshot.json`.
+pub fn run_warm_parallel(scenarios: Vec<Scenario>) -> Vec<RunMetrics> {
+    let Some(first) = scenarios.first() else {
+        return Vec::new();
+    };
+    let mut base = SimRun::new(first, Telemetry::off());
+    let snapshot = base.capture();
+    let (table, radial) = base.calibration();
+    drop(base);
+    crate::executor::map_bounded(scenarios, move |s| {
+        match SimRun::warm_fork(
+            &snapshot,
+            s,
+            table.clone(),
+            radial.clone(),
+            Telemetry::off(),
+        ) {
+            Ok(fork) => fork.finish().0,
+            Err(_) => run(s),
+        }
+    })
 }
 
 /// A labelled `(x, y)` series — one curve of a figure.
@@ -504,10 +540,11 @@ pub struct Fig9Period {
     pub points: Vec<PeriodPoint>,
 }
 
-/// Regenerates paper Fig. 9: localization error (a) and team energy with
-/// vs without sleep coordination (b) across beacon periods (paper:
-/// 10/50/100/300 s).
-pub fn fig9_period(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
+/// Builds the Fig. 9 scenario family: `periods × {coordinated, not}`.
+///
+/// Public so the perf harness can time the exact same family through the
+/// cold and warm sweep paths.
+pub fn fig9_scenarios(scale: ExperimentScale, periods_s: &[u64]) -> Vec<Scenario> {
     let mut scenarios = Vec::new();
     for &t in periods_s {
         for coordination in [true, false] {
@@ -521,7 +558,28 @@ pub fn fig9_period(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
             );
         }
     }
-    let results = run_parallel(scenarios);
+    scenarios
+}
+
+/// Regenerates paper Fig. 9: localization error (a) and team energy with
+/// vs without sleep coordination (b) across beacon periods (paper:
+/// 10/50/100/300 s).
+pub fn fig9_period(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
+    fig9_assemble(periods_s, run_parallel(fig9_scenarios(scale, periods_s)))
+}
+
+/// [`fig9_period`] on the warm-start path: the seed's setup is captured
+/// once as a time-zero snapshot and every `(period, coordination)` point
+/// forks it via [`SimRun::warm_fork`]. Produces bit-identical figures to
+/// [`fig9_period`] (pinned by test) in less wall-clock time.
+pub fn fig9_period_warm(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
+    fig9_assemble(
+        periods_s,
+        run_warm_parallel(fig9_scenarios(scale, periods_s)),
+    )
+}
+
+fn fig9_assemble(periods_s: &[u64], results: Vec<RunMetrics>) -> Fig9Period {
     let warmup_s = periods_s.iter().copied().max().unwrap_or(0) as f64 + 10.0;
     let points = periods_s
         .iter()
@@ -1085,6 +1143,26 @@ mod tests {
         }
         assert!(f.points[1].savings_factor() > f.points[0].savings_factor());
         assert!(f.render().contains("Fig. 9"));
+    }
+
+    #[test]
+    fn warm_fork_sweep_matches_cold_runs() {
+        // The warm-start path must be a pure wall-clock optimization:
+        // every sweep point forked from the shared time-zero snapshot
+        // produces bit-identical RunMetrics to a cold run of the same
+        // scenario.
+        let scenarios = fig9_scenarios(tiny(), &[20, 60]);
+        let cold = run_parallel(scenarios.clone());
+        let warm = run_warm_parallel(scenarios);
+        assert_eq!(cold.len(), warm.len());
+        for (i, (c, w)) in cold.iter().zip(&warm).enumerate() {
+            assert_eq!(c, w, "point {i}: warm fork diverged from cold run");
+        }
+    }
+
+    #[test]
+    fn warm_sweep_of_empty_family_is_empty() {
+        assert!(run_warm_parallel(Vec::new()).is_empty());
     }
 
     #[test]

@@ -122,6 +122,21 @@ impl HealthMonitor {
         true
     }
 
+    /// The monitor's complete state as checkpoint data:
+    /// `(state, since, partial ledger)`.
+    pub fn checkpoint(&self) -> (DegradationState, SimTime, HealthLedger) {
+        (self.state, self.since, self.ledger)
+    }
+
+    /// Rebuilds a monitor from [`HealthMonitor::checkpoint`] data.
+    pub fn from_checkpoint(state: DegradationState, since: SimTime, ledger: HealthLedger) -> Self {
+        HealthMonitor {
+            state,
+            since,
+            ledger,
+        }
+    }
+
     /// Closes the final interval at `end` and returns the completed ledger.
     pub fn finalize(&self, end: SimTime) -> HealthLedger {
         let mut ledger = self.ledger;

@@ -5,4 +5,5 @@
 //! physical layer, mesh backends, fault hooks and metrics finalization —
 //! lives in [`crate::world`]; see that module's docs for the map.
 
+pub use crate::world::checkpoint::SimRun;
 pub use crate::world::{run, run_traced, run_with_telemetry};

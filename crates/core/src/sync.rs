@@ -119,6 +119,35 @@ impl DriftingClock {
         t.max(now)
     }
 
+    /// The clock's complete state as checkpoint data:
+    /// `(skew, error_s, anchor, missed_syncs, stale_syncs)`.
+    pub fn checkpoint(&self) -> (f64, f64, SimTime, u32, u32) {
+        (
+            self.skew,
+            self.error_s,
+            self.anchor,
+            self.missed_syncs,
+            self.stale_syncs,
+        )
+    }
+
+    /// Rebuilds a clock from [`DriftingClock::checkpoint`] data.
+    pub fn from_checkpoint(
+        skew: f64,
+        error_s: f64,
+        anchor: SimTime,
+        missed_syncs: u32,
+        stale_syncs: u32,
+    ) -> Self {
+        DriftingClock {
+            skew,
+            error_s,
+            anchor,
+            missed_syncs,
+            stale_syncs,
+        }
+    }
+
     /// The guard band to use given the current desynchronization: doubles
     /// per missed SYNC so a drifted robot widens its wake window until it
     /// re-acquires, capped at `max`.

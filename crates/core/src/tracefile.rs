@@ -277,6 +277,8 @@ pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "health",
     "robot_sample",
     "team_sample",
+    "snapshot_taken",
+    "snapshot_restored",
     "legacy",
 ];
 
@@ -457,6 +459,49 @@ impl TraceFile {
         }
     }
 
+    /// Finds the first event index at which two traces diverge.
+    ///
+    /// Events are compared in stream order on kind, sequence number,
+    /// timestamp and every field. Returns `None` when both event streams
+    /// are identical (counters and spans are not compared — see
+    /// [`TraceFile::counter_diffs`]); when one stream is a strict prefix
+    /// of the other, the divergence index is the prefix length.
+    pub fn first_divergence(&self, other: &TraceFile) -> Option<usize> {
+        let n = self.events.len().min(other.events.len());
+        for i in 0..n {
+            if self.events[i] != other.events[i] {
+                return Some(i);
+            }
+        }
+        if self.events.len() != other.events.len() {
+            return Some(n);
+        }
+        None
+    }
+
+    /// End-of-run counters that differ between two traces:
+    /// `(name, value_in_self, value_in_other)`, `None` when absent.
+    pub fn counter_diffs(&self, other: &TraceFile) -> Vec<(String, Option<u64>, Option<u64>)> {
+        let a: BTreeMap<&str, u64> = self
+            .counters
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let b: BTreeMap<&str, u64> = other
+            .counters
+            .iter()
+            .map(|(n, v)| (n.as_str(), *v))
+            .collect();
+        let names: std::collections::BTreeSet<&str> = a.keys().chain(b.keys()).copied().collect();
+        names
+            .into_iter()
+            .filter_map(|name| {
+                let (va, vb) = (a.get(name).copied(), b.get(name).copied());
+                (va != vb).then(|| (name.to_string(), va, vb))
+            })
+            .collect()
+    }
+
     /// One human-readable line for an event (the replay display format).
     pub fn format_event(e: &TraceEvent) -> String {
         let mut out = format!("{:>12.6}s  {:<16}", e.t_s(), e.kind);
@@ -611,5 +656,65 @@ mod tests {
         let line = TraceFile::format_event(&trace.events[1]);
         assert!(line.contains("fix"), "{line}");
         assert!(line.contains("robot=3"), "{line}");
+    }
+
+    #[test]
+    fn bisect_localizes_injected_single_event_divergence() {
+        let base = sample_trace();
+        let a = TraceFile::parse(&base).unwrap();
+        // Inject a single-event divergence: perturb one field of the
+        // third event (seq 2) and leave everything else untouched.
+        let divergent = base.replacen("\"robot\":4", "\"robot\":5", 1);
+        assert_ne!(base, divergent, "injection must change the trace");
+        let b = TraceFile::parse(&divergent).unwrap();
+        let idx = a.first_divergence(&b).expect("divergence must be found");
+        assert_eq!(idx, 2, "exact first diverging event index");
+        assert_eq!(a.events[idx].seq, 2, "exact first diverging seq");
+        assert_eq!(a.events[idx].kind, "sync_missed");
+        // Symmetric.
+        assert_eq!(b.first_divergence(&a), Some(2));
+        // Identical traces report no divergence.
+        assert_eq!(a.first_divergence(&a), None);
+        assert!(a.counter_diffs(&a).is_empty());
+    }
+
+    #[test]
+    fn bisect_reports_prefix_truncation_and_counter_deltas() {
+        let base = sample_trace();
+        let a = TraceFile::parse(&base).unwrap();
+        // Drop the last event line and change the counter value.
+        let truncated: String = base
+            .lines()
+            .filter(|l| !l.contains("team_sample"))
+            .map(|l| format!("{l}\n"))
+            .collect::<String>()
+            .replace("\"value\":1", "\"value\":3");
+        let b = TraceFile::parse(&truncated).unwrap();
+        assert_eq!(
+            a.first_divergence(&b),
+            Some(3),
+            "a strict prefix diverges at its length"
+        );
+        let diffs = a.counter_diffs(&b);
+        assert_eq!(diffs, vec![("traffic.fixes".to_string(), Some(1), Some(3))]);
+    }
+
+    #[test]
+    fn snapshot_marker_events_parse() {
+        let mut t = Telemetry::new(TelemetryLevel::Full);
+        t.emit(
+            SimTime::from_secs(1),
+            TelemetryEvent::SnapshotTaken {
+                bytes: 1024,
+                sections: 7,
+            },
+        );
+        t.emit(
+            SimTime::from_secs(2),
+            TelemetryEvent::SnapshotRestored { bytes: 1024 },
+        );
+        let trace = TraceFile::parse(&t.to_jsonl(false)).unwrap();
+        assert_eq!(trace.events[0].kind, "snapshot_taken");
+        assert_eq!(trace.events[1].kind, "snapshot_restored");
     }
 }

@@ -27,6 +27,7 @@
 //! [`run`], [`run_traced`] and [`run_with_telemetry`].
 
 pub(crate) mod beacon;
+pub mod checkpoint;
 pub(crate) mod events;
 pub(crate) mod faults_hook;
 pub mod mesh;
@@ -197,12 +198,16 @@ pub fn run_traced(scenario: &Scenario, trace: Trace) -> (RunMetrics, Trace) {
 /// # Panics
 ///
 /// Panics if the scenario fails validation.
-pub fn run_with_telemetry(
-    scenario: &Scenario,
-    mut telemetry: Telemetry,
-) -> (RunMetrics, Telemetry) {
+pub fn run_with_telemetry(scenario: &Scenario, telemetry: Telemetry) -> (RunMetrics, Telemetry) {
+    checkpoint::SimRun::new(scenario, telemetry).finish()
+}
+
+/// Validates the scenario, runs calibration and constructs the complete
+/// [`WorldState`] — team, channel, RNG streams, accumulators — with span
+/// ids registered on `telemetry`. Shared by the normal entry points and
+/// the checkpoint warm-fork path. Does not schedule any events.
+pub(crate) fn setup_world(scenario: &Scenario, mut telemetry: Telemetry) -> WorldState {
     let spans = SpanIds::register(&mut telemetry);
-    let t_total = telemetry.span_start();
     let t_calibrate = telemetry.span_start();
     scenario
         .validate()
@@ -338,8 +343,15 @@ pub fn run_with_telemetry(
         robustness: RobustnessStats::default(),
         sync_dead_windows: 0,
     };
+    world.telemetry.span_end(spans.run_setup, t_setup);
+    world
+}
 
-    // --- Initial event schedule. ---
+/// Builds the initial event schedule for a freshly constructed (or
+/// warm-forked) world and returns an engine positioned at time zero.
+/// Also sizes `world.snapshots` to match the scheduled snapshot times.
+pub(crate) fn build_initial_schedule(world: &mut WorldState) -> Engine<Event> {
+    let scenario = &world.scenario;
     let horizon = SimTime::ZERO + scenario.duration;
     let mut engine: Engine<Event> = Engine::new(horizon);
     engine.schedule_at(SimTime::ZERO + scenario.tick, Event::MoveTick);
@@ -377,17 +389,5 @@ pub fn run_with_telemetry(
         .iter()
         .map(|&t| ErrorSnapshot::new(t, Vec::new()))
         .collect();
-    world.telemetry.span_end(spans.run_setup, t_setup);
-
-    // --- Run. ---
-    let t_loop = world.telemetry.span_start();
-    engine.run(&mut world, events::handle_event);
-    world.telemetry.span_end(spans.run_event_loop, t_loop);
-
-    // --- Finalize. ---
-    let t_finalize = world.telemetry.span_start();
-    let metrics = metrics_hook::finalize(&mut world, &engine, horizon);
-    world.telemetry.span_end(spans.run_finalize, t_finalize);
-    world.telemetry.span_end(spans.run_total, t_total);
-    (metrics, world.telemetry)
+    engine
 }

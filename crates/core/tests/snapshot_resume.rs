@@ -1,0 +1,179 @@
+//! Resume equivalence and corruption safety for the snapshot subsystem.
+//!
+//! The tentpole property: interrupting a run with a snapshot and resuming
+//! it produces **bit-identical** results — the same `RunMetrics` and the
+//! same full-telemetry JSONL — as the uninterrupted run, for every mesh
+//! backend and under fault injection. And the dual safety property:
+//! corrupted snapshot bytes yield a typed [`SnapshotError`], never a
+//! panic.
+
+use std::sync::OnceLock;
+
+use cocoa_core::metrics::RunMetrics;
+use cocoa_core::runner::SimRun;
+use cocoa_core::scenario::Scenario;
+use cocoa_multicast::protocol::MulticastProtocol;
+use cocoa_sim::faults::FaultPlan;
+use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
+use cocoa_sim::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+const DURATION_S: u64 = 40;
+const FAULT_PRESETS: [&str; 2] = ["sync-crash", "chaos"];
+
+fn scenario(seed: u64, protocol: MulticastProtocol, preset: &str) -> Scenario {
+    let duration = SimDuration::from_secs(DURATION_S);
+    let num_robots = 6;
+    let mut b = Scenario::builder();
+    b.seed(seed)
+        .duration(duration)
+        .robots(num_robots)
+        .equipped(3)
+        .beacon_period(SimDuration::from_secs(10))
+        .multicast(protocol)
+        .faults(FaultPlan::preset(preset, duration, num_robots).expect("known preset"));
+    b.build()
+}
+
+/// Runs `s` start to finish with full telemetry.
+fn uninterrupted(s: &Scenario) -> (RunMetrics, String) {
+    let (metrics, telemetry) = SimRun::new(s, Telemetry::new(TelemetryLevel::Full)).finish();
+    (metrics, telemetry.to_jsonl(false))
+}
+
+/// Runs `s` to `at`, captures a snapshot, abandons that run, restores the
+/// snapshot and runs the restored state to completion.
+fn interrupted_at(s: &Scenario, at: SimTime) -> (RunMetrics, String) {
+    let mut first = SimRun::new(s, Telemetry::new(TelemetryLevel::Full));
+    first.run_until(at);
+    let bytes = first.capture();
+    drop(first);
+    let resumed = SimRun::resume(&bytes).expect("own snapshot must restore");
+    let (metrics, telemetry) = resumed.finish();
+    (metrics, telemetry.to_jsonl(false))
+}
+
+#[test]
+fn resume_is_bit_identical_across_backends_and_fault_presets() {
+    let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2);
+    for protocol in MulticastProtocol::ALL {
+        for preset in FAULT_PRESETS {
+            let s = scenario(42, protocol, preset);
+            let (m_cold, j_cold) = uninterrupted(&s);
+            let (m_res, j_res) = interrupted_at(&s, at);
+            assert_eq!(
+                m_cold,
+                m_res,
+                "{}/{preset}: RunMetrics diverged after resume",
+                protocol.as_str()
+            );
+            assert_eq!(
+                j_cold,
+                j_res,
+                "{}/{preset}: telemetry JSONL diverged after resume",
+                protocol.as_str()
+            );
+        }
+    }
+}
+
+#[test]
+fn marked_resume_counts_and_announces_the_restore() {
+    let s = scenario(42, MulticastProtocol::Flood, "sync-crash");
+    let mut first = SimRun::new(&s, Telemetry::new(TelemetryLevel::Full));
+    first.run_until(SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2));
+    let bytes = first.capture();
+    let (_, capturing) = first.finish();
+    assert_eq!(capturing.counters().get("snapshot.captures"), Some(1));
+    assert_eq!(
+        capturing.counters().get("snapshot.bytes"),
+        Some(bytes.len() as u64)
+    );
+
+    let resumed = SimRun::resume_marked(&bytes).expect("own snapshot must restore");
+    let (_, telemetry) = resumed.finish();
+    assert_eq!(telemetry.counters().get("snapshot.restores"), Some(1));
+    let jsonl = telemetry.to_jsonl(false);
+    assert!(
+        jsonl.contains("\"kind\":\"snapshot_restored\""),
+        "marked resume must announce itself in the timeline"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(9))]
+
+    /// snapshot → restore → run is bit-identical for random seeds,
+    /// snapshot instants, mesh backends and fault presets.
+    #[test]
+    fn snapshot_restore_run_is_bit_identical(
+        seed in 1u64..10_000,
+        backend in 0usize..3,
+        preset in 0usize..2,
+        quarter in 1u64..4,
+    ) {
+        let s = scenario(seed, MulticastProtocol::ALL[backend], FAULT_PRESETS[preset]);
+        let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S * quarter / 4);
+        let (m_cold, j_cold) = uninterrupted(&s);
+        let (m_res, j_res) = interrupted_at(&s, at);
+        prop_assert_eq!(m_cold, m_res);
+        prop_assert_eq!(j_cold, j_res);
+    }
+}
+
+/// A valid snapshot to corrupt, captured once for the whole test binary.
+fn pristine() -> &'static Vec<u8> {
+    static BYTES: OnceLock<Vec<u8>> = OnceLock::new();
+    BYTES.get_or_init(|| {
+        let s = scenario(7, MulticastProtocol::Odmrp, "chaos");
+        let mut run = SimRun::new(&s, Telemetry::off());
+        run.run_until(SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2));
+        run.capture()
+    })
+}
+
+#[test]
+fn truncated_snapshots_yield_typed_errors() {
+    let bytes = pristine();
+    for cut in [0, 1, 4, 7, bytes.len() / 2, bytes.len() - 1] {
+        let err = SimRun::resume(&bytes[..cut])
+            .err()
+            .unwrap_or_else(|| panic!("truncation to {cut} bytes must not restore"));
+        // Typed and displayable, never a panic.
+        assert!(!err.to_string().is_empty());
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// A bit flip anywhere in the file never panics the decoder; flips
+    /// inside section payloads (past the tiny header/meta region) are
+    /// always caught by the per-section CRC or a structural check.
+    #[test]
+    fn bit_flips_are_rejected_not_panicked_on(
+        offset_seed in any::<u64>(),
+        bit in 0u8..8,
+    ) {
+        let mut bytes = pristine().clone();
+        let offset = (offset_seed as usize) % bytes.len();
+        bytes[offset] ^= 1 << bit;
+        let outcome = SimRun::resume(&bytes);
+        // Flips inside the CRC-covered payload area must be detected.
+        // (The header + metadata line occupy well under 1 KiB; only those
+        // cosmetic bytes may corrupt silently.)
+        if offset >= 1024 {
+            prop_assert!(outcome.is_err(), "payload flip at {offset} went undetected");
+        } else if let Err(e) = outcome {
+            prop_assert!(!e.to_string().is_empty());
+        }
+    }
+
+    /// Random truncation points never restore and never panic.
+    #[test]
+    fn random_truncations_are_rejected(cut_seed in any::<u64>()) {
+        let bytes = pristine();
+        let cut = (cut_seed as usize) % bytes.len();
+        prop_assert!(SimRun::resume(&bytes[..cut]).is_err());
+    }
+}

@@ -189,6 +189,27 @@ impl BayesianLocalizer {
     pub fn grid(&self) -> &PositionGrid {
         &self.grid
     }
+
+    /// Rebuilds a localizer from checkpointed state: the posterior cells
+    /// (see [`PositionGrid::cells`]) plus the beacon counters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not match the grid implied by `config`.
+    pub fn from_checkpoint(
+        config: GridConfig,
+        cells: &[f64],
+        beacons_applied: u32,
+        beacons_seen: u32,
+    ) -> Self {
+        let mut grid = PositionGrid::new(config);
+        grid.restore_cells(cells);
+        BayesianLocalizer {
+            grid,
+            beacons_applied,
+            beacons_seen,
+        }
+    }
 }
 
 #[cfg(test)]

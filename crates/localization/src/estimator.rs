@@ -19,7 +19,7 @@ use cocoa_net::rssi::Dbm;
 
 use crate::bayes::{BayesianLocalizer, ObservationResult};
 use crate::grid::GridConfig;
-use crate::multilateration::{MultilaterationConfig, Multilaterator};
+use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
 
 /// Which localization strategy a robot runs (paper Sections 4.1–4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -385,6 +385,82 @@ impl WindowedRfEstimator {
     pub fn stats(&self) -> WindowStats {
         self.stats
     }
+
+    /// The estimator's complete state as checkpoint data. Exactly one of
+    /// the backend-specific field groups is populated, per
+    /// [`EstimatorCheckpoint::algorithm`].
+    pub fn checkpoint(&self) -> EstimatorCheckpoint {
+        let base = EstimatorCheckpoint {
+            algorithm: self.algorithm(),
+            last_fix: self.last_fix,
+            in_window: self.in_window,
+            stats: self.stats,
+            posterior_cells: Vec::new(),
+            beacons_applied: 0,
+            beacons_seen: 0,
+            ranges: Vec::new(),
+        };
+        match &self.backend {
+            Backend::Bayes(b) => EstimatorCheckpoint {
+                posterior_cells: b.grid().cells().to_vec(),
+                beacons_applied: b.beacons_applied(),
+                beacons_seen: b.beacons_seen(),
+                ..base
+            },
+            Backend::Lateration(l) => EstimatorCheckpoint {
+                ranges: l.ranges().to_vec(),
+                ..base
+            },
+        }
+    }
+
+    /// Rebuilds an estimator from checkpointed state over `grid` (the same
+    /// grid configuration the original was built with). The multilateration
+    /// backend is reconstructed with the default solver configuration, as
+    /// [`WindowedRfEstimator::with_algorithm`] uses.
+    pub fn from_checkpoint(grid: GridConfig, c: EstimatorCheckpoint) -> Self {
+        let backend = match c.algorithm {
+            RfAlgorithm::Bayes => Backend::Bayes(BayesianLocalizer::from_checkpoint(
+                grid,
+                &c.posterior_cells,
+                c.beacons_applied,
+                c.beacons_seen,
+            )),
+            RfAlgorithm::Multilateration => {
+                let mut l = Multilaterator::new(grid.area, MultilaterationConfig::default());
+                l.restore_ranges(c.ranges);
+                Backend::Lateration(l)
+            }
+        };
+        WindowedRfEstimator {
+            backend,
+            last_fix: c.last_fix,
+            in_window: c.in_window,
+            stats: c.stats,
+        }
+    }
+}
+
+/// The windowed estimator's complete state as checkpoint data (see
+/// [`WindowedRfEstimator::checkpoint`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct EstimatorCheckpoint {
+    /// Which backend algorithm was running.
+    pub algorithm: RfAlgorithm,
+    /// The most recent trusted fix, if any.
+    pub last_fix: Option<Point>,
+    /// Whether a transmit window was open.
+    pub in_window: bool,
+    /// Lifetime statistics.
+    pub stats: WindowStats,
+    /// Posterior cell probabilities (Bayes backend only; empty otherwise).
+    pub posterior_cells: Vec<f64>,
+    /// Beacons applied since the last window reset (Bayes backend only).
+    pub beacons_applied: u32,
+    /// Beacons offered since the last window reset (Bayes backend only).
+    pub beacons_seen: u32,
+    /// Collected ranges (multilateration backend only; empty otherwise).
+    pub ranges: Vec<RangeObservation>,
 }
 
 #[cfg(test)]

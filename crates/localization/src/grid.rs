@@ -335,6 +335,25 @@ impl PositionGrid {
         self.cells.iter().sum()
     }
 
+    /// The raw cell probabilities, row-major (`iy * nx + ix`).
+    pub fn cells(&self) -> &[f64] {
+        &self.cells
+    }
+
+    /// Overwrites the posterior with checkpointed cell probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` does not match this grid's cell count.
+    pub fn restore_cells(&mut self, cells: &[f64]) {
+        assert_eq!(
+            cells.len(),
+            self.cells.len(),
+            "checkpointed posterior has wrong cell count"
+        );
+        self.cells.copy_from_slice(cells);
+    }
+
     /// Probability of the cell containing `p` (0 outside the area).
     pub fn density_at(&self, p: Point) -> f64 {
         if !self.config.area.contains(p) {

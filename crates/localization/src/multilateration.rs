@@ -88,6 +88,16 @@ impl Multilaterator {
         self.observations.len()
     }
 
+    /// The ranges collected so far.
+    pub fn ranges(&self) -> &[RangeObservation] {
+        &self.observations
+    }
+
+    /// Overwrites the collected ranges with checkpointed ones.
+    pub fn restore_ranges(&mut self, ranges: Vec<RangeObservation>) {
+        self.observations = ranges;
+    }
+
     /// Clears collected ranges (start of a new window).
     pub fn reset(&mut self) {
         self.observations.clear();

@@ -40,6 +40,15 @@ impl RobotMotion {
         }
     }
 
+    /// Reassembles motion state from checkpointed parts (see
+    /// [`WaypointModel::from_checkpoint`] and [`Odometer::from_checkpoint`]).
+    pub fn from_parts(waypoints: WaypointModel, odometer: Odometer) -> Self {
+        RobotMotion {
+            waypoints,
+            odometer,
+        }
+    }
+
     /// Advances true motion by `dt` seconds and feeds the performed
     /// segments through the noisy odometer.
     pub fn step<R1: Rng + ?Sized, R2: Rng + ?Sized>(

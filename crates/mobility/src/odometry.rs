@@ -123,6 +123,26 @@ impl Odometer {
         self.estimate = pose;
     }
 
+    /// The odometer's complete state as checkpoint data.
+    pub fn checkpoint(&self) -> OdometerCheckpoint {
+        OdometerCheckpoint {
+            config: self.config,
+            estimate: self.estimate,
+            distance_integrated: self.distance_integrated,
+            observations: self.observations,
+        }
+    }
+
+    /// Rebuilds an odometer from checkpointed state.
+    pub fn from_checkpoint(c: OdometerCheckpoint) -> Self {
+        Odometer {
+            config: c.config,
+            estimate: c.estimate,
+            distance_integrated: c.distance_integrated,
+            observations: c.observations,
+        }
+    }
+
     /// Feeds one true motion segment through the noisy sensors and
     /// integrates the measurement into the estimate. The angular noise
     /// fires only on segments that actually contain a course change.
@@ -149,6 +169,20 @@ impl Odometer {
         self.distance_integrated += measured_distance;
         self.observations += 1;
     }
+}
+
+/// The odometer's complete state as checkpoint data (see
+/// [`Odometer::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdometerCheckpoint {
+    /// Odometry noise parameters.
+    pub config: OdometryConfig,
+    /// Current dead-reckoned pose estimate.
+    pub estimate: Pose,
+    /// Total distance integrated so far, metres.
+    pub distance_integrated: f64,
+    /// Segments observed so far.
+    pub observations: u64,
 }
 
 #[cfg(test)]

@@ -168,6 +168,29 @@ impl WaypointModel {
         self.legs_completed
     }
 
+    /// The model's complete state as checkpoint data.
+    pub fn checkpoint(&self) -> WaypointCheckpoint {
+        WaypointCheckpoint {
+            config: self.config,
+            pose: self.pose,
+            destination: self.destination,
+            speed: self.speed,
+            legs_completed: self.legs_completed,
+        }
+    }
+
+    /// Rebuilds a model from checkpointed state without consuming any RNG
+    /// draws (unlike [`WaypointModel::new`], which issues the first command).
+    pub fn from_checkpoint(c: WaypointCheckpoint) -> Self {
+        WaypointModel {
+            config: c.config,
+            pose: c.pose,
+            destination: c.destination,
+            speed: c.speed,
+            legs_completed: c.legs_completed,
+        }
+    }
+
     /// Advances the robot by `dt` seconds, returning the new true pose and
     /// the turn+run segments performed (one per leg touched during the
     /// step; two or more when a destination is reached mid-step).
@@ -215,6 +238,22 @@ impl WaypointModel {
         }
         (self.pose, segments)
     }
+}
+
+/// The waypoint model's complete state as checkpoint data (see
+/// [`WaypointModel::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WaypointCheckpoint {
+    /// Movement-model configuration.
+    pub config: WaypointConfig,
+    /// Current true pose.
+    pub pose: Pose,
+    /// Current commanded destination.
+    pub destination: Point,
+    /// Current commanded speed, m/s.
+    pub speed: f64,
+    /// Waypoint legs completed so far.
+    pub legs_completed: u64,
 }
 
 #[cfg(test)]

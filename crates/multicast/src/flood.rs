@@ -83,6 +83,23 @@ impl FloodNode {
         self.stats.data_undecodable += 1;
     }
 
+    /// The node's mutable state as checkpoint data (identity fields are
+    /// reconstructed by the caller, which knows id/group/membership).
+    pub fn checkpoint(&self) -> FloodCheckpoint {
+        FloodCheckpoint {
+            seen: self.seen.entries().cloned().collect(),
+            next_seq: self.next_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores checkpointed mutable state onto a freshly created node.
+    pub fn restore(&mut self, c: FloodCheckpoint) {
+        self.seen = DedupCache::from_entries(self.seen.retention(), c.seen);
+        self.next_seq = c.next_seq;
+        self.stats = c.stats;
+    }
+
     /// Handles a received packet: deliver once, rebroadcast once.
     pub fn handle_packet(&mut self, now: SimTime, packet: &Packet) -> Vec<ProtocolAction> {
         let Payload::Data { group, body } = &packet.payload else {
@@ -110,6 +127,17 @@ impl FloodNode {
         });
         actions
     }
+}
+
+/// A [`FloodNode`]'s mutable state as checkpoint data.
+#[derive(Debug, Clone)]
+pub struct FloodCheckpoint {
+    /// Duplicate-suppression entries in insertion order.
+    pub seen: Vec<((NodeId, u32), SimTime)>,
+    /// Next originated sequence number.
+    pub next_seq: u32,
+    /// Protocol counters.
+    pub stats: MeshStats,
 }
 
 #[cfg(test)]

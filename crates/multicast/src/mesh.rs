@@ -56,6 +56,27 @@ impl<K: Eq + Hash + Clone> DedupCache<K> {
         self.set.is_empty()
     }
 
+    /// The retention window.
+    pub fn retention(&self) -> SimDuration {
+        self.retention
+    }
+
+    /// The live entries in insertion order (checkpoint support).
+    pub fn entries(&self) -> impl Iterator<Item = &(K, SimTime)> {
+        self.order.iter()
+    }
+
+    /// Rebuilds a cache from checkpointed entries, which must be in the
+    /// insertion order [`DedupCache::entries`] yielded them in.
+    pub fn from_entries(retention: SimDuration, entries: Vec<(K, SimTime)>) -> Self {
+        let set = entries.iter().map(|(k, _)| k.clone()).collect();
+        DedupCache {
+            retention,
+            order: entries.into(),
+            set,
+        }
+    }
+
     fn purge(&mut self, now: SimTime) {
         while let Some((key, t)) = self.order.front() {
             if now.saturating_since(*t) > self.retention {

@@ -241,6 +241,92 @@ impl OdmrpNode {
         )
     }
 
+    /// The node's mutable state as checkpoint data. All map-backed state
+    /// is emitted sorted by key, so identical nodes always produce
+    /// identical checkpoints regardless of hash-map iteration order.
+    pub fn checkpoint(&self) -> OdmrpCheckpoint {
+        let mut routes: Vec<RouteCheckpoint> = self
+            .routes
+            .iter()
+            .map(|(&source, e)| RouteCheckpoint {
+                source,
+                prev_hop: e.prev_hop,
+                hops: e.hops,
+                score: e.score,
+                seq: e.seq,
+            })
+            .collect();
+        routes.sort_by_key(|r| r.source.0);
+        let mut rounds: Vec<RoundCheckpoint> = self
+            .rounds
+            .iter()
+            .map(|(&(source, seq), r)| RoundCheckpoint {
+                source,
+                seq,
+                copies: r.copies,
+                reply_scheduled: r.reply_scheduled,
+                rebroadcast_scheduled: r.rebroadcast_scheduled,
+            })
+            .collect();
+        rounds.sort_by_key(|r| (r.source.0, r.seq));
+        let mut last_reply_propagated: Vec<(NodeId, SimTime)> = self
+            .last_reply_propagated
+            .iter()
+            .map(|(&n, &t)| (n, t))
+            .collect();
+        last_reply_propagated.sort_by_key(|&(n, _)| n.0);
+        OdmrpCheckpoint {
+            fg_until: self.fg_until,
+            routes,
+            rounds,
+            seen_queries: self.seen_queries.entries().cloned().collect(),
+            seen_data: self.seen_data.entries().cloned().collect(),
+            last_reply_propagated,
+            next_seq: self.next_seq,
+            stats: self.stats,
+        }
+    }
+
+    /// Restores checkpointed mutable state onto a freshly created node
+    /// (identity and configuration come from [`OdmrpNode::new`]).
+    pub fn restore(&mut self, c: OdmrpCheckpoint) {
+        self.fg_until = c.fg_until;
+        self.routes = c
+            .routes
+            .into_iter()
+            .map(|r| {
+                (
+                    r.source,
+                    RouteEntry {
+                        prev_hop: r.prev_hop,
+                        hops: r.hops,
+                        score: r.score,
+                        seq: r.seq,
+                    },
+                )
+            })
+            .collect();
+        self.rounds = c
+            .rounds
+            .into_iter()
+            .map(|r| {
+                (
+                    (r.source, r.seq),
+                    QueryRound {
+                        copies: r.copies,
+                        reply_scheduled: r.reply_scheduled,
+                        rebroadcast_scheduled: r.rebroadcast_scheduled,
+                    },
+                )
+            })
+            .collect();
+        self.seen_queries = DedupCache::from_entries(self.config.dedup_retention, c.seen_queries);
+        self.seen_data = DedupCache::from_entries(self.config.dedup_retention, c.seen_data);
+        self.last_reply_propagated = c.last_reply_propagated.into_iter().collect();
+        self.next_seq = c.next_seq;
+        self.stats = c.stats;
+    }
+
     /// Handles a received packet; returns the actions the runner must
     /// perform. `my` is this node's current mobility knowledge.
     pub fn handle_packet(
@@ -494,6 +580,58 @@ impl OdmrpNode {
         }
         actions
     }
+}
+
+/// One reverse-path route as checkpoint data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RouteCheckpoint {
+    /// The mesh source the route leads to.
+    pub source: NodeId,
+    /// Reverse-path predecessor.
+    pub prev_hop: NodeId,
+    /// Hop count from the source.
+    pub hops: u8,
+    /// MRMM path score.
+    pub score: PathScore,
+    /// Query round that installed the route.
+    pub seq: u32,
+}
+
+/// One query round's bookkeeping as checkpoint data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RoundCheckpoint {
+    /// Query source.
+    pub source: NodeId,
+    /// Query round.
+    pub seq: u32,
+    /// Copies of the query heard so far.
+    pub copies: u32,
+    /// Whether a reply was already scheduled.
+    pub reply_scheduled: bool,
+    /// Whether a rebroadcast was already scheduled.
+    pub rebroadcast_scheduled: bool,
+}
+
+/// An [`OdmrpNode`]'s mutable state as checkpoint data (see
+/// [`OdmrpNode::checkpoint`]). Map-backed fields are sorted by key.
+#[derive(Debug, Clone)]
+pub struct OdmrpCheckpoint {
+    /// Forwarding-group flag expiry, if set.
+    pub fg_until: Option<SimTime>,
+    /// Reverse-path routes, sorted by source id.
+    pub routes: Vec<RouteCheckpoint>,
+    /// Per-round bookkeeping, sorted by (source id, seq).
+    pub rounds: Vec<RoundCheckpoint>,
+    /// Query duplicate-suppression entries in insertion order.
+    pub seen_queries: Vec<((NodeId, u32), SimTime)>,
+    /// Data duplicate-suppression entries in insertion order.
+    pub seen_data: Vec<((NodeId, u32), SimTime)>,
+    /// Last reply-propagation time per source, sorted by source id.
+    pub last_reply_propagated: Vec<(NodeId, SimTime)>,
+    /// Next originated sequence number.
+    pub next_seq: u32,
+    /// Protocol counters.
+    pub stats: MeshStats,
 }
 
 #[cfg(test)]

@@ -28,6 +28,19 @@ use crate::rssi::Dbm;
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct TxId(u64);
 
+impl TxId {
+    /// The underlying allocation counter value (checkpoint support).
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+
+    /// Rebuilds an id from [`TxId::raw`]. Only meaningful against the
+    /// medium that originally allocated it.
+    pub fn from_raw(v: u64) -> Self {
+        TxId(v)
+    }
+}
+
 /// The classic 802.11 capture threshold, dB: a frame is decodable in the
 /// presence of an overlapping frame only if it is this much stronger.
 pub const DEFAULT_CAPTURE_MARGIN_DB: f64 = 10.0;
@@ -266,6 +279,107 @@ impl Medium {
     pub fn half_duplex(&self) -> u64 {
         self.total_half_duplex
     }
+
+    /// The medium's complete state as checkpoint data. Active frames keep
+    /// their registration order (delivery judgement iterates them in
+    /// order); RSSI records are sorted by `(tx, rx)` so serialized bytes
+    /// never depend on hash-map iteration order.
+    pub fn state(&self) -> MediumState {
+        let mut rssi: Vec<(TxId, NodeId, Dbm)> = self
+            .rssi
+            .iter()
+            .map(|(&(tx, rx), &dbm)| (tx, rx, dbm))
+            .collect();
+        rssi.sort_by_key(|&(tx, rx, _)| (tx, rx));
+        MediumState {
+            active: self
+                .active
+                .iter()
+                .map(|t| ActiveTxState {
+                    id: t.id,
+                    src: t.src,
+                    src_pos: t.src_pos,
+                    start: t.start,
+                    end: t.end,
+                    packet: t.packet.clone(),
+                })
+                .collect(),
+            rssi,
+            capture_margin_db: self.capture_margin_db,
+            retention: self.retention,
+            next_id: self.next_id,
+            total_tx: self.total_tx,
+            total_collisions: self.total_collisions,
+            total_half_duplex: self.total_half_duplex,
+        }
+    }
+
+    /// Rebuilds a medium from checkpointed state.
+    pub fn from_state(state: MediumState) -> Self {
+        Medium {
+            active: state
+                .active
+                .into_iter()
+                .map(|t| ActiveTx {
+                    id: t.id,
+                    src: t.src,
+                    src_pos: t.src_pos,
+                    start: t.start,
+                    end: t.end,
+                    packet: t.packet,
+                })
+                .collect(),
+            rssi: state
+                .rssi
+                .into_iter()
+                .map(|(tx, rx, dbm)| ((tx, rx), dbm))
+                .collect(),
+            capture_margin_db: state.capture_margin_db,
+            retention: state.retention,
+            next_id: state.next_id,
+            total_tx: state.total_tx,
+            total_collisions: state.total_collisions,
+            total_half_duplex: state.total_half_duplex,
+        }
+    }
+}
+
+/// One in-flight transmission as checkpoint data.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveTxState {
+    /// The transmission's id.
+    pub id: TxId,
+    /// Transmitting node.
+    pub src: NodeId,
+    /// Transmitter position at frame start.
+    pub src_pos: Point,
+    /// Airtime start.
+    pub start: SimTime,
+    /// Airtime end.
+    pub end: SimTime,
+    /// The frame on the air.
+    pub packet: Packet,
+}
+
+/// The medium's complete state as checkpoint data (see [`Medium::state`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MediumState {
+    /// In-flight transmissions, in registration order.
+    pub active: Vec<ActiveTxState>,
+    /// Recorded RSSI samples, sorted by `(tx, rx)`.
+    pub rssi: Vec<(TxId, NodeId, Dbm)>,
+    /// Capture margin, dB.
+    pub capture_margin_db: f64,
+    /// How long ended frames are retained for late outcome queries.
+    pub retention: SimDuration,
+    /// Next [`TxId`] to allocate.
+    pub next_id: u64,
+    /// Transmissions ever registered.
+    pub total_tx: u64,
+    /// Reception attempts judged collided or half-duplex.
+    pub total_collisions: u64,
+    /// The half-duplex subset of the collision total.
+    pub total_half_duplex: u64,
 }
 
 #[cfg(test)]
@@ -442,6 +556,31 @@ mod tests {
         // The frame and its RSSI records are gone: the attempt expires
         // gracefully instead of panicking.
         assert_eq!(m.outcome(a, NodeId(2)), ReceptionOutcome::Expired);
+    }
+
+    #[test]
+    fn state_round_trip_preserves_outcomes_and_ids() {
+        let mut m = Medium::new();
+        let a = m.begin_tx(NodeId(1), Point::ORIGIN, beacon(1, 0), at(0), us(260));
+        let b = m.begin_tx(
+            NodeId(2),
+            Point::new(5.0, 0.0),
+            beacon(2, 0),
+            at(100),
+            us(260),
+        );
+        m.record_rssi(a, NodeId(3), Dbm::new(-60.0));
+        m.record_rssi(b, NodeId(3), Dbm::new(-62.0));
+        let mut r = Medium::from_state(m.state());
+        assert_eq!(m.outcome(a, NodeId(3)), r.outcome(a, NodeId(3)));
+        assert_eq!(m.outcome(b, NodeId(3)), r.outcome(b, NodeId(3)));
+        assert_eq!(m.transmissions(), r.transmissions());
+        assert_eq!(m.collisions(), r.collisions());
+        // Id allocation continues where the original left off.
+        let next_m = m.begin_tx(NodeId(4), Point::ORIGIN, beacon(4, 0), at(600), us(260));
+        let next_r = r.begin_tx(NodeId(4), Point::ORIGIN, beacon(4, 0), at(600), us(260));
+        assert_eq!(next_m, next_r);
+        assert_eq!(TxId::from_raw(next_m.raw()), next_m);
     }
 
     #[test]

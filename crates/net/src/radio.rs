@@ -177,6 +177,58 @@ impl Radio {
     pub fn energy_params(&self) -> &EnergyParams {
         &self.params
     }
+
+    /// The radio's complete state as checkpoint data.
+    pub fn checkpoint(&self) -> RadioCheckpoint {
+        RadioCheckpoint {
+            params: self.params,
+            bitrate_bps: self.bitrate_bps,
+            state: self.state,
+            since: self.since,
+            ledger: self.ledger,
+            wakes: self.wakes,
+            packets_sent: self.packets_sent,
+            packets_received: self.packets_received,
+        }
+    }
+
+    /// Rebuilds a radio from checkpointed state, mid-accrual: the ledger
+    /// and `since` anchor continue the exact interval sums of the original
+    /// (bit-identical energy totals, see [`Radio::peek_ledger`]).
+    pub fn from_checkpoint(c: RadioCheckpoint) -> Self {
+        Radio {
+            params: c.params,
+            bitrate_bps: c.bitrate_bps,
+            state: c.state,
+            since: c.since,
+            ledger: c.ledger,
+            wakes: c.wakes,
+            packets_sent: c.packets_sent,
+            packets_received: c.packets_received,
+        }
+    }
+}
+
+/// The radio's complete state as checkpoint data (see
+/// [`Radio::checkpoint`]).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RadioCheckpoint {
+    /// Energy model parameters.
+    pub params: EnergyParams,
+    /// Link rate, bits per second.
+    pub bitrate_bps: u64,
+    /// Current power state.
+    pub state: PowerState,
+    /// Time of the last state transition (accrual anchor).
+    pub since: SimTime,
+    /// Energy accrued so far.
+    pub ledger: EnergyLedger,
+    /// Wake-up transitions so far.
+    pub wakes: u32,
+    /// Packets sent so far.
+    pub packets_sent: u32,
+    /// Packets received so far.
+    pub packets_received: u32,
 }
 
 #[cfg(test)]

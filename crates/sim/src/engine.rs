@@ -83,6 +83,40 @@ impl<E> Engine<E> {
         self.queue.peak_len()
     }
 
+    /// The time of the earliest pending event, if any — whether or not it
+    /// lies inside the horizon. Lets callers advance the run to an exact
+    /// boundary ("process everything at or before T") before checkpointing.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.queue.peek_time()
+    }
+
+    /// Rebuilds an engine from checkpointed parts, continuing a run
+    /// exactly where [`Engine::replace_queue`] and the accessors left it.
+    pub fn from_parts(
+        queue: EventQueue<E>,
+        now: SimTime,
+        horizon: SimTime,
+        stopped: bool,
+        processed: u64,
+    ) -> Self {
+        Engine {
+            queue,
+            now,
+            horizon,
+            stopped,
+            processed,
+        }
+    }
+
+    /// Swaps in a new pending-event queue and returns the old one.
+    ///
+    /// Checkpoint support: serializing the queue requires draining it
+    /// ([`EventQueue::drain_sorted`] consumes), so the codec takes the
+    /// queue out, drains it, and swaps a rebuilt copy back in.
+    pub fn replace_queue(&mut self, queue: EventQueue<E>) -> EventQueue<E> {
+        std::mem::replace(&mut self.queue, queue)
+    }
+
     /// Schedules an event at an absolute time.
     ///
     /// # Panics
@@ -236,6 +270,43 @@ mod tests {
         eng.run(&mut (), |eng, _, _| {
             eng.schedule_at(SimTime::from_secs(1), 0);
         });
+    }
+
+    #[test]
+    fn checkpoint_round_trip_resumes_identically() {
+        let run = |interrupt: bool| {
+            let mut eng: Engine<u32> = Engine::new(SimTime::from_secs(6));
+            eng.schedule_at(SimTime::from_secs(1), 0);
+            let mut seen = Vec::new();
+            let handler = |eng: &mut Engine<u32>, seen: &mut Vec<(u64, u32)>, e: u32| {
+                seen.push((eng.now().as_secs(), e));
+                eng.schedule_in(SimDuration::from_secs(1), e + 1);
+            };
+            if interrupt {
+                // Run half-way, tear the engine apart, rebuild, continue.
+                while eng
+                    .next_event_time()
+                    .is_some_and(|t| t <= SimTime::from_secs(3))
+                {
+                    eng.step(&mut seen, handler);
+                }
+                let (now, horizon, stopped, processed) = (
+                    eng.now(),
+                    eng.horizon(),
+                    eng.is_stopped(),
+                    eng.events_processed(),
+                );
+                let q = eng.replace_queue(EventQueue::new());
+                let next_seq = q.next_seq();
+                let peak = q.peak_len();
+                let drained = q.drain_sorted();
+                let rebuilt = EventQueue::from_parts(drained, next_seq, peak);
+                eng = Engine::from_parts(rebuilt, now, horizon, stopped, processed);
+            }
+            eng.run(&mut seen, handler);
+            (seen, eng.events_processed(), eng.now())
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

@@ -165,6 +165,72 @@ impl<E> EventQueue<E> {
     pub fn peak_len(&self) -> usize {
         self.peak_live
     }
+
+    /// The sequence number the next [`EventQueue::push`] will be assigned.
+    pub fn next_seq(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Consumes the queue and returns every live event sorted by
+    /// `(time, seq)` — the exact delivery order — with each event's
+    /// original sequence number. Cancelled entries are dropped.
+    ///
+    /// This is the deterministic iteration the snapshot codec needs: the
+    /// heap's internal layout never leaks into serialized bytes.
+    pub fn drain_sorted(mut self) -> Vec<(SimTime, u64, E)> {
+        let mut out: Vec<(SimTime, u64, E)> = Vec::with_capacity(self.live);
+        while let Some(s) = self.heap.pop() {
+            if let Some(pos) = self.cancelled.iter().position(|&c| c == s.seq) {
+                self.cancelled.swap_remove(pos);
+                continue;
+            }
+            out.push((s.time, s.seq, s.payload));
+        }
+        // BinaryHeap pops earliest-first under the inverted Ord, so `out`
+        // is already (time, seq)-sorted; assert rather than re-sort.
+        debug_assert!(out.windows(2).all(|w| (w[0].0, w[0].1) <= (w[1].0, w[1].1)));
+        out
+    }
+
+    /// Rebuilds a queue from events previously produced by
+    /// [`EventQueue::drain_sorted`], preserving each event's original
+    /// sequence number (so FIFO tie-breaks replay identically), the
+    /// `next_seq` allocator position, and the `peak_len` high-water mark.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an event's seq is not below `next_seq`, or if `peak_len`
+    /// is less than the number of restored events — both indicate a
+    /// corrupted or hand-rolled snapshot.
+    pub fn from_parts(events: Vec<(SimTime, u64, E)>, next_seq: u64, peak_len: usize) -> Self {
+        assert!(
+            peak_len >= events.len(),
+            "peak_len {} below live event count {}",
+            peak_len,
+            events.len()
+        );
+        let mut heap = BinaryHeap::with_capacity(events.len());
+        let live = events.len();
+        for (time, seq, payload) in events {
+            assert!(
+                seq < next_seq,
+                "event seq {seq} not below next_seq {next_seq}"
+            );
+            heap.push(Scheduled {
+                time,
+                seq,
+                cancelled: false,
+                payload,
+            });
+        }
+        EventQueue {
+            heap,
+            next_seq,
+            live,
+            peak_live: peak_len,
+            cancelled: Vec::new(),
+        }
+    }
 }
 
 impl<E: std::fmt::Debug> std::fmt::Debug for EventQueue<E> {
@@ -251,6 +317,63 @@ mod tests {
         assert_eq!(q.len(), 2);
         q.pop();
         assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn drain_sorted_yields_delivery_order_and_skips_cancelled() {
+        let mut q = EventQueue::new();
+        let _late = q.push(SimTime::from_secs(3), "late"); // seq 0
+        let _a = q.push(SimTime::from_secs(1), "a"); // seq 1
+        let _b = q.push(SimTime::from_secs(1), "b"); // seq 2, FIFO tie with a
+        let x = q.push(SimTime::from_secs(2), "x"); // seq 3, cancelled below
+        q.cancel(x);
+        let drained = q.drain_sorted();
+        let seqs: Vec<u64> = drained.iter().map(|&(_, s, _)| s).collect();
+        let payloads: Vec<&str> = drained.iter().map(|&(_, _, p)| p).collect();
+        assert_eq!(payloads, vec!["a", "b", "late"]);
+        assert_eq!(seqs, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn from_parts_round_trips_order_and_accounting() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(2), 20u32);
+        q.push(SimTime::from_secs(1), 10);
+        q.push(SimTime::from_secs(1), 11); // same time: FIFO after 10
+        q.pop(); // deliver 10, so peak (3) > live (2)
+        let next_seq = q.next_seq();
+        let peak = q.peak_len();
+        let drained = q.drain_sorted();
+        let mut r = EventQueue::from_parts(drained, next_seq, peak);
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.peak_len(), peak);
+        assert_eq!(r.next_seq(), next_seq);
+        // FIFO tie-break replays identically after the round trip.
+        let order: Vec<u32> = std::iter::from_fn(|| r.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![11, 20]);
+        // New pushes continue the original seq allocation.
+        let mut r2 = EventQueue::from_parts(Vec::<(SimTime, u64, u32)>::new(), 5, 7);
+        let id = r2.push(SimTime::ZERO, 1);
+        assert!(r2.cancel(id));
+    }
+
+    #[test]
+    fn restoring_empty_queue_at_final_event_is_exact() {
+        // A run snapshotted at its very last event has nothing pending:
+        // the restored queue must be empty but keep the run's accounting.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), ());
+        q.push(SimTime::from_secs(2), ());
+        q.pop();
+        q.pop();
+        assert!(q.is_empty());
+        let next_seq = q.next_seq();
+        let peak = q.peak_len();
+        let r = EventQueue::from_parts(q.drain_sorted(), next_seq, peak);
+        assert!(r.is_empty());
+        assert_eq!(r.peek_time(), None);
+        assert_eq!(r.peak_len(), peak);
+        assert_eq!(r.next_seq(), next_seq);
     }
 
     #[test]

@@ -375,6 +375,16 @@ impl GilbertElliottLink {
         }
     }
 
+    /// Rebuilds a link mid-burst (checkpoint restore).
+    pub fn with_state(model: GilbertElliott, in_bad: bool) -> Self {
+        GilbertElliottLink { model, in_bad }
+    }
+
+    /// The loss model this link evolves under.
+    pub fn model(&self) -> GilbertElliott {
+        self.model
+    }
+
     /// Whether the link is currently in the bad (bursting) state.
     pub fn in_bad(&self) -> bool {
         self.in_bad

@@ -1,0 +1,171 @@
+//! Hand-rolled JSON emission shared by every serializer in the workspace.
+//!
+//! The build environment has no serde, so the telemetry JSONL exporter, the
+//! trace-file tooling and the snapshot metadata header all write JSON by
+//! hand. This module is the single implementation of the fiddly parts —
+//! string escaping and field formatting — so an escaping bug can only ever
+//! exist (and be fixed) in one place.
+//!
+//! Everything here is byte-deterministic: identical inputs render identical
+//! bytes, which the golden-trace and snapshot-equivalence suites rely on.
+
+use std::fmt::Write as _;
+
+/// Escapes `s` for embedding inside a JSON string literal, appending to
+/// `out` (quotes not included).
+///
+/// Escapes `"` and `\`, spells `\n`/`\r`/`\t` with their short forms, and
+/// uses `\u00XX` for the remaining control characters, matching what the
+/// strict parser in `cocoa-core::tracefile` accepts.
+pub fn escape_json(s: &str, out: &mut String) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Appends `,"key":value` where the value is a JSON number or `null`.
+pub fn write_opt_f64(out: &mut String, key: &str, v: Option<f64>) {
+    match v {
+        Some(x) => {
+            let _ = write!(out, ",\"{key}\":{x}");
+        }
+        None => {
+            let _ = write!(out, ",\"{key}\":null");
+        }
+    }
+}
+
+/// Builds one flat JSON object — the shape every line-oriented format in
+/// this workspace uses (telemetry JSONL lines, snapshot metadata headers).
+///
+/// Fields render in insertion order; string values go through
+/// [`escape_json`].
+///
+/// # Examples
+///
+/// ```
+/// use cocoa_sim::jsonfmt::ObjectWriter;
+///
+/// let mut w = ObjectWriter::new();
+/// w.str_field("kind", "snapshot");
+/// w.u64_field("version", 1);
+/// assert_eq!(w.finish(), "{\"kind\":\"snapshot\",\"version\":1}");
+/// ```
+#[derive(Debug, Default)]
+pub struct ObjectWriter {
+    buf: String,
+    first: bool,
+}
+
+impl ObjectWriter {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        ObjectWriter {
+            buf: String::from("{"),
+            first: true,
+        }
+    }
+
+    fn key(&mut self, key: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_json(key, &mut self.buf);
+        self.buf.push_str("\":");
+    }
+
+    /// Adds a string field (value escaped).
+    pub fn str_field(&mut self, key: &str, value: &str) -> &mut Self {
+        self.key(key);
+        self.buf.push('"');
+        escape_json(value, &mut self.buf);
+        self.buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn u64_field(&mut self, key: &str, value: u64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a float field, rendered with Rust's shortest round-trip `{}`
+    /// formatting (the same spelling `to_jsonl` uses).
+    pub fn f64_field(&mut self, key: &str, value: f64) -> &mut Self {
+        self.key(key);
+        let _ = write!(self.buf, "{value}");
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn bool_field(&mut self, key: &str, value: bool) -> &mut Self {
+        self.key(key);
+        self.buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Closes the object and returns the rendered line (no trailing
+    /// newline).
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        let mut out = String::new();
+        escape_json("a\"b\\c\nd\re\tf\u{1}g", &mut out);
+        assert_eq!(out, "a\\\"b\\\\c\\nd\\re\\tf\\u0001g");
+    }
+
+    #[test]
+    fn passes_plain_text_and_unicode_through() {
+        let mut out = String::new();
+        escape_json("héllo → world", &mut out);
+        assert_eq!(out, "héllo → world");
+    }
+
+    #[test]
+    fn opt_f64_renders_null_and_number() {
+        let mut out = String::new();
+        write_opt_f64(&mut out, "x", Some(1.5));
+        write_opt_f64(&mut out, "y", None);
+        assert_eq!(out, ",\"x\":1.5,\"y\":null");
+    }
+
+    #[test]
+    fn object_writer_orders_and_escapes() {
+        let mut w = ObjectWriter::new();
+        w.str_field("name", "a\"b");
+        w.u64_field("n", 7);
+        w.f64_field("x", 0.25);
+        w.bool_field("ok", true);
+        assert_eq!(
+            w.finish(),
+            "{\"name\":\"a\\\"b\",\"n\":7,\"x\":0.25,\"ok\":true}"
+        );
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(ObjectWriter::new().finish(), "{}");
+    }
+}

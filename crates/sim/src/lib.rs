@@ -12,7 +12,9 @@
 //! - reproducible per-subsystem random streams via [`rng::SeedSplitter`],
 //! - per-run structured tracing in [`trace::Trace`],
 //! - a typed observability bus — events, counters, span timers — in
-//!   [`telemetry::Telemetry`].
+//!   [`telemetry::Telemetry`],
+//! - a versioned, CRC-checked binary checkpoint codec in [`snapshot`],
+//!   with the shared hand-rolled JSON emission helpers in [`jsonfmt`].
 //!
 //! The crate knows nothing about radios or robots; protocol models live in
 //! `cocoa-net`, `cocoa-mobility`, `cocoa-multicast` and `cocoa-core`.
@@ -40,7 +42,9 @@ pub mod dist;
 pub mod engine;
 pub mod event;
 pub mod faults;
+pub mod jsonfmt;
 pub mod rng;
+pub mod snapshot;
 pub mod stats;
 pub mod telemetry;
 pub mod time;
@@ -52,6 +56,7 @@ pub mod prelude {
     pub use crate::event::{EventId, EventQueue};
     pub use crate::faults::{Fault, FaultEvent, FaultPlan, GilbertElliott, GilbertElliottLink};
     pub use crate::rng::{DetRng, SeedSplitter};
+    pub use crate::snapshot::{Snapshot, SnapshotError, SnapshotReader, SnapshotWriter};
     pub use crate::stats::{Histogram, RunningStats};
     pub use crate::telemetry::{
         CounterId, CounterRegistry, SpanId, SpanProfiler, StampedEvent, Telemetry, TelemetryEvent,

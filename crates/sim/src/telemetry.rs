@@ -53,6 +53,7 @@ use std::collections::VecDeque;
 use std::fmt::Write as _;
 use std::time::Instant;
 
+use crate::jsonfmt::{escape_json, write_opt_f64};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceLevel};
 
@@ -256,6 +257,24 @@ pub enum TelemetryEvent {
         /// Team energy consumed so far, joules.
         energy_j: f64,
     },
+    /// A run-state snapshot was serialized at this instant.
+    ///
+    /// Emitted *after* the telemetry section is captured, so the snapshot
+    /// bytes never contain their own marker and a resumed run stays
+    /// byte-identical to an uninterrupted one.
+    SnapshotTaken {
+        /// Size of the serialized snapshot.
+        bytes: u64,
+        /// Number of codec sections written.
+        sections: u32,
+    },
+    /// The run was restored from a snapshot at this instant (only the
+    /// marked resume path emits this; the quiet path used by equivalence
+    /// tests and warm-start forks leaves the restored bus untouched).
+    SnapshotRestored {
+        /// Size of the snapshot the run was restored from.
+        bytes: u64,
+    },
     /// A record routed through from the legacy string [`Trace`].
     Legacy {
         /// Severity.
@@ -287,6 +306,8 @@ impl TelemetryEvent {
             TelemetryEvent::HealthTransition { .. } => "health",
             TelemetryEvent::RobotSample { .. } => "robot_sample",
             TelemetryEvent::TeamSample { .. } => "team_sample",
+            TelemetryEvent::SnapshotTaken { .. } => "snapshot_taken",
+            TelemetryEvent::SnapshotRestored { .. } => "snapshot_restored",
             TelemetryEvent::Legacy { .. } => "legacy",
         }
     }
@@ -580,6 +601,39 @@ impl Telemetry {
         self.level
     }
 
+    /// The ring-buffer capacity bound, if one was set.
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Rebuilds a bus from checkpointed state: the retained event window,
+    /// the emission/drop totals and the counter values, exactly as captured.
+    ///
+    /// Span timers restart at zero — span durations are wall-clock, the one
+    /// non-deterministic quantity the bus records, and are excluded from
+    /// snapshots by design. Any legacy [`Trace`] attachment is likewise not
+    /// part of a checkpoint; reattach one after restoring if needed.
+    pub fn from_checkpoint(
+        level: TelemetryLevel,
+        capacity: Option<usize>,
+        seq: u64,
+        dropped: u64,
+        sample_interval: Option<SimDuration>,
+        events: Vec<StampedEvent>,
+        counters: Vec<(&'static str, u64)>,
+    ) -> Self {
+        let mut t = Telemetry::new(level);
+        t.capacity = capacity;
+        t.seq = seq;
+        t.dropped = dropped;
+        t.sample_interval = sample_interval;
+        t.events = events.into();
+        for (name, value) in counters {
+            t.counters.set(name, value);
+        }
+        t
+    }
+
     /// Sets the per-robot timeline sampling interval. Unset means "sample
     /// at every metrics tick".
     pub fn set_sample_interval(&mut self, interval: SimDuration) {
@@ -832,34 +886,6 @@ impl Default for Telemetry {
     }
 }
 
-/// Escapes a string for embedding in a JSON value.
-fn escape_json(s: &str, out: &mut String) {
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-}
-
-fn write_opt_f64(out: &mut String, key: &str, v: Option<f64>) {
-    match v {
-        Some(x) => {
-            let _ = write!(out, ",\"{key}\":{x}");
-        }
-        None => {
-            let _ = write!(out, ",\"{key}\":null");
-        }
-    }
-}
-
 fn write_event_line(out: &mut String, e: &StampedEvent) {
     let _ = write!(
         out,
@@ -969,6 +995,12 @@ fn write_event_line(out: &mut String, e: &StampedEvent) {
                 out,
                 ",\"mean_err_m\":{mean_err_m},\"robots\":{robots},\"energy_j\":{energy_j}"
             );
+        }
+        TelemetryEvent::SnapshotTaken { bytes, sections } => {
+            let _ = write!(out, ",\"bytes\":{bytes},\"sections\":{sections}");
+        }
+        TelemetryEvent::SnapshotRestored { bytes } => {
+            let _ = write!(out, ",\"bytes\":{bytes}");
         }
         TelemetryEvent::Legacy {
             level,

@@ -244,6 +244,23 @@ pub mod rngs {
         fn rotl(x: u64, k: u32) -> u64 {
             x.rotate_left(k)
         }
+
+        /// The generator's internal 256-bit state, for checkpointing.
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a state previously returned by
+        /// [`StdRng::state`], continuing the exact same output stream.
+        ///
+        /// # Panics
+        ///
+        /// Panics on the all-zero state, which xoshiro256++ can never reach
+        /// from a seeded generator and from which it would emit only zeros.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            assert!(s != [0; 4], "xoshiro256++ state must be non-zero");
+            StdRng { s }
+        }
     }
 
     impl RngCore for StdRng {
@@ -343,5 +360,23 @@ mod tests {
     fn zero_seed_does_not_stick() {
         let mut rng = StdRng::from_seed([0u8; 32]);
         assert_ne!(rng.gen::<u64>(), 0);
+    }
+
+    #[test]
+    fn state_round_trip_continues_stream() {
+        let mut a = StdRng::seed_from_u64(99);
+        for _ in 0..37 {
+            a.gen::<u64>();
+        }
+        let mut b = StdRng::from_state(a.state());
+        let xs: Vec<u64> = (0..16).map(|_| a.gen()).collect();
+        let ys: Vec<u64> = (0..16).map(|_| b.gen()).collect();
+        assert_eq!(xs, ys);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn all_zero_state_is_rejected() {
+        let _ = StdRng::from_state([0; 4]);
     }
 }
