@@ -111,6 +111,38 @@ fn summary(trace: &TraceFile) {
     println!("events dropped  {}", m.dropped);
     println!("counters        {}", trace.counters.len());
     println!("spans           {}", trace.spans.len());
+    // One-line grid-kernel digest: which inner loop ran and what it cost.
+    let grid = |name: &str| {
+        trace
+            .counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |(_, v)| *v)
+    };
+    let variants: Vec<String> = [
+        ("scalar", "grid.kernel.scalar"),
+        ("simd", "grid.kernel.simd"),
+        ("simd_f32", "grid.kernel.simd_f32"),
+        ("fused", "grid.kernel.fused"),
+        ("adaptive", "grid.kernel.adaptive"),
+    ]
+    .iter()
+    .filter_map(|(short, name)| {
+        let v = grid(name);
+        (v > 0).then(|| format!("{short}={v}"))
+    })
+    .collect();
+    if !variants.is_empty() {
+        println!("grid kernels    {}", variants.join(" "));
+        println!("grid cells      {}", grid("grid.cells_touched"));
+        let (fused, refined) = (grid("grid.fused_windows"), grid("grid.cells_refined"));
+        if fused > 0 {
+            println!("grid fused wins {fused}");
+        }
+        if refined > 0 {
+            println!("grid refined    {refined}");
+        }
+    }
     if let (Some(first), Some(last)) = (trace.events.first(), trace.events.last()) {
         println!(
             "time range      {:.3} s .. {:.3} s",

@@ -24,10 +24,13 @@
 
 use bytes::Bytes;
 
+use cocoa_localization::adaptive::Tile;
+use cocoa_localization::bayes::GridStats;
 use cocoa_localization::estimator::{
     EstimatorCheckpoint, EstimatorMode, RfAlgorithm, WindowStats, WindowedRfEstimator,
 };
 use cocoa_localization::grid::GridConfig;
+use cocoa_localization::kernel::{GridKernel, GridPipeline, GridPrecision};
 use cocoa_localization::multilateration::RangeObservation;
 use cocoa_mobility::motion::RobotMotion;
 use cocoa_mobility::odometry::{Odometer, OdometerCheckpoint, OdometryConfig};
@@ -43,6 +46,7 @@ use cocoa_net::mac::{ActiveTxState, Medium, MediumState, TxId};
 use cocoa_net::packet::{NodeId, Packet};
 use cocoa_net::radio::{Radio, RadioCheckpoint};
 use cocoa_net::rssi::Dbm;
+use cocoa_net::rssi::RssiBin;
 use cocoa_sim::engine::Engine;
 use cocoa_sim::event::EventQueue;
 use cocoa_sim::faults::{Fault, FaultPlan, GilbertElliott, GilbertElliottLink};
@@ -420,6 +424,24 @@ fn encode_scenario(s: &Scenario) -> Vec<u8> {
     put_u32(&mut buf, s.failover_missed_periods);
     put_f64(&mut buf, s.entropy_watchdog_frac);
     put_f64(&mut buf, s.outlier_gate_m);
+    put_u8(
+        &mut buf,
+        match s.grid_pipeline.kernel {
+            GridKernel::Scalar => 0,
+            GridKernel::Simd => 1,
+        },
+    );
+    put_u8(
+        &mut buf,
+        match s.grid_pipeline.precision {
+            GridPrecision::F64 => 0,
+            GridPrecision::F32 => 1,
+        },
+    );
+    put_bool(&mut buf, s.grid_pipeline.fused);
+    put_bool(&mut buf, s.grid_pipeline.adaptive);
+    put_u32(&mut buf, s.grid_pipeline.adaptive_coarse_factor);
+    put_f64(&mut buf, s.grid_pipeline.adaptive_refine_factor);
     buf
 }
 
@@ -501,6 +523,22 @@ fn decode_scenario(r: &mut SnapshotReader<'_>) -> Result<Scenario, SnapshotError
     let failover_missed_periods = r.u32()?;
     let entropy_watchdog_frac = r.f64()?;
     let outlier_gate_m = r.f64()?;
+    let grid_pipeline = GridPipeline {
+        kernel: match r.u8()? {
+            0 => GridKernel::Scalar,
+            1 => GridKernel::Simd,
+            t => return Err(bad_tag("grid kernel", t)),
+        },
+        precision: match r.u8()? {
+            0 => GridPrecision::F64,
+            1 => GridPrecision::F32,
+            t => return Err(bad_tag("grid precision", t)),
+        },
+        fused: r.bool()?,
+        adaptive: r.bool()?,
+        adaptive_coarse_factor: r.u32()?,
+        adaptive_refine_factor: r.f64()?,
+    };
     Ok(Scenario {
         seed,
         area,
@@ -534,6 +572,7 @@ fn decode_scenario(r: &mut SnapshotReader<'_>) -> Result<Scenario, SnapshotError
         failover_missed_periods,
         entropy_watchdog_frac,
         outlier_gate_m,
+        grid_pipeline,
     })
 }
 
@@ -807,6 +846,28 @@ fn put_estimator(buf: &mut Vec<u8>, c: &EstimatorCheckpoint) {
         put_f64(b, obs.range);
         put_f64(b, obs.weight);
     });
+    put_vec(buf, &c.adaptive_tiles, |b, tile| match tile {
+        Tile::Coarse(mass) => {
+            put_u8(b, 0);
+            put_f64(b, *mass);
+        }
+        Tile::Refined(cells) => {
+            put_u8(b, 1);
+            put_vec(b, cells, |b, &m| put_f64(b, m));
+        }
+    });
+    put_vec(buf, &c.pending, |b, &(anchor, bin)| {
+        put_point(b, anchor);
+        put_u32(b, bin.0 as u16 as u32);
+    });
+    put_u64(buf, c.grid_stats.kernel_scalar);
+    put_u64(buf, c.grid_stats.kernel_simd);
+    put_u64(buf, c.grid_stats.kernel_simd_f32);
+    put_u64(buf, c.grid_stats.kernel_fused);
+    put_u64(buf, c.grid_stats.kernel_adaptive);
+    put_u64(buf, c.grid_stats.fused_windows);
+    put_u64(buf, c.grid_stats.cells_touched);
+    put_u64(buf, c.grid_stats.cells_refined);
 }
 
 fn read_estimator(r: &mut SnapshotReader<'_>) -> Result<EstimatorCheckpoint, SnapshotError> {
@@ -837,6 +898,26 @@ fn read_estimator(r: &mut SnapshotReader<'_>) -> Result<EstimatorCheckpoint, Sna
                 weight: r.f64()?,
             })
         })?,
+        adaptive_tiles: read_vec(r, |r| match r.u8()? {
+            0 => Ok(Tile::Coarse(r.f64()?)),
+            1 => Ok(Tile::Refined(read_vec(r, |r| r.f64())?)),
+            t => Err(bad_tag("adaptive tile", t)),
+        })?,
+        pending: read_vec(r, |r| {
+            let anchor = read_point(r)?;
+            let bin = RssiBin(r.u32()? as u16 as i16);
+            Ok((anchor, bin))
+        })?,
+        grid_stats: GridStats {
+            kernel_scalar: r.u64()?,
+            kernel_simd: r.u64()?,
+            kernel_simd_f32: r.u64()?,
+            kernel_fused: r.u64()?,
+            kernel_adaptive: r.u64()?,
+            fused_windows: r.u64()?,
+            cells_touched: r.u64()?,
+            cells_refined: r.u64()?,
+        },
     })
 }
 
@@ -1043,8 +1124,8 @@ fn decode_robots(
             };
             HealthMonitor::from_checkpoint(state, since, ledger)
         };
-        let rf =
-            read_opt(r, read_estimator)?.map(|c| WindowedRfEstimator::from_checkpoint(grid, c));
+        let rf = read_opt(r, read_estimator)?
+            .map(|c| WindowedRfEstimator::from_checkpoint_with(grid, scenario.grid_pipeline, c));
         let mesh_bytes = r.bytes()?;
         let mut mesh = mesh::make_backend(
             scenario.multicast,

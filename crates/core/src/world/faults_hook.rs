@@ -83,6 +83,7 @@ pub(crate) fn apply_fault(
             let area = world.scenario.area;
             let res = world.scenario.grid_resolution_m;
             let alg = world.scenario.rf_algorithm;
+            let pipeline = world.scenario.grid_pipeline;
             let r = &mut world.robots[robot];
             r.alive = true;
             r.epoch = r.epoch.wrapping_add(1);
@@ -93,7 +94,7 @@ pub(crate) fn apply_fault(
             r.fix_anchor = None;
             r.synced_this_window = false;
             if let Some(rf) = r.rf.as_mut() {
-                *rf = WindowedRfEstimator::with_algorithm(GridConfig::new(area, res), alg);
+                *rf = WindowedRfEstimator::with_pipeline(GridConfig::new(area, res), alg, pipeline);
             }
             let up_state = if uses_rf {
                 PowerState::Idle

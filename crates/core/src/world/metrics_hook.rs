@@ -212,6 +212,28 @@ pub(crate) fn finalize(
             ro.outlier_beacons_rejected,
         );
         t.absorb("robustness.flat_posteriors", ro.flat_posteriors);
+        // Grid kernel accounting: only namespaces that actually fired are
+        // emitted, so the default (pure simd/f64) run stays compact.
+        let mut gs = cocoa_localization::bayes::GridStats::default();
+        for r in &world.robots {
+            if let Some(rf) = r.rf.as_ref() {
+                gs.absorb(&rf.grid_stats());
+            }
+        }
+        for (name, value) in [
+            ("grid.kernel.scalar", gs.kernel_scalar),
+            ("grid.kernel.simd", gs.kernel_simd),
+            ("grid.kernel.simd_f32", gs.kernel_simd_f32),
+            ("grid.kernel.fused", gs.kernel_fused),
+            ("grid.kernel.adaptive", gs.kernel_adaptive),
+            ("grid.fused_windows", gs.fused_windows),
+            ("grid.cells_touched", gs.cells_touched),
+            ("grid.cells_refined", gs.cells_refined),
+        ] {
+            if value > 0 {
+                t.absorb(name, value);
+            }
+        }
         t.absorb("robustness.stale_syncs_ignored", ro.stale_syncs_ignored);
         t.absorb("robustness.malformed_sync_bodies", ro.malformed_sync_bodies);
         // The flat `mesh.*` namespace stays for backwards compatibility;

@@ -12,6 +12,7 @@ use std::sync::OnceLock;
 use cocoa_core::metrics::RunMetrics;
 use cocoa_core::runner::SimRun;
 use cocoa_core::scenario::Scenario;
+use cocoa_localization::kernel::{GridKernel, GridPipeline, GridPrecision};
 use cocoa_multicast::protocol::MulticastProtocol;
 use cocoa_sim::faults::FaultPlan;
 use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
@@ -74,6 +75,49 @@ fn resume_is_bit_identical_across_backends_and_fault_presets() {
                 protocol.as_str()
             );
         }
+    }
+}
+
+#[test]
+fn resume_is_bit_identical_for_every_grid_kernel_variant() {
+    let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2);
+    let variants = [
+        GridPipeline {
+            kernel: GridKernel::Scalar,
+            ..GridPipeline::default()
+        },
+        GridPipeline::default(), // simd / f64
+        GridPipeline {
+            precision: GridPrecision::F32,
+            ..GridPipeline::default()
+        },
+        GridPipeline {
+            fused: true,
+            ..GridPipeline::default()
+        },
+        GridPipeline {
+            adaptive: true,
+            ..GridPipeline::default()
+        },
+    ];
+    for pipeline in variants {
+        let mut s = scenario(42, MulticastProtocol::Mrmm, "sync-crash");
+        s.grid_pipeline = pipeline;
+        s.validate().expect("variant scenario must validate");
+        let (m_cold, j_cold) = uninterrupted(&s);
+        let (m_res, j_res) = interrupted_at(&s, at);
+        assert_eq!(
+            m_cold,
+            m_res,
+            "{}: RunMetrics diverged after resume",
+            pipeline.variant_name()
+        );
+        assert_eq!(
+            j_cold,
+            j_res,
+            "{}: telemetry JSONL diverged after resume",
+            pipeline.variant_name()
+        );
     }
 }
 

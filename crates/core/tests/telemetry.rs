@@ -199,7 +199,7 @@ fn strip_backend_counters(trace: &str) -> String {
     let mut out = String::with_capacity(trace.len());
     for line in trace.lines() {
         let is_backend_counter = line.starts_with("{\"kind\":\"counter\"")
-            && ["mesh.flood.", "mesh.odmrp.", "mesh.mrmm."]
+            && ["mesh.flood.", "mesh.odmrp.", "mesh.mrmm.", "grid."]
                 .iter()
                 .any(|p| line.contains(&format!("\"name\":\"{p}")));
         if !is_backend_counter {

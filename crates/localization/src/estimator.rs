@@ -15,10 +15,12 @@ use serde::{Deserialize, Serialize};
 
 use cocoa_net::calibration::{PdfTable, RadialConstraintTable};
 use cocoa_net::geometry::Point;
-use cocoa_net::rssi::Dbm;
+use cocoa_net::rssi::{Dbm, RssiBin};
 
-use crate::bayes::{BayesianLocalizer, ObservationResult};
+use crate::adaptive::Tile;
+use crate::bayes::{BayesianLocalizer, GridStats, ObservationResult, Posterior};
 use crate::grid::GridConfig;
+use crate::kernel::GridPipeline;
 use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
 
 /// Which localization strategy a robot runs (paper Sections 4.1–4.3).
@@ -79,7 +81,7 @@ impl std::fmt::Display for RfAlgorithm {
 
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Backend {
-    Bayes(BayesianLocalizer),
+    Bayes(Box<BayesianLocalizer>),
     Lateration(Multilaterator),
 }
 
@@ -169,8 +171,18 @@ impl WindowedRfEstimator {
 
     /// Creates an estimator with an explicit per-window algorithm.
     pub fn with_algorithm(grid: GridConfig, algorithm: RfAlgorithm) -> Self {
+        Self::with_pipeline(grid, algorithm, GridPipeline::default())
+    }
+
+    /// Creates an estimator with an explicit per-window algorithm and grid
+    /// pipeline (kernel, precision, fusion, adaptive resolution). The
+    /// pipeline only affects the Bayesian backend; multilateration has no
+    /// grid and ignores it.
+    pub fn with_pipeline(grid: GridConfig, algorithm: RfAlgorithm, pipeline: GridPipeline) -> Self {
         let backend = match algorithm {
-            RfAlgorithm::Bayes => Backend::Bayes(BayesianLocalizer::new(grid)),
+            RfAlgorithm::Bayes => {
+                Backend::Bayes(Box::new(BayesianLocalizer::with_pipeline(grid, pipeline)))
+            }
             RfAlgorithm::Multilateration => Backend::Lateration(Multilaterator::new(
                 grid.area,
                 MultilaterationConfig::default(),
@@ -325,7 +337,28 @@ impl WindowedRfEstimator {
     ///
     /// `watchdog_frac >= 1.0` disables the veto. The multilateration
     /// backend has no posterior, so the watchdog never fires there.
+    ///
+    /// Fused pipelines must flush their pending beacons before the window
+    /// is judged — use
+    /// [`end_window_guarded_with`](Self::end_window_guarded_with) and pass
+    /// the radial constraint table whenever the pipeline may be fused.
     pub fn end_window_guarded(&mut self, watchdog_frac: f64) -> WindowOutcome {
+        self.end_window_guarded_with(watchdog_frac, None)
+    }
+
+    /// [`end_window_guarded`](Self::end_window_guarded), first committing
+    /// any beacons a fused pipeline recorded during the window in one
+    /// batched grid pass. `radial` must describe the same calibration the
+    /// beacons were observed under; `None` is only correct for unfused
+    /// pipelines (any pending beacons would be dropped).
+    pub fn end_window_guarded_with(
+        &mut self,
+        watchdog_frac: f64,
+        radial: Option<&RadialConstraintTable>,
+    ) -> WindowOutcome {
+        if let (Backend::Bayes(b), Some(radial)) = (&mut self.backend, radial) {
+            b.flush_pending(radial);
+        }
         self.in_window = false;
         let estimate = match &self.backend {
             Backend::Bayes(b) => b.estimate(),
@@ -386,9 +419,28 @@ impl WindowedRfEstimator {
         self.stats
     }
 
+    /// Kernel/fusion/adaptive accounting of the Bayesian backend (the
+    /// `grid.*` telemetry counters). Zero for multilateration.
+    pub fn grid_stats(&self) -> GridStats {
+        match &self.backend {
+            Backend::Bayes(b) => *b.grid_stats(),
+            Backend::Lateration(_) => GridStats::default(),
+        }
+    }
+
+    /// The active grid pipeline, if the Bayesian backend is running.
+    pub fn pipeline(&self) -> Option<&GridPipeline> {
+        match &self.backend {
+            Backend::Bayes(b) => Some(b.pipeline()),
+            Backend::Lateration(_) => None,
+        }
+    }
+
     /// The estimator's complete state as checkpoint data. Exactly one of
     /// the backend-specific field groups is populated, per
-    /// [`EstimatorCheckpoint::algorithm`].
+    /// [`EstimatorCheckpoint::algorithm`]; within the Bayes group, dense
+    /// pipelines fill `posterior_cells` and adaptive pipelines fill
+    /// `adaptive_tiles`.
     pub fn checkpoint(&self) -> EstimatorCheckpoint {
         let base = EstimatorCheckpoint {
             algorithm: self.algorithm(),
@@ -396,17 +448,29 @@ impl WindowedRfEstimator {
             in_window: self.in_window,
             stats: self.stats,
             posterior_cells: Vec::new(),
+            adaptive_tiles: Vec::new(),
+            pending: Vec::new(),
+            grid_stats: GridStats::default(),
             beacons_applied: 0,
             beacons_seen: 0,
             ranges: Vec::new(),
         };
         match &self.backend {
-            Backend::Bayes(b) => EstimatorCheckpoint {
-                posterior_cells: b.grid().cells().to_vec(),
-                beacons_applied: b.beacons_applied(),
-                beacons_seen: b.beacons_seen(),
-                ..base
-            },
+            Backend::Bayes(b) => {
+                let (cells, tiles) = match b.posterior() {
+                    Posterior::Dense(g) => (g.cells().to_vec(), Vec::new()),
+                    Posterior::Adaptive(g) => (Vec::new(), g.tiles().to_vec()),
+                };
+                EstimatorCheckpoint {
+                    posterior_cells: cells,
+                    adaptive_tiles: tiles,
+                    pending: b.pending().to_vec(),
+                    grid_stats: *b.grid_stats(),
+                    beacons_applied: b.beacons_applied(),
+                    beacons_seen: b.beacons_seen(),
+                    ..base
+                }
+            }
             Backend::Lateration(l) => EstimatorCheckpoint {
                 ranges: l.ranges().to_vec(),
                 ..base
@@ -415,17 +479,39 @@ impl WindowedRfEstimator {
     }
 
     /// Rebuilds an estimator from checkpointed state over `grid` (the same
-    /// grid configuration the original was built with). The multilateration
-    /// backend is reconstructed with the default solver configuration, as
+    /// grid configuration the original was built with), under the default
+    /// grid pipeline. The multilateration backend is reconstructed with the
+    /// default solver configuration, as
     /// [`WindowedRfEstimator::with_algorithm`] uses.
     pub fn from_checkpoint(grid: GridConfig, c: EstimatorCheckpoint) -> Self {
+        Self::from_checkpoint_with(grid, GridPipeline::default(), c)
+    }
+
+    /// [`from_checkpoint`](Self::from_checkpoint) under an explicit grid
+    /// pipeline — required for bit-identical resume of non-default kernel
+    /// variants, since the pipeline decides which posterior representation
+    /// and counters the checkpoint fields map onto.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the checkpoint's posterior representation (dense cells vs
+    /// adaptive tiles) does not match the pipeline's `adaptive` flag.
+    pub fn from_checkpoint_with(
+        grid: GridConfig,
+        pipeline: GridPipeline,
+        c: EstimatorCheckpoint,
+    ) -> Self {
         let backend = match c.algorithm {
-            RfAlgorithm::Bayes => Backend::Bayes(BayesianLocalizer::from_checkpoint(
-                grid,
-                &c.posterior_cells,
-                c.beacons_applied,
-                c.beacons_seen,
-            )),
+            RfAlgorithm::Bayes => {
+                let mut b = BayesianLocalizer::with_pipeline(grid, pipeline);
+                if pipeline.adaptive {
+                    b.restore_posterior_tiles(c.adaptive_tiles);
+                } else {
+                    b.restore_posterior_cells(&c.posterior_cells);
+                }
+                b.restore_counters(c.beacons_applied, c.beacons_seen, c.pending, c.grid_stats);
+                Backend::Bayes(Box::new(b))
+            }
             RfAlgorithm::Multilateration => {
                 let mut l = Multilaterator::new(grid.area, MultilaterationConfig::default());
                 l.restore_ranges(c.ranges);
@@ -453,8 +539,16 @@ pub struct EstimatorCheckpoint {
     pub in_window: bool,
     /// Lifetime statistics.
     pub stats: WindowStats,
-    /// Posterior cell probabilities (Bayes backend only; empty otherwise).
+    /// Posterior cell probabilities (Bayes backend with a dense pipeline;
+    /// empty otherwise).
     pub posterior_cells: Vec<f64>,
+    /// Posterior tile state (Bayes backend with the adaptive pipeline;
+    /// empty otherwise).
+    pub adaptive_tiles: Vec<Tile>,
+    /// Recorded-but-unflushed fused beacons (Bayes backend only).
+    pub pending: Vec<(Point, RssiBin)>,
+    /// Kernel/fusion/adaptive accounting (Bayes backend only).
+    pub grid_stats: GridStats,
     /// Beacons applied since the last window reset (Bayes backend only).
     pub beacons_applied: u32,
     /// Beacons offered since the last window reset (Bayes backend only).

@@ -12,6 +12,8 @@ use serde::{Deserialize, Serialize};
 use cocoa_net::calibration::RadialProfile;
 use cocoa_net::geometry::{Area, Point};
 
+use crate::kernel::{self, GridKernel, GridPrecision};
+
 /// Grid discretization parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct GridConfig {
@@ -88,12 +90,17 @@ pub struct PositionGrid {
     #[serde(skip)]
     scratch: Vec<f64>,
     /// Reusable buffer of per-column squared x-distances to the current
-    /// constraint centre.
+    /// constraint centre. In a fused multi-beacon pass it holds one row of
+    /// squared x-distances per beacon, concatenated.
     #[serde(skip)]
     dx2: Vec<f64>,
-    /// Reusable per-row buffer of pre-scaled profile coordinates.
+    /// Reusable per-row buffer of pre-scaled profile coordinates (scalar
+    /// reference path only — the lane kernels fuse this stage away).
     #[serde(skip)]
     row_t: Vec<f64>,
+    /// f32 mirror of `dx2` for the half-precision kernel.
+    #[serde(skip)]
+    dx2f: Vec<f32>,
 }
 
 /// Sums with four independent accumulators so the reduction is not one
@@ -148,6 +155,7 @@ impl PositionGrid {
             scratch: Vec::with_capacity(n),
             dx2: Vec::with_capacity(nx),
             row_t: Vec::with_capacity(nx),
+            dx2f: Vec::new(),
         }
     }
 
@@ -204,22 +212,37 @@ impl PositionGrid {
     /// finite.
     pub fn apply_constraint(&mut self, constraint: impl Fn(Point) -> f64) -> ConstraintOutcome {
         let mut scratch = std::mem::take(&mut self.scratch);
-        scratch.clear();
-        scratch.reserve(self.cells.len());
+        Self::reset_scratch(&mut scratch, self.cells.len());
         let mut total = 0.0;
-        for iy in 0..self.ny {
+        for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
             let y = self.ys[iy];
             let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
-            for (ix, &cell) in row.iter().enumerate() {
-                let w = constraint(Point::new(self.xs[ix], y));
-                let v = cell * w;
-                scratch.push(v);
+            for ((dst, &cell), &x) in out.iter_mut().zip(row).zip(&self.xs) {
+                let v = cell * constraint(Point::new(x, y));
+                *dst = v;
                 total += v;
             }
         }
         let outcome = self.commit(&scratch, total);
         self.scratch = scratch;
         outcome
+    }
+
+    /// The one scratch-preparation idiom shared by every update path:
+    /// `clear` + `resize` (zero-fill), which the allocator-free hot paths
+    /// amortize to a `memset` after the first call.
+    fn reset_scratch(scratch: &mut Vec<f64>, n: usize) {
+        scratch.clear();
+        scratch.resize(n, 0.0);
+    }
+
+    /// Scratch preparation for the lane-kernel paths, which overwrite every
+    /// element (their row loops tile the buffer exactly): only the length
+    /// is established; no zero-fill pass is paid.
+    fn ensure_scratch(scratch: &mut Vec<f64>, n: usize) {
+        if scratch.len() != n {
+            Self::reset_scratch(scratch, n);
+        }
     }
 
     /// Multiplies a radial constraint — `profile.density(‖cell − center‖)`
@@ -239,39 +262,235 @@ impl PositionGrid {
         center: Point,
         profile: &RadialProfile,
     ) -> ConstraintOutcome {
+        self.apply_radial_constraint_with(center, profile, GridKernel::Simd, GridPrecision::F64)
+    }
+
+    /// [`apply_radial_constraint`](Self::apply_radial_constraint) with an
+    /// explicit kernel/precision selection.
+    ///
+    /// `Scalar` runs the reference two-stage loop; `Simd`+`F64` runs the
+    /// lane-packed kernel, bit-identical to `Scalar` (see
+    /// [`crate::kernel`]); `Simd`+`F32` runs the half-precision
+    /// lanes, within [`kernel::F32_KERNEL_REL_BOUND`] per cell. A `Scalar`
+    /// kernel ignores the precision knob — scalar is always the f64
+    /// reference.
+    pub fn apply_radial_constraint_with(
+        &mut self,
+        center: Point,
+        profile: &RadialProfile,
+        kern: GridKernel,
+        precision: GridPrecision,
+    ) -> ConstraintOutcome {
         let mut scratch = std::mem::take(&mut self.scratch);
-        let mut dx2 = std::mem::take(&mut self.dx2);
-        let mut row_t = std::mem::take(&mut self.row_t);
-        scratch.clear();
-        scratch.resize(self.cells.len(), 0.0);
+        let total = match (kern, precision) {
+            (GridKernel::Scalar, _) => {
+                Self::reset_scratch(&mut scratch, self.cells.len());
+                self.radial_rows_scalar(&mut scratch, center, profile);
+                sum_4lane(&scratch)
+            }
+            (GridKernel::Simd, GridPrecision::F64) => {
+                Self::ensure_scratch(&mut scratch, self.cells.len());
+                self.radial_rows_simd(&mut scratch, center, profile)
+            }
+            (GridKernel::Simd, GridPrecision::F32) => {
+                Self::ensure_scratch(&mut scratch, self.cells.len());
+                self.radial_rows_f32(&mut scratch, center, profile);
+                sum_4lane(&scratch)
+            }
+        };
+        let outcome = self.commit(&scratch, total);
+        self.scratch = scratch;
+        outcome
+    }
+
+    /// Fills `dx2` with per-column squared x-distances to `cx`.
+    fn fill_dx2(dx2: &mut Vec<f64>, xs: &[f64], cx: f64) {
         dx2.clear();
-        dx2.extend(self.xs.iter().map(|&x| {
-            let dx = x - center.x;
+        dx2.extend(xs.iter().map(|&x| {
+            let dx = x - cx;
             dx * dx
         }));
+    }
+
+    /// The reference scalar radial path (pre-kernel behaviour): a
+    /// vectorizable distance stage into `row_t`, then a gather-bound
+    /// interpolation stage. Per-profile invariants (`inv_step`) are hoisted
+    /// out of the row loop.
+    fn radial_rows_scalar(&mut self, scratch: &mut [f64], center: Point, profile: &RadialProfile) {
+        let mut dx2 = std::mem::take(&mut self.dx2);
+        let mut row_t = std::mem::take(&mut self.row_t);
+        Self::fill_dx2(&mut dx2, &self.xs, center.x);
         row_t.clear();
         row_t.resize(self.nx, 0.0);
         let inv_step = profile.inv_step();
-        for iy in 0..self.ny {
+        for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
             let dy = self.ys[iy] - center.y;
             let dy2 = dy * dy;
             let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
-            let out = &mut scratch[iy * self.nx..(iy + 1) * self.nx];
-            // Stage 1 — branch-free and auto-vectorizable: pre-scaled
-            // profile coordinates for the whole row.
             for (t, &dx2) in row_t.iter_mut().zip(&dx2) {
                 *t = (dx2 + dy2).sqrt() * inv_step;
             }
-            // Stage 2 — the (gather-bound) interpolation and product.
             for ((dst, &cell), &t) in out.iter_mut().zip(row).zip(&row_t) {
                 *dst = cell * profile.density_scaled(t);
+            }
+        }
+        self.dx2 = dx2;
+        self.row_t = row_t;
+    }
+
+    /// The lane-packed f64 path: the fully vectorized gather kernel row by
+    /// row, then the flat 4-lane total reduction. Returns the unnormalized
+    /// total. Bit-identical to
+    /// [`radial_rows_scalar`](Self::radial_rows_scalar) followed by the
+    /// same reduction (see [`kernel`] for the contract).
+    fn radial_rows_simd(
+        &mut self,
+        scratch: &mut [f64],
+        center: Point,
+        profile: &RadialProfile,
+    ) -> f64 {
+        let mut dx2 = std::mem::take(&mut self.dx2);
+        Self::fill_dx2(&mut dx2, &self.xs, center.x);
+        let inv_step = profile.inv_step();
+        let table = profile.lane_table();
+        for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
+            let dy = self.ys[iy] - center.y;
+            let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+            kernel::radial_product_row(out, row, &dx2, dy * dy, inv_step, table);
+        }
+        self.dx2 = dx2;
+        sum_4lane(scratch)
+    }
+
+    /// The half-precision path: distances and interpolation in f32 lanes,
+    /// widened back to f64 only for the posterior product.
+    fn radial_rows_f32(&mut self, scratch: &mut [f64], center: Point, profile: &RadialProfile) {
+        let mut dx2f = std::mem::take(&mut self.dx2f);
+        dx2f.clear();
+        dx2f.extend(self.xs.iter().map(|&x| {
+            let dx = (x - center.x) as f32;
+            dx * dx
+        }));
+        let inv_step = profile.inv_step_f32();
+        let table = profile.lane_table_f32();
+        for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
+            let dy = (self.ys[iy] - center.y) as f32;
+            let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+            kernel::radial_product_row_f32(out, row, &dx2f, dy * dy, inv_step, table);
+        }
+        self.dx2f = dx2f;
+    }
+
+    /// Multiplies a whole window's worth of radial constraints into the
+    /// posterior in **one** pass and renormalizes **once**.
+    ///
+    /// Where the sequential path loads and stores the posterior (and
+    /// renormalizes) once per beacon, the fused path seeds each scratch row
+    /// from the posterior with the first beacon's kernel and folds the
+    /// remaining beacons in place while the row is hot in cache. Because
+    /// renormalization is a scalar rescale, fusing k constraints and
+    /// renormalizing once is mathematically identical to k
+    /// multiply-renormalize rounds — only float rounding differs.
+    ///
+    /// Rejection is batch-level: if the *combined* product annihilates the
+    /// posterior the whole batch is rejected and the posterior left
+    /// untouched (with floored profiles this requires a non-finite value,
+    /// same as the sequential path in practice).
+    ///
+    /// An empty batch is a no-op `Applied`. The `F32` precision variant
+    /// uses the f32 kernel for every fold.
+    pub fn apply_fused_radial_constraints(
+        &mut self,
+        constraints: &[(Point, &RadialProfile)],
+        precision: GridPrecision,
+    ) -> ConstraintOutcome {
+        if constraints.is_empty() {
+            return ConstraintOutcome::Applied;
+        }
+        let mut scratch = std::mem::take(&mut self.scratch);
+        // The first beacon's kernel seeds every scratch row from the
+        // posterior, so no zero-fill is needed.
+        Self::ensure_scratch(&mut scratch, self.cells.len());
+        match precision {
+            GridPrecision::F64 => {
+                // One dx² row per beacon, concatenated into the dx2 buffer.
+                let mut dx2 = std::mem::take(&mut self.dx2);
+                dx2.clear();
+                for &(center, _) in constraints {
+                    for &x in &self.xs {
+                        let dx = x - center.x;
+                        dx2.push(dx * dx);
+                    }
+                }
+                for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
+                    let y = self.ys[iy];
+                    let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+                    for (b, &(center, profile)) in constraints.iter().enumerate() {
+                        let dy = y - center.y;
+                        let bdx2 = &dx2[b * self.nx..(b + 1) * self.nx];
+                        if b == 0 {
+                            kernel::radial_product_row(
+                                out,
+                                row,
+                                bdx2,
+                                dy * dy,
+                                profile.inv_step(),
+                                profile.lane_table(),
+                            );
+                        } else {
+                            kernel::radial_product_row_mul(
+                                out,
+                                bdx2,
+                                dy * dy,
+                                profile.inv_step(),
+                                profile.lane_table(),
+                            );
+                        }
+                    }
+                }
+                self.dx2 = dx2;
+            }
+            GridPrecision::F32 => {
+                let mut dx2f = std::mem::take(&mut self.dx2f);
+                dx2f.clear();
+                for &(center, _) in constraints {
+                    for &x in &self.xs {
+                        let dx = (x - center.x) as f32;
+                        dx2f.push(dx * dx);
+                    }
+                }
+                for (iy, out) in scratch.chunks_exact_mut(self.nx).enumerate() {
+                    let y = self.ys[iy];
+                    let row = &self.cells[iy * self.nx..(iy + 1) * self.nx];
+                    for (b, &(center, profile)) in constraints.iter().enumerate() {
+                        let dy = (y - center.y) as f32;
+                        let bdx2 = &dx2f[b * self.nx..(b + 1) * self.nx];
+                        if b == 0 {
+                            kernel::radial_product_row_f32(
+                                out,
+                                row,
+                                bdx2,
+                                dy * dy,
+                                profile.inv_step_f32(),
+                                profile.lane_table_f32(),
+                            );
+                        } else {
+                            kernel::radial_product_row_mul_f32(
+                                out,
+                                bdx2,
+                                dy * dy,
+                                profile.inv_step_f32(),
+                                profile.lane_table_f32(),
+                            );
+                        }
+                    }
+                }
+                self.dx2f = dx2f;
             }
         }
         let total = sum_4lane(&scratch);
         let outcome = self.commit(&scratch, total);
         self.scratch = scratch;
-        self.dx2 = dx2;
-        self.row_t = row_t;
         outcome
     }
 

@@ -18,19 +18,25 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod bayes;
 pub mod ekf;
 pub mod estimator;
 pub mod grid;
+pub mod kernel;
 pub mod multilateration;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
-    pub use crate::bayes::{BayesianLocalizer, ObservationResult, MIN_BEACONS_FOR_ESTIMATE};
+    pub use crate::adaptive::AdaptiveGrid;
+    pub use crate::bayes::{
+        BayesianLocalizer, GridStats, ObservationResult, MIN_BEACONS_FOR_ESTIMATE,
+    };
     pub use crate::ekf::{EkfConfig, EkfLocalizer, EkfUpdate};
     pub use crate::estimator::{
         EstimatorMode, RfAlgorithm, WindowOutcome, WindowStats, WindowedRfEstimator,
     };
     pub use crate::grid::{ConstraintOutcome, GridConfig, PositionGrid};
+    pub use crate::kernel::{GridKernel, GridPipeline, GridPrecision};
     pub use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
 }
