@@ -8,11 +8,21 @@
 //! Prints a markdown summary; `--csv PREFIX` additionally writes
 //! `PREFIX-errors.csv`, `PREFIX-energy.csv` and `PREFIX-snapshots.csv`
 //! for plotting.
+//!
+//! Failures exit with distinct codes (see the EXIT CODES section of
+//! `--help`) so scripts and CI can react to *why* a run died, not just
+//! that it died.
 
+use std::sync::mpsc;
+use std::time::Duration;
+
+use cocoa_core::executor::supervisor::{run_guarded, CaughtPanic};
 use cocoa_core::prelude::*;
 use cocoa_core::report;
+use cocoa_core::runner::SimRun;
 use cocoa_localization::estimator::RfAlgorithm;
 use cocoa_localization::kernel::{GridKernel, GridPrecision};
+use cocoa_sim::snapshot::SnapshotError;
 use cocoa_sim::time::{SimDuration, SimTime};
 
 use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
@@ -59,6 +69,8 @@ OPTIONS:
     --resume PATH       restore a --snapshot-out file and run it to the
                         horizon; scenario flags are ignored (the snapshot
                         carries its own scenario)
+    --deadline SECS     wall-clock limit for the simulation itself; a
+                        hung run exits 6 instead of blocking forever
     --csv PREFIX        write PREFIX-{errors,energy,mesh,snapshots,robustness,health}.csv
     --telemetry LEVEL   off | counters | timeline | full    [default: off]
     --trace-out PATH    write a JSONL trace (implies --telemetry full);
@@ -70,7 +82,28 @@ OPTIONS:
 With --telemetry at counters or above, --csv also writes
 PREFIX-counters.csv and PREFIX-spans.csv; at timeline or above,
 PREFIX-timeline.csv.
+
+EXIT CODES:
+    0   success
+    2   usage error (unknown flag, missing or unparsable value)
+    3   scenario validation failure (flags parsed, but the scenario
+        they describe is inconsistent)
+    4   runtime failure (simulation panic, unreadable input file,
+        unwritable output file)
+    5   snapshot corruption (--resume file failed CRC/schema checks)
+    6   wall-clock deadline exceeded (--deadline)
 ";
+
+/// Usage error (bad flags).
+const EXIT_USAGE: i32 = 2;
+/// The flags parsed but describe an invalid scenario.
+const EXIT_VALIDATION: i32 = 3;
+/// The run itself failed: panic, unreadable input, unwritable output.
+const EXIT_RUNTIME: i32 = 4;
+/// A snapshot failed its integrity checks.
+const EXIT_SNAPSHOT: i32 = 5;
+/// The wall-clock deadline fired.
+const EXIT_DEADLINE: i32 = 6;
 
 struct Args {
     scenario: Scenario,
@@ -81,9 +114,18 @@ struct Args {
     snapshot_at: Option<SimTime>,
     snapshot_out: String,
     resume: Option<String>,
+    deadline: Option<Duration>,
 }
 
-fn parse_args() -> Result<Args, String> {
+/// Why argument handling failed — bad flags exit differently from a
+/// well-formed command line describing an impossible scenario.
+enum ArgError {
+    Usage(String),
+    Validation(String),
+}
+
+fn parse_args() -> Result<Args, ArgError> {
+    use ArgError::Usage;
     let mut b = Scenario::builder();
     let mut csv_prefix = None;
     let mut snapshots: Vec<SimTime> = Vec::new();
@@ -94,70 +136,72 @@ fn parse_args() -> Result<Args, String> {
     let mut snapshot_at = None;
     let mut snapshot_out = String::from("cocoa-run.csnp");
     let mut resume = None;
+    let mut deadline = None;
     let mut it = std::env::args().skip(1);
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| -> Result<String, String> {
-            it.next().ok_or_else(|| format!("{name} needs a value"))
+        let mut value = |name: &str| -> Result<String, ArgError> {
+            it.next()
+                .ok_or_else(|| Usage(format!("{name} needs a value")))
         };
         match flag.as_str() {
             "--seed" => {
                 b.seed(
                     value("--seed")?
                         .parse()
-                        .map_err(|e| format!("--seed: {e}"))?,
+                        .map_err(|e| Usage(format!("--seed: {e}")))?,
                 );
             }
             "--robots" => {
                 b.robots(
                     value("--robots")?
                         .parse()
-                        .map_err(|e| format!("--robots: {e}"))?,
+                        .map_err(|e| Usage(format!("--robots: {e}")))?,
                 );
             }
             "--equipped" => {
                 b.equipped(
                     value("--equipped")?
                         .parse()
-                        .map_err(|e| format!("--equipped: {e}"))?,
+                        .map_err(|e| Usage(format!("--equipped: {e}")))?,
                 );
             }
             "--duration" => {
                 let s: u64 = value("--duration")?
                     .parse()
-                    .map_err(|e| format!("--duration: {e}"))?;
+                    .map_err(|e| Usage(format!("--duration: {e}")))?;
                 b.duration(SimDuration::from_secs(s));
             }
             "--period" => {
                 let s: u64 = value("--period")?
                     .parse()
-                    .map_err(|e| format!("--period: {e}"))?;
+                    .map_err(|e| Usage(format!("--period: {e}")))?;
                 b.beacon_period(SimDuration::from_secs(s));
             }
             "--window" => {
                 let s: u64 = value("--window")?
                     .parse()
-                    .map_err(|e| format!("--window: {e}"))?;
+                    .map_err(|e| Usage(format!("--window: {e}")))?;
                 b.transmit_window(SimDuration::from_secs(s));
             }
             "--beacons" => {
                 b.beacons_per_window(
                     value("--beacons")?
                         .parse()
-                        .map_err(|e| format!("--beacons: {e}"))?,
+                        .map_err(|e| Usage(format!("--beacons: {e}")))?,
                 );
             }
             "--vmax" => {
                 b.v_max(
                     value("--vmax")?
                         .parse()
-                        .map_err(|e| format!("--vmax: {e}"))?,
+                        .map_err(|e| Usage(format!("--vmax: {e}")))?,
                 );
             }
             "--vmin" => {
                 b.v_min(
                     value("--vmin")?
                         .parse()
-                        .map_err(|e| format!("--vmin: {e}"))?,
+                        .map_err(|e| Usage(format!("--vmin: {e}")))?,
                 );
             }
             "--static" => {
@@ -166,7 +210,7 @@ fn parse_args() -> Result<Args, String> {
             "--multicast" => {
                 let v = value("--multicast")?;
                 let protocol = MulticastProtocol::parse(&v)
-                    .ok_or_else(|| format!("unknown multicast protocol '{v}'"))?;
+                    .ok_or_else(|| Usage(format!("unknown multicast protocol '{v}'")))?;
                 b.multicast(protocol);
             }
             "--mode" => match value("--mode")?.as_str() {
@@ -179,7 +223,7 @@ fn parse_args() -> Result<Args, String> {
                 "odometry" => {
                     b.mode(EstimatorMode::OdometryOnly);
                 }
-                other => return Err(format!("unknown mode '{other}'")),
+                other => return Err(Usage(format!("unknown mode '{other}'"))),
             },
             "--algorithm" => match value("--algorithm")?.as_str() {
                 "bayes" => {
@@ -188,13 +232,13 @@ fn parse_args() -> Result<Args, String> {
                 "multilateration" => {
                     b.rf_algorithm(RfAlgorithm::Multilateration);
                 }
-                other => return Err(format!("unknown algorithm '{other}'")),
+                other => return Err(Usage(format!("unknown algorithm '{other}'"))),
             },
             "--grid" => {
                 b.grid_resolution(
                     value("--grid")?
                         .parse()
-                        .map_err(|e| format!("--grid: {e}"))?,
+                        .map_err(|e| Usage(format!("--grid: {e}")))?,
                 );
             }
             "--grid-kernel" => match value("--grid-kernel")?.as_str() {
@@ -204,7 +248,7 @@ fn parse_args() -> Result<Args, String> {
                 "scalar" => {
                     b.grid_kernel(GridKernel::Scalar);
                 }
-                v => return Err(format!("--grid-kernel: unknown kernel '{v}'")),
+                v => return Err(Usage(format!("--grid-kernel: unknown kernel '{v}'"))),
             },
             "--grid-precision" => match value("--grid-precision")?.as_str() {
                 "f64" => {
@@ -213,7 +257,7 @@ fn parse_args() -> Result<Args, String> {
                 "f32" => {
                     b.grid_precision(GridPrecision::F32);
                 }
-                v => return Err(format!("--grid-precision: unknown precision '{v}'")),
+                v => return Err(Usage(format!("--grid-precision: unknown precision '{v}'"))),
             },
             "--grid-fused" => {
                 b.grid_fused(true);
@@ -224,7 +268,7 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot" => {
                 let s: f64 = value("--snapshot")?
                     .parse()
-                    .map_err(|e| format!("--snapshot: {e}"))?;
+                    .map_err(|e| Usage(format!("--snapshot: {e}")))?;
                 snapshots.push(SimTime::from_secs_f64(s));
             }
             "--no-coordination" => {
@@ -240,27 +284,36 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot-at" => {
                 let s: f64 = value("--snapshot-at")?
                     .parse()
-                    .map_err(|e| format!("--snapshot-at: {e}"))?;
+                    .map_err(|e| Usage(format!("--snapshot-at: {e}")))?;
                 if !s.is_finite() || s < 0.0 {
-                    return Err("--snapshot-at must be non-negative".into());
+                    return Err(Usage("--snapshot-at must be non-negative".into()));
                 }
                 snapshot_at = Some(SimTime::from_secs_f64(s));
             }
             "--snapshot-out" => snapshot_out = value("--snapshot-out")?,
             "--resume" => resume = Some(value("--resume")?),
+            "--deadline" => {
+                let s: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| Usage(format!("--deadline: {e}")))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err(Usage("--deadline must be positive".into()));
+                }
+                deadline = Some(Duration::from_secs_f64(s));
+            }
             "--csv" => csv_prefix = Some(value("--csv")?),
             "--telemetry" => {
                 let v = value("--telemetry")?;
                 telemetry_level = TelemetryLevel::parse(&v)
-                    .ok_or_else(|| format!("unknown telemetry level '{v}'"))?;
+                    .ok_or_else(|| Usage(format!("unknown telemetry level '{v}'")))?;
             }
             "--trace-out" => trace_out = Some(value("--trace-out")?),
             "--sample-interval" => {
                 let s: f64 = value("--sample-interval")?
                     .parse()
-                    .map_err(|e| format!("--sample-interval: {e}"))?;
+                    .map_err(|e| Usage(format!("--sample-interval: {e}")))?;
                 if !s.is_finite() || s <= 0.0 {
-                    return Err("--sample-interval must be positive".into());
+                    return Err(Usage("--sample-interval must be positive".into()));
                 }
                 sample_interval = Some(SimDuration::from_secs_f64(s));
             }
@@ -268,25 +321,25 @@ fn parse_args() -> Result<Args, String> {
                 print!("{USAGE}");
                 std::process::exit(0);
             }
-            other => return Err(format!("unknown flag '{other}' (try --help)")),
+            other => return Err(Usage(format!("unknown flag '{other}' (try --help)"))),
         }
     }
     if !snapshots.is_empty() {
         b.snapshots(snapshots);
     }
-    let mut scenario = b.try_build()?;
+    let mut scenario = b.try_build().map_err(ArgError::Validation)?;
     if let Some(name) = faults_preset {
         // The preset needs the final duration/team size, so it is resolved
         // after every other flag has been applied.
         let plan =
             FaultPlan::preset(&name, scenario.duration, scenario.num_robots).ok_or_else(|| {
-                format!(
+                Usage(format!(
                     "unknown fault schedule '{name}' (available: {})",
                     cocoa_sim::faults::PRESET_NAMES.join(", ")
-                )
+                ))
             })?;
         scenario.faults = plan;
-        scenario.validate()?;
+        scenario.validate().map_err(ArgError::Validation)?;
     }
     if trace_out.is_some() {
         // A trace file is only useful with the complete event stream.
@@ -301,15 +354,29 @@ fn parse_args() -> Result<Args, String> {
         snapshot_at,
         snapshot_out,
         resume,
+        deadline,
     })
 }
 
+/// What the simulation job produces: the effective scenario, the run
+/// outputs, and the captured `--snapshot-at` bytes (written by the
+/// caller, outside the panic/deadline boundary).
+type JobOutput = Result<(Scenario, RunMetrics, Telemetry, Option<Vec<u8>>), SnapshotError>;
+
 fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
     let args = match parse_args() {
         Ok(a) => a,
-        Err(e) => {
+        Err(ArgError::Usage(e)) => {
             eprintln!("error: {e}\n\n{USAGE}");
-            std::process::exit(2);
+            return EXIT_USAGE;
+        }
+        Err(ArgError::Validation(e)) => {
+            eprintln!("error: invalid scenario: {e}");
+            return EXIT_VALIDATION;
         }
     };
     let start = std::time::Instant::now();
@@ -317,48 +384,95 @@ fn main() {
     if let Some(interval) = args.sample_interval {
         telemetry.set_sample_interval(interval);
     }
-    let (scenario, metrics, telemetry) = if let Some(path) = &args.resume {
-        // The snapshot carries the scenario and telemetry bus; CLI
-        // scenario/telemetry flags only describe *new* runs.
-        let bytes = match std::fs::read(path) {
-            Ok(b) => b,
+
+    // File reads happen before the supervised section so io failures are
+    // classified as runtime errors, not snapshot corruption.
+    let resume_input = match &args.resume {
+        Some(path) => match std::fs::read(path) {
+            Ok(bytes) => Some((path.clone(), bytes)),
             Err(e) => {
                 eprintln!("error: cannot read snapshot {path}: {e}");
-                std::process::exit(2);
+                return EXIT_RUNTIME;
             }
-        };
-        let run = match cocoa_core::runner::SimRun::resume_marked(&bytes) {
-            Ok(r) => r,
-            Err(e) => {
-                eprintln!("error: cannot restore snapshot {path}: {e}");
-                std::process::exit(2);
+        },
+        None => None,
+    };
+
+    // The simulation itself runs inside the hardened panic boundary —
+    // and, under --deadline, on a watchdog-guarded thread.
+    let resume_path = resume_input.as_ref().map(|(p, _)| p.clone());
+    let scenario_in = args.scenario.clone();
+    let snapshot_at = args.snapshot_at;
+    let job = move || -> JobOutput {
+        if let Some((path, bytes)) = resume_input {
+            // The snapshot carries the scenario and telemetry bus; CLI
+            // scenario/telemetry flags only describe *new* runs.
+            let run = SimRun::resume_marked(&bytes)?;
+            eprintln!("resumed {path} at t = {}", run.now());
+            let scenario = run.scenario().clone();
+            let (metrics, telemetry) = run.finish();
+            Ok((scenario, metrics, telemetry, None))
+        } else {
+            let mut run = SimRun::new(&scenario_in, telemetry);
+            let snapshot = snapshot_at.map(|at| {
+                run.run_until(at);
+                let bytes = run.capture();
+                eprintln!("captured {} bytes at t = {}", bytes.len(), run.now());
+                bytes
+            });
+            let (metrics, telemetry) = run.finish();
+            Ok((scenario_in, metrics, telemetry, snapshot))
+        }
+    };
+    let outcome: Result<JobOutput, CaughtPanic> = match args.deadline {
+        None => run_guarded(job),
+        Some(limit) => {
+            let (tx, rx) = mpsc::channel();
+            let spawned = std::thread::Builder::new()
+                .name("cocoa-run-job".into())
+                .spawn(move || {
+                    let _ = tx.send(run_guarded(job));
+                });
+            if let Err(e) = spawned {
+                eprintln!("error: cannot spawn the run thread: {e}");
+                return EXIT_RUNTIME;
             }
-        };
-        eprintln!("resumed {path} at t = {}", run.now());
-        let scenario = run.scenario().clone();
-        let (metrics, telemetry) = run.finish();
-        (scenario, metrics, telemetry)
-    } else {
-        let mut run = cocoa_core::runner::SimRun::new(&args.scenario, telemetry);
-        if let Some(at) = args.snapshot_at {
-            run.run_until(at);
-            let bytes = run.capture();
-            match std::fs::write(&args.snapshot_out, &bytes) {
-                Ok(()) => eprintln!(
-                    "wrote {} ({} bytes at t = {})",
-                    args.snapshot_out,
-                    bytes.len(),
-                    run.now()
-                ),
-                Err(e) => {
-                    eprintln!("error: cannot write {}: {e}", args.snapshot_out);
-                    std::process::exit(2);
+            match rx.recv_timeout(limit) {
+                Ok(out) => out,
+                Err(_) => {
+                    eprintln!(
+                        "error: run exceeded the {:.1} s wall-clock deadline",
+                        limit.as_secs_f64()
+                    );
+                    return EXIT_DEADLINE;
                 }
             }
         }
-        let (metrics, telemetry) = run.finish();
-        (args.scenario, metrics, telemetry)
     };
+    let (scenario, metrics, telemetry, snapshot_bytes) = match outcome {
+        Ok(Ok(v)) => v,
+        Ok(Err(e)) => {
+            let path = resume_path.as_deref().unwrap_or("<snapshot>");
+            eprintln!("error: cannot restore snapshot {path}: {e}");
+            return EXIT_SNAPSHOT;
+        }
+        Err(p) => {
+            eprintln!("error: run panicked: {}", p.payload);
+            if let Some(bt) = p.backtrace {
+                eprintln!("{bt}");
+            }
+            return EXIT_RUNTIME;
+        }
+    };
+    if let Some(bytes) = snapshot_bytes {
+        match std::fs::write(&args.snapshot_out, &bytes) {
+            Ok(()) => eprintln!("wrote {} ({} bytes)", args.snapshot_out, bytes.len()),
+            Err(e) => {
+                eprintln!("error: cannot write {}: {e}", args.snapshot_out);
+                return EXIT_RUNTIME;
+            }
+        }
+    }
     print!("{}", report::markdown_summary(&scenario, &metrics));
     eprintln!("\n(wall time {:.1} s)", start.elapsed().as_secs_f64());
     if let Some(path) = &args.trace_out {
@@ -397,4 +511,5 @@ fn main() {
             write("timeline", report::timeline_csv(&telemetry));
         }
     }
+    0
 }

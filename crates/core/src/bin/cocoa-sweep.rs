@@ -1,0 +1,331 @@
+//! `cocoa-sweep` — supervised beacon-period sweeps with auto-resume.
+//!
+//! Runs one scenario per `--periods` entry under the supervision layer:
+//! each point is panic-isolated, deadline-guarded and retried with
+//! deterministic backoff. With `--manifest`, progress is checkpointed so
+//! a killed sweep resumes where it stopped — completed points are
+//! skipped, in-flight points warm-resume from their last snapshot, and
+//! the resumed metrics are byte-identical to an uninterrupted run.
+//!
+//! ```sh
+//! cocoa-sweep --robots 20 --equipped 10 --duration 600 \
+//!     --periods 20,60,100 --manifest sweep.csnp --inflight 60
+//! ```
+//!
+//! The `--inject-*` flags exist for the chaos tests in CI: they provoke
+//! panics and hangs at chosen points so the supervisor's behaviour can
+//! be exercised end to end from the command line.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cocoa_core::executor::manifest::encode_metrics;
+use cocoa_core::prelude::*;
+use cocoa_core::report;
+use cocoa_sim::snapshot::crc32;
+use cocoa_sim::time::SimDuration;
+
+const USAGE: &str = "\
+cocoa-sweep — supervised beacon-period sweep with checkpoint/auto-resume
+
+USAGE:
+    cocoa-sweep [OPTIONS]
+
+OPTIONS:
+    --periods LIST      comma-separated beacon periods, seconds
+                                                     [default: 20,60,100]
+    --seed N            master seed                  [default: 42]
+    --robots N          team size                    [default: 50]
+    --equipped N        robots with devices          [default: 25]
+    --duration SECS     simulated seconds            [default: 1800]
+    --manifest PATH     checkpoint the sweep here and auto-resume from
+                        it on the next invocation
+    --inflight SECS     simulated seconds between in-flight checkpoints
+                        of each running point (requires --manifest to
+                        be useful)
+    --deadline SECS     wall-clock limit per job attempt
+    --attempts N        attempts per point before giving up [default: 3]
+    --backoff-ms MS     base retry backoff, milliseconds    [default: 0]
+    --report PREFIX     write PREFIX-failures.csv and PREFIX-sweep.md
+    --print-metrics     print a deterministic per-point digest (metrics
+                        codec CRC + mean error) for golden comparisons
+    --inject-panic I:K  chaos: point I panics on its first K attempts
+    --inject-hang I:S   chaos: point I sleeps S wall-clock seconds at
+                        the start of every attempt
+    -h, --help          print this help
+
+EXIT CODES:
+    0   every point completed
+    1   the sweep finished but at least one point failed terminally
+    2   usage error
+    5   the manifest file exists but is corrupt or unreadable
+";
+
+const EXIT_FAILURES: i32 = 1;
+const EXIT_USAGE: i32 = 2;
+const EXIT_MANIFEST: i32 = 5;
+
+struct Args {
+    periods: Vec<u64>,
+    seed: u64,
+    robots: usize,
+    equipped: usize,
+    duration: Option<u64>,
+    manifest: Option<PathBuf>,
+    inflight: Option<SimDuration>,
+    deadline: Option<Duration>,
+    attempts: u32,
+    backoff_ms: u64,
+    report_prefix: Option<String>,
+    print_metrics: bool,
+    inject_panic: Option<(usize, u32)>,
+    inject_hang: Option<(usize, f64)>,
+}
+
+/// Parses an `I:K` injection spec.
+fn parse_pair<K: std::str::FromStr>(flag: &str, spec: &str) -> Result<(usize, K), String>
+where
+    K::Err: std::fmt::Display,
+{
+    let (i, k) = spec
+        .split_once(':')
+        .ok_or_else(|| format!("{flag} expects POINT:VALUE, got '{spec}'"))?;
+    let i = i.parse().map_err(|e| format!("{flag} point: {e}"))?;
+    let k = k.parse().map_err(|e| format!("{flag} value: {e}"))?;
+    Ok((i, k))
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        periods: vec![20, 60, 100],
+        seed: 42,
+        robots: 50,
+        equipped: 25,
+        duration: None,
+        manifest: None,
+        inflight: None,
+        deadline: None,
+        attempts: 3,
+        backoff_ms: 0,
+        report_prefix: None,
+        print_metrics: false,
+        inject_panic: None,
+        inject_hang: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--periods" => {
+                let list = value("--periods")?;
+                args.periods = list
+                    .split(',')
+                    .map(|p| p.trim().parse().map_err(|e| format!("--periods: {e}")))
+                    .collect::<Result<_, _>>()?;
+                if args.periods.is_empty() {
+                    return Err("--periods needs at least one period".into());
+                }
+            }
+            "--seed" => {
+                args.seed = value("--seed")?
+                    .parse()
+                    .map_err(|e| format!("--seed: {e}"))?
+            }
+            "--robots" => {
+                args.robots = value("--robots")?
+                    .parse()
+                    .map_err(|e| format!("--robots: {e}"))?;
+            }
+            "--equipped" => {
+                args.equipped = value("--equipped")?
+                    .parse()
+                    .map_err(|e| format!("--equipped: {e}"))?;
+            }
+            "--duration" => {
+                args.duration = Some(
+                    value("--duration")?
+                        .parse()
+                        .map_err(|e| format!("--duration: {e}"))?,
+                );
+            }
+            "--manifest" => args.manifest = Some(PathBuf::from(value("--manifest")?)),
+            "--inflight" => {
+                let s: u64 = value("--inflight")?
+                    .parse()
+                    .map_err(|e| format!("--inflight: {e}"))?;
+                args.inflight = Some(SimDuration::from_secs(s));
+            }
+            "--deadline" => {
+                let s: f64 = value("--deadline")?
+                    .parse()
+                    .map_err(|e| format!("--deadline: {e}"))?;
+                if !s.is_finite() || s <= 0.0 {
+                    return Err("--deadline must be positive".into());
+                }
+                args.deadline = Some(Duration::from_secs_f64(s));
+            }
+            "--attempts" => {
+                args.attempts = value("--attempts")?
+                    .parse()
+                    .map_err(|e| format!("--attempts: {e}"))?;
+            }
+            "--backoff-ms" => {
+                args.backoff_ms = value("--backoff-ms")?
+                    .parse()
+                    .map_err(|e| format!("--backoff-ms: {e}"))?;
+            }
+            "--report" => args.report_prefix = Some(value("--report")?),
+            "--print-metrics" => args.print_metrics = true,
+            "--inject-panic" => {
+                args.inject_panic = Some(parse_pair("--inject-panic", &value("--inject-panic")?)?);
+            }
+            "--inject-hang" => {
+                args.inject_hang = Some(parse_pair("--inject-hang", &value("--inject-hang")?)?);
+            }
+            "-h" | "--help" => {
+                print!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown flag '{other}' (try --help)")),
+        }
+    }
+    Ok(args)
+}
+
+/// Builds the chaos hook from the `--inject-*` flags, if any.
+fn build_hook(args: &Args) -> Option<cocoa_core::executor::sweep::AttemptHook> {
+    if args.inject_panic.is_none() && args.inject_hang.is_none() {
+        return None;
+    }
+    let panic_spec = args.inject_panic;
+    let hang_spec = args.inject_hang;
+    let panics_left = Arc::new(AtomicU32::new(panic_spec.map_or(0, |(_, k)| k)));
+    Some(Arc::new(move |index: usize| {
+        if let Some((target, secs)) = hang_spec {
+            if index == target {
+                std::thread::sleep(Duration::from_secs_f64(secs));
+            }
+        }
+        if let Some((target, _)) = panic_spec {
+            if index == target
+                && panics_left
+                    .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| n.checked_sub(1))
+                    .is_ok()
+            {
+                panic!("injected panic at sweep point {index}");
+            }
+        }
+    }))
+}
+
+fn main() {
+    std::process::exit(real_main());
+}
+
+fn real_main() -> i32 {
+    let args = match parse_args() {
+        Ok(a) => a,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return EXIT_USAGE;
+        }
+    };
+
+    let scenarios: Vec<Scenario> = {
+        let mut out = Vec::with_capacity(args.periods.len());
+        for period in &args.periods {
+            let mut b = Scenario::builder();
+            b.seed(args.seed)
+                .robots(args.robots)
+                .equipped(args.equipped)
+                .beacon_period(SimDuration::from_secs(*period));
+            if let Some(secs) = args.duration {
+                b.duration(SimDuration::from_secs(secs));
+            }
+            match b.try_build() {
+                Ok(s) => out.push(s),
+                Err(e) => {
+                    eprintln!("error: invalid scenario for period {period}: {e}");
+                    return EXIT_USAGE;
+                }
+            }
+        }
+        out
+    };
+
+    let cfg = SweepConfig {
+        supervisor: SupervisorConfig {
+            max_attempts: args.attempts,
+            deadline: args.deadline,
+            backoff_base: Duration::from_millis(args.backoff_ms),
+            ..SupervisorConfig::default()
+        },
+        manifest_path: args.manifest.clone(),
+        inflight_interval: args.inflight,
+        attempt_hook: build_hook(&args),
+    };
+
+    let sweep = match run_supervised(scenarios, &cfg) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("error: sweep manifest: {e}");
+            return EXIT_MANIFEST;
+        }
+    };
+
+    if args.print_metrics {
+        for (i, (period, outcome)) in args.periods.iter().zip(&sweep.outcomes).enumerate() {
+            match &outcome.result {
+                Ok(metrics) => {
+                    let bytes = encode_metrics(metrics);
+                    println!(
+                        "point {i} period {period}: crc {:08x} mean_error {:?}",
+                        crc32(&bytes),
+                        metrics.mean_error_over_time()
+                    );
+                }
+                Err(failure) => {
+                    println!("point {i} period {period}: FAILED {}", failure.kind());
+                }
+            }
+        }
+    }
+
+    eprintln!(
+        "sweep: {} points, {} completed, {} failed \
+         (retries {}, timeouts {}, panics {}, checkpoints {}, skipped-on-resume {})",
+        sweep.outcomes.len(),
+        sweep.completed(),
+        sweep.failed(),
+        sweep.counters.retries,
+        sweep.counters.timeouts,
+        sweep.counters.panics_caught,
+        sweep.counters.checkpoints_written,
+        sweep.counters.points_skipped_on_resume,
+    );
+    for (index, failure) in sweep.failures() {
+        eprintln!("point {index}: {failure}");
+    }
+
+    if let Some(prefix) = &args.report_prefix {
+        let write = |path: String, body: String| match std::fs::write(&path, body) {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => eprintln!("failed to write {path}: {e}"),
+        };
+        write(
+            format!("{prefix}-failures.csv"),
+            report::sweep_failures_csv(&sweep),
+        );
+        write(format!("{prefix}-sweep.md"), report::sweep_markdown(&sweep));
+    }
+
+    if sweep.is_clean() {
+        0
+    } else {
+        EXIT_FAILURES
+    }
+}

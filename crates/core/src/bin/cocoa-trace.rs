@@ -8,9 +8,13 @@
 //!
 //! Every command first parses and validates the whole file (schema
 //! version, known event kinds, monotone sequence numbers), so a zero exit
-//! status doubles as a trace-integrity check for CI.
+//! status doubles as a trace-integrity check for CI. One damage shape is
+//! tolerated with a warning instead of a hard error: a torn final line,
+//! the signature of a run killed mid-write — the valid prefix is used,
+//! which is exactly what `bisect` needs to analyze traces from crashed
+//! or interrupted runs.
 
-use cocoa_core::tracefile::{TraceFile, TraceSpan};
+use cocoa_core::tracefile::{TraceError, TraceFile, TraceSpan};
 use cocoa_sim::snapshot::Snapshot;
 
 const USAGE: &str = "\
@@ -60,8 +64,7 @@ fn run(args: &[String]) -> Result<(), String> {
     let [file, command, rest @ ..] = args else {
         return Err("expected <FILE> <COMMAND>".into());
     };
-    let text = std::fs::read_to_string(file).map_err(|e| format!("reading {file}: {e}"))?;
-    let trace = TraceFile::parse(&text).map_err(|e| format!("{file}: {e}"))?;
+    let trace = load_trace(file)?;
     match command.as_str() {
         "summary" => summary(&trace),
         "counters" => counters(&trace),
@@ -84,6 +87,28 @@ fn run(args: &[String]) -> Result<(), String> {
         other => return Err(format!("unknown command '{other}'")),
     }
     Ok(())
+}
+
+/// Reads and parses one trace file, tolerating a torn final line (the
+/// signature of a killed run) with a stderr warning.
+fn load_trace(path: &str) -> Result<TraceFile, String> {
+    let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+    match TraceFile::parse_partial(&text) {
+        Ok(trace) => Ok(trace),
+        Err(TraceError::TruncatedTail {
+            prefix,
+            line,
+            detail,
+        }) => {
+            eprintln!(
+                "warning: {path}: line {line} is torn ({detail}); \
+                 continuing with the {}-event valid prefix",
+                prefix.events.len()
+            );
+            Ok(*prefix)
+        }
+        Err(e) => Err(format!("{path}: {e}")),
+    }
 }
 
 /// Looks up `--flag VALUE` in `rest` and parses the value.
@@ -265,12 +290,8 @@ fn two_files(
 /// surrounding context, and any end-of-run counter deltas; exits 1 when
 /// a divergence is found so CI can assert determinism.
 fn bisect(path_a: &str, path_b: &str) -> Result<(), String> {
-    let read = |p: &str| -> Result<TraceFile, String> {
-        let text = std::fs::read_to_string(p).map_err(|e| format!("reading {p}: {e}"))?;
-        TraceFile::parse(&text).map_err(|e| format!("{p}: {e}"))
-    };
-    let a = read(path_a)?;
-    let b = read(path_b)?;
+    let a = load_trace(path_a)?;
+    let b = load_trace(path_b)?;
     if a.meta.level != b.meta.level {
         eprintln!(
             "warning: telemetry levels differ ({} vs {}) — event streams are \

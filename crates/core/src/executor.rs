@@ -11,9 +11,27 @@
 //! shared atomic counter: no job queue to build, no channel, no
 //! oversubscription, and results come back in input order regardless of
 //! which worker finished which job.
+//!
+//! Three entry points with increasing resilience:
+//!
+//! - [`map_bounded`] — fail-fast: the first panic propagates after the
+//!   sweep drains (all results are discarded). Right for interactive
+//!   figure regeneration where a panic means "fix the code".
+//! - [`try_map_bounded`] — panic-isolated: every job runs to completion
+//!   and each result slot is `Ok(value)` or the caught panic. Surviving
+//!   workers finish their queues.
+//! - [`supervisor::Supervisor`] — full supervision: deadlines, retries
+//!   with deterministic backoff, typed failure classification, and (via
+//!   [`sweep`]) checkpointed auto-resume of interrupted sweeps.
+
+pub mod manifest;
+pub mod supervisor;
+pub mod sweep;
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+use supervisor::{run_guarded, CaughtPanic};
 
 /// Upper bound on worker threads, from the OS (1 if unknown).
 pub fn max_workers() -> usize {
@@ -31,9 +49,45 @@ pub fn max_workers() -> usize {
 ///
 /// # Panics
 ///
-/// Panics if any invocation of `f` panics (the panic is propagated, not
-/// swallowed).
+/// Panics if any invocation of `f` panics. Unlike the previous
+/// join-and-abort behavior, every job still runs to completion first —
+/// only then is the lowest-index panic re-raised (with its original
+/// payload) and the completed results discarded. Callers that want those
+/// results use [`try_map_bounded`].
 pub fn map_bounded<T, R, F>(items: Vec<T>, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let mut first_panic: Option<CaughtPanic> = None;
+    let mut out = Vec::with_capacity(items.len());
+    for result in try_map_bounded(items, f) {
+        match result {
+            Ok(r) => out.push(r),
+            Err(p) => {
+                if first_panic.is_none() {
+                    first_panic = Some(p);
+                }
+            }
+        }
+    }
+    if let Some(p) = first_panic {
+        p.resume();
+    }
+    out
+}
+
+/// Panic-isolated variant of [`map_bounded`]: applies `f` to every item
+/// and returns, in input order, `Ok(result)` per completed job and
+/// `Err(caught panic)` per panicked one.
+///
+/// One panicking job no longer poisons the sweep — surviving workers
+/// keep pulling indices until the queue drains, so a 100-point sweep
+/// with one crash still yields 99 results. Each caught panic carries the
+/// stringified payload and a backtrace captured at the panic site (see
+/// [`supervisor::run_guarded`]).
+pub fn try_map_bounded<T, R, F>(items: Vec<T>, f: F) -> Vec<Result<R, CaughtPanic>>
 where
     T: Sync,
     R: Send,
@@ -45,26 +99,22 @@ where
     }
     let workers = max_workers().min(n);
     if workers <= 1 {
-        return items.iter().map(f).collect();
+        return items.iter().map(|item| run_guarded(|| f(item))).collect();
     }
 
     let next = AtomicUsize::new(0);
-    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let slots: Vec<Mutex<Option<Result<R, CaughtPanic>>>> =
+        (0..n).map(|_| Mutex::new(None)).collect();
     std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..workers)
-            .map(|_| {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= n {
-                        break;
-                    }
-                    let r = f(&items[i]);
-                    *slots[i].lock().expect("result slot poisoned") = Some(r);
-                })
-            })
-            .collect();
-        for h in handles {
-            h.join().expect("sweep worker panicked");
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = run_guarded(|| f(&items[i]));
+                *slots[i].lock().expect("result slot poisoned") = Some(r);
+            });
         }
     });
     slots
@@ -130,15 +180,38 @@ mod tests {
         assert_eq!(out, items);
     }
 
-    // No expected message: on a single-core host the job runs inline and
-    // the original panic surfaces instead of the join wrapper's.
     #[test]
-    #[should_panic]
+    #[should_panic(expected = "boom")]
     fn worker_panics_propagate() {
         let items: Vec<usize> = (0..8).collect();
         map_bounded(items, |&i| {
             assert!(i != 5, "boom");
             i
         });
+    }
+
+    #[test]
+    fn isolated_map_returns_surviving_results() {
+        let items: Vec<usize> = (0..32).collect();
+        let out = try_map_bounded(items, |&i| {
+            assert!(i % 10 != 7, "boom at {i}");
+            i * 3
+        });
+        assert_eq!(out.len(), 32);
+        for (i, r) in out.iter().enumerate() {
+            if i % 10 == 7 {
+                let p = r.as_ref().expect_err("index {i} should have panicked");
+                assert!(p.payload.contains(&format!("boom at {i}")));
+            } else {
+                assert_eq!(*r.as_ref().expect("surviving job"), i * 3);
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_map_single_item_panics_inline() {
+        let out = try_map_bounded(vec![1u32], |_| -> u32 { panic!("inline boom") });
+        assert_eq!(out.len(), 1);
+        assert!(out[0].as_ref().unwrap_err().payload.contains("inline boom"));
     }
 }

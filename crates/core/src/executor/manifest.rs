@@ -1,0 +1,592 @@
+//! The sweep manifest: a versioned, CRC-guarded progress ledger that
+//! makes long sweeps resumable.
+//!
+//! A supervised sweep periodically persists one manifest file through
+//! the snapshot container codec (`CSNP` magic, per-section CRC-32).
+//! The manifest records, per sweep point:
+//!
+//! - a **fingerprint** of the scenario (so a manifest is never replayed
+//!   against a different sweep),
+//! - its **state**: still pending, in flight (carrying the latest
+//!   [`SimRun::capture`](crate::runner::SimRun::capture) snapshot so a
+//!   restart warm-forks mid-run instead of starting cold), or
+//!   completed (carrying the full [`RunMetrics`], byte-exact).
+//!
+//! Writes are atomic (temp file + rename), so a `SIGKILL` mid-write
+//! leaves the previous good manifest on disk rather than a torn one.
+
+use std::fmt;
+use std::path::Path;
+
+use cocoa_multicast::mesh::MeshStats;
+use cocoa_net::energy::EnergyLedger;
+use cocoa_net::geometry::Point;
+use cocoa_sim::jsonfmt::ObjectWriter;
+use cocoa_sim::snapshot::{
+    put_bytes, put_f64, put_u64, put_u8, put_usize, Snapshot, SnapshotError, SnapshotReader,
+    SnapshotWriter,
+};
+use cocoa_sim::time::SimTime;
+
+use crate::health::HealthLedger;
+use crate::metrics::{
+    EnergyReport, ErrorPoint, ErrorSnapshot, RobotFinalState, RobustnessStats, RunMetrics,
+    TrafficStats,
+};
+
+/// The `kind` tag stamped into every manifest's meta line.
+pub const MANIFEST_KIND: &str = "cocoa-sweep-manifest";
+
+/// Guard against absurd element counts from corrupt length prefixes.
+const CAP_GUARD: usize = 1 << 20;
+
+/// Why a manifest could not be loaded or stored.
+#[derive(Debug)]
+pub enum ManifestError {
+    /// The file could not be read or written.
+    Io(std::io::Error),
+    /// The bytes are not a valid manifest (truncation, CRC mismatch,
+    /// schema drift…).
+    Corrupt(SnapshotError),
+    /// The file is a valid snapshot container but not a sweep manifest.
+    WrongKind(String),
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ManifestError::Io(e) => write!(f, "manifest io error: {e}"),
+            ManifestError::Corrupt(e) => write!(f, "corrupt manifest: {e}"),
+            ManifestError::WrongKind(meta) => {
+                write!(f, "not a sweep manifest (meta: {meta})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl From<SnapshotError> for ManifestError {
+    fn from(e: SnapshotError) -> Self {
+        ManifestError::Corrupt(e)
+    }
+}
+
+impl From<std::io::Error> for ManifestError {
+    fn from(e: std::io::Error) -> Self {
+        ManifestError::Io(e)
+    }
+}
+
+/// Where one sweep point stands.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PointState {
+    /// Not started (or restarted after a terminal failure).
+    Pending,
+    /// Mid-run: the latest engine snapshot, resumable via
+    /// [`SimRun::resume`](crate::runner::SimRun::resume).
+    InFlight(Vec<u8>),
+    /// Finished: the point's metrics, byte-exact.
+    Completed(Box<RunMetrics>),
+}
+
+impl PointState {
+    /// Short tag for logs and reports.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            PointState::Pending => "pending",
+            PointState::InFlight(_) => "in-flight",
+            PointState::Completed(_) => "completed",
+        }
+    }
+}
+
+/// Progress ledger for one sweep: per-point fingerprints and states.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepManifest {
+    /// Scenario fingerprints, one per sweep point, in sweep order.
+    pub fingerprints: Vec<u64>,
+    /// Per-point progress, parallel to `fingerprints`.
+    pub states: Vec<PointState>,
+}
+
+impl SweepManifest {
+    /// A fresh manifest with every point pending.
+    pub fn new(fingerprints: Vec<u64>) -> Self {
+        let states = fingerprints.iter().map(|_| PointState::Pending).collect();
+        SweepManifest {
+            fingerprints,
+            states,
+        }
+    }
+
+    /// Whether this manifest describes exactly the given sweep.
+    pub fn matches(&self, fingerprints: &[u64]) -> bool {
+        self.fingerprints == fingerprints
+    }
+
+    /// Number of points already completed.
+    pub fn completed_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, PointState::Completed(_)))
+            .count()
+    }
+
+    /// Serializes the manifest through the snapshot container codec.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut meta = ObjectWriter::new();
+        meta.str_field("kind", MANIFEST_KIND)
+            .u64_field("points", self.fingerprints.len() as u64);
+        let meta = meta.finish();
+        let mut body = Vec::new();
+        put_usize(&mut body, self.fingerprints.len());
+        for (fp, state) in self.fingerprints.iter().zip(&self.states) {
+            put_u64(&mut body, *fp);
+            match state {
+                PointState::Pending => put_u8(&mut body, 0),
+                PointState::InFlight(snap) => {
+                    put_u8(&mut body, 1);
+                    put_bytes(&mut body, snap);
+                }
+                PointState::Completed(metrics) => {
+                    put_u8(&mut body, 2);
+                    put_bytes(&mut body, &encode_metrics(metrics));
+                }
+            }
+        }
+        let mut w = SnapshotWriter::new(meta);
+        w.push_section("sweep", body);
+        w.finish()
+    }
+
+    /// Decodes a manifest, verifying the container CRC and the meta
+    /// `kind` tag.
+    pub fn decode(bytes: &[u8]) -> Result<SweepManifest, ManifestError> {
+        let snap = Snapshot::parse(bytes)?;
+        let wanted = format!("\"kind\":\"{MANIFEST_KIND}\"");
+        if !snap.meta().contains(&wanted) {
+            return Err(ManifestError::WrongKind(snap.meta().to_string()));
+        }
+        let mut r = snap.section("sweep")?;
+        let n = r.usize_()?;
+        if n > CAP_GUARD {
+            return Err(SnapshotError::Malformed {
+                context: format!("manifest declares {n} points"),
+            }
+            .into());
+        }
+        let mut fingerprints = Vec::with_capacity(n);
+        let mut states = Vec::with_capacity(n);
+        for i in 0..n {
+            fingerprints.push(r.u64()?);
+            let tag = r.u8()?;
+            states.push(match tag {
+                0 => PointState::Pending,
+                1 => PointState::InFlight(r.bytes()?.to_vec()),
+                2 => {
+                    let payload = r.bytes()?;
+                    PointState::Completed(Box::new(decode_metrics(payload)?))
+                }
+                other => {
+                    return Err(SnapshotError::Malformed {
+                        context: format!("point {i}: unknown state tag {other}"),
+                    }
+                    .into())
+                }
+            });
+        }
+        r.finish()?;
+        Ok(SweepManifest {
+            fingerprints,
+            states,
+        })
+    }
+
+    /// Atomically persists the manifest: the bytes land in a sibling
+    /// temp file first and replace `path` via rename, so a crash
+    /// mid-write cannot corrupt the previous good manifest.
+    pub fn store(&self, path: &Path) -> Result<(), ManifestError> {
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.encode())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Loads a manifest from disk. A missing file is `Ok(None)` (a
+    /// fresh sweep); anything unreadable or undecodable is an error.
+    pub fn load(path: &Path) -> Result<Option<SweepManifest>, ManifestError> {
+        let bytes = match std::fs::read(path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(ManifestError::Io(e)),
+        };
+        Ok(Some(SweepManifest::decode(&bytes)?))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunMetrics wire codec.
+//
+// serde in this tree is a vendored stub (no real serialization), so the
+// manifest carries metrics through the same hand-rolled little-endian
+// style as the engine snapshot codec. f64 fields travel as raw bit
+// patterns — byte-exact round-trips are the whole point.
+
+fn put_vec<T>(buf: &mut Vec<u8>, items: &[T], mut put: impl FnMut(&mut Vec<u8>, &T)) {
+    put_usize(buf, items.len());
+    for item in items {
+        put(buf, item);
+    }
+}
+
+fn read_vec<T>(
+    r: &mut SnapshotReader<'_>,
+    what: &str,
+    mut read: impl FnMut(&mut SnapshotReader<'_>) -> Result<T, SnapshotError>,
+) -> Result<Vec<T>, SnapshotError> {
+    let n = r.usize_()?;
+    if n > CAP_GUARD {
+        return Err(SnapshotError::Malformed {
+            context: format!("{what}: impossible length {n}"),
+        });
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(read(r)?);
+    }
+    Ok(out)
+}
+
+fn put_time(buf: &mut Vec<u8>, t: SimTime) {
+    put_u64(buf, t.as_micros());
+}
+
+fn read_time(r: &mut SnapshotReader<'_>) -> Result<SimTime, SnapshotError> {
+    Ok(SimTime::from_micros(r.u64()?))
+}
+
+fn put_point(buf: &mut Vec<u8>, p: &Point) {
+    put_f64(buf, p.x);
+    put_f64(buf, p.y);
+}
+
+fn read_point(r: &mut SnapshotReader<'_>) -> Result<Point, SnapshotError> {
+    Ok(Point {
+        x: r.f64()?,
+        y: r.f64()?,
+    })
+}
+
+fn put_final_state(buf: &mut Vec<u8>, s: &RobotFinalState) {
+    put_point(buf, &s.true_position);
+    put_point(buf, &s.estimate);
+    cocoa_sim::snapshot::put_bool(buf, s.equipped);
+}
+
+fn read_final_state(r: &mut SnapshotReader<'_>) -> Result<RobotFinalState, SnapshotError> {
+    Ok(RobotFinalState {
+        true_position: read_point(r)?,
+        estimate: read_point(r)?,
+        equipped: r.bool()?,
+    })
+}
+
+/// Serializes metrics to the manifest wire form (f64s as raw bits, so
+/// decode → encode is the identity on bytes).
+pub fn encode_metrics(m: &RunMetrics) -> Vec<u8> {
+    let mut b = Vec::new();
+    put_vec(&mut b, &m.error_series, |b, p| {
+        put_f64(b, p.t_s);
+        put_f64(b, p.mean_error_m);
+        put_usize(b, p.robots);
+    });
+    put_vec(&mut b, &m.snapshots, |b, s| {
+        put_time(b, s.time);
+        put_vec(b, &s.errors_m, |b, &e| put_f64(b, e));
+    });
+    put_vec(&mut b, &m.energy.per_robot, |b, l| {
+        put_f64(b, l.tx_uj);
+        put_f64(b, l.rx_uj);
+        put_f64(b, l.idle_uj);
+        put_f64(b, l.sleep_uj);
+        put_f64(b, l.wake_uj);
+    });
+    for v in [
+        m.mesh.queries_originated,
+        m.mesh.queries_rebroadcast,
+        m.mesh.queries_suppressed,
+        m.mesh.replies_sent,
+        m.mesh.fg_activations,
+        m.mesh.data_originated,
+        m.mesh.data_forwarded,
+        m.mesh.data_delivered,
+        m.mesh.data_duplicates,
+        m.mesh.data_undecodable,
+    ] {
+        put_u64(&mut b, v);
+    }
+    for v in [
+        m.traffic.beacons_sent,
+        m.traffic.beacons_received,
+        m.traffic.collisions,
+        m.traffic.syncs_delivered,
+        m.traffic.syncs_missed,
+        m.traffic.fixes,
+        m.traffic.starved_windows,
+    ] {
+        put_u64(&mut b, v);
+    }
+    put_vec(&mut b, &m.final_states, put_final_state);
+    put_vec(&mut b, &m.position_snapshots, |b, (t, states)| {
+        put_time(b, *t);
+        put_vec(b, states, put_final_state);
+    });
+    for v in [
+        m.robustness.crashes,
+        m.robustness.reboots,
+        m.robustness.failovers,
+        m.robustness.burst_losses,
+        m.robustness.corrupt_frames_dropped,
+        m.robustness.garbled_frames_delivered,
+        m.robustness.outlier_beacons_rejected,
+        m.robustness.flat_posteriors,
+        m.robustness.stale_syncs_ignored,
+        m.robustness.malformed_sync_bodies,
+    ] {
+        put_u64(&mut b, v);
+    }
+    put_vec(&mut b, &m.health, |b, h| {
+        put_f64(b, h.healthy_s);
+        put_f64(b, h.degraded_s);
+        put_f64(b, h.dead_reckoning_s);
+        put_f64(b, h.down_s);
+    });
+    put_u64(&mut b, m.events_processed);
+    b
+}
+
+/// Deserializes metrics from the manifest wire form.
+pub fn decode_metrics(bytes: &[u8]) -> Result<RunMetrics, SnapshotError> {
+    let mut r = SnapshotReader::new(bytes, "run metrics");
+    let error_series = read_vec(&mut r, "error series", |r| {
+        Ok(ErrorPoint {
+            t_s: r.f64()?,
+            mean_error_m: r.f64()?,
+            robots: r.usize_()?,
+        })
+    })?;
+    let snapshots = read_vec(&mut r, "error snapshots", |r| {
+        let time = read_time(r)?;
+        // Construct directly: the stored order is already sorted and
+        // `ErrorSnapshot::new` would re-sort (and so could perturb a
+        // byte-exact round-trip if NaNs are ever present).
+        let errors_m = read_vec(r, "snapshot errors", |r| r.f64())?;
+        Ok(ErrorSnapshot { time, errors_m })
+    })?;
+    let per_robot = read_vec(&mut r, "energy ledgers", |r| {
+        let mut l = EnergyLedger::new();
+        l.tx_uj = r.f64()?;
+        l.rx_uj = r.f64()?;
+        l.idle_uj = r.f64()?;
+        l.sleep_uj = r.f64()?;
+        l.wake_uj = r.f64()?;
+        Ok(l)
+    })?;
+    let mesh = MeshStats {
+        queries_originated: r.u64()?,
+        queries_rebroadcast: r.u64()?,
+        queries_suppressed: r.u64()?,
+        replies_sent: r.u64()?,
+        fg_activations: r.u64()?,
+        data_originated: r.u64()?,
+        data_forwarded: r.u64()?,
+        data_delivered: r.u64()?,
+        data_duplicates: r.u64()?,
+        data_undecodable: r.u64()?,
+    };
+    let traffic = TrafficStats {
+        beacons_sent: r.u64()?,
+        beacons_received: r.u64()?,
+        collisions: r.u64()?,
+        syncs_delivered: r.u64()?,
+        syncs_missed: r.u64()?,
+        fixes: r.u64()?,
+        starved_windows: r.u64()?,
+    };
+    let final_states = read_vec(&mut r, "final states", read_final_state)?;
+    let position_snapshots = read_vec(&mut r, "position snapshots", |r| {
+        let t = read_time(r)?;
+        let states = read_vec(r, "snapshot states", read_final_state)?;
+        Ok((t, states))
+    })?;
+    let robustness = RobustnessStats {
+        crashes: r.u64()?,
+        reboots: r.u64()?,
+        failovers: r.u64()?,
+        burst_losses: r.u64()?,
+        corrupt_frames_dropped: r.u64()?,
+        garbled_frames_delivered: r.u64()?,
+        outlier_beacons_rejected: r.u64()?,
+        flat_posteriors: r.u64()?,
+        stale_syncs_ignored: r.u64()?,
+        malformed_sync_bodies: r.u64()?,
+    };
+    let health = read_vec(&mut r, "health ledgers", |r| {
+        Ok(HealthLedger {
+            healthy_s: r.f64()?,
+            degraded_s: r.f64()?,
+            dead_reckoning_s: r.f64()?,
+            down_s: r.f64()?,
+        })
+    })?;
+    let events_processed = r.u64()?;
+    r.finish()?;
+    Ok(RunMetrics {
+        error_series,
+        snapshots,
+        energy: EnergyReport { per_robot },
+        mesh,
+        traffic,
+        final_states,
+        position_snapshots,
+        robustness,
+        health,
+        events_processed,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_metrics(salt: u64) -> RunMetrics {
+        let f = salt as f64;
+        RunMetrics {
+            error_series: vec![
+                ErrorPoint {
+                    t_s: 1.0 + f,
+                    mean_error_m: 2.5 * (f + 1.0),
+                    robots: 7,
+                },
+                ErrorPoint {
+                    t_s: 2.0 + f,
+                    mean_error_m: 1.25,
+                    robots: 8,
+                },
+            ],
+            snapshots: vec![ErrorSnapshot {
+                time: SimTime::from_secs(804 + salt),
+                errors_m: vec![0.5, 1.5, f + 2.0],
+            }],
+            energy: EnergyReport {
+                per_robot: vec![EnergyLedger {
+                    tx_uj: 1.0,
+                    rx_uj: 2.0,
+                    idle_uj: 3.0,
+                    sleep_uj: 4.0,
+                    wake_uj: f,
+                }],
+            },
+            mesh: MeshStats {
+                queries_originated: salt,
+                data_delivered: 99,
+                ..MeshStats::default()
+            },
+            traffic: TrafficStats {
+                beacons_sent: 1000 + salt,
+                fixes: 42,
+                ..TrafficStats::default()
+            },
+            final_states: vec![RobotFinalState {
+                true_position: Point { x: 10.0, y: 20.0 },
+                estimate: Point {
+                    x: 10.5,
+                    y: 19.5 + f,
+                },
+                equipped: salt.is_multiple_of(2),
+            }],
+            position_snapshots: vec![(
+                SimTime::from_secs(300),
+                vec![RobotFinalState {
+                    true_position: Point { x: 1.0, y: 2.0 },
+                    estimate: Point { x: 1.1, y: 2.2 },
+                    equipped: true,
+                }],
+            )],
+            robustness: RobustnessStats {
+                crashes: salt,
+                flat_posteriors: 3,
+                ..RobustnessStats::default()
+            },
+            health: vec![HealthLedger {
+                healthy_s: 100.0,
+                degraded_s: 5.0,
+                dead_reckoning_s: 2.0,
+                down_s: f,
+            }],
+            events_processed: 123_456 + salt,
+        }
+    }
+
+    #[test]
+    fn metrics_round_trip_byte_exact() {
+        let m = sample_metrics(3);
+        let bytes = encode_metrics(&m);
+        let back = decode_metrics(&bytes).expect("decodes");
+        assert_eq!(back, m);
+        assert_eq!(encode_metrics(&back), bytes, "re-encode is the identity");
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let manifest = SweepManifest {
+            fingerprints: vec![11, 22, 33],
+            states: vec![
+                PointState::Completed(Box::new(sample_metrics(0))),
+                PointState::InFlight(vec![1, 2, 3, 4]),
+                PointState::Pending,
+            ],
+        };
+        let bytes = manifest.encode();
+        let back = SweepManifest::decode(&bytes).expect("decodes");
+        assert_eq!(back, manifest);
+        assert_eq!(back.completed_count(), 1);
+        assert!(back.matches(&[11, 22, 33]));
+        assert!(!back.matches(&[11, 22, 34]));
+    }
+
+    #[test]
+    fn wrong_kind_is_rejected() {
+        let w = SnapshotWriter::new("{\"kind\":\"something-else\"}".to_string());
+        let bytes = w.finish();
+        match SweepManifest::decode(&bytes) {
+            Err(ManifestError::WrongKind(_)) => {}
+            other => panic!("expected WrongKind, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn payload_bit_flip_is_rejected() {
+        let manifest = SweepManifest::new(vec![5, 6]);
+        let mut bytes = manifest.encode();
+        // Flip a bit in the tail, inside the CRC-guarded section payload.
+        let idx = bytes.len() - 6;
+        bytes[idx] ^= 0x10;
+        assert!(SweepManifest::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn store_and_load_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("cocoa-manifest-test-{}.csnp", std::process::id()));
+        let manifest = SweepManifest::new(vec![1, 2, 3]);
+        manifest.store(&path).expect("store");
+        let back = SweepManifest::load(&path).expect("load").expect("present");
+        assert_eq!(back, manifest);
+        std::fs::remove_file(&path).ok();
+        assert!(SweepManifest::load(&path).expect("missing is ok").is_none());
+    }
+}

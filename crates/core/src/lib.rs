@@ -60,6 +60,12 @@ pub mod world;
 
 /// Glob-import of the most commonly used types.
 pub mod prelude {
+    pub use crate::executor::manifest::{ManifestError, PointState, SweepManifest};
+    pub use crate::executor::supervisor::{
+        CaughtPanic, JobFailure, JobOutcome, Supervisor, SupervisorConfig, SupervisorCounters,
+        SweepReport,
+    };
+    pub use crate::executor::sweep::{run_supervised, SweepConfig};
     pub use crate::health::{DegradationState, HealthLedger, HealthMonitor};
     pub use crate::metrics::{
         EnergyReport, ErrorPoint, ErrorSnapshot, RobotFinalState, RobustnessStats, RunMetrics,
@@ -69,7 +75,7 @@ pub mod prelude {
     pub use crate::runner::{run, run_traced, run_with_telemetry};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
     pub use crate::sync::{DriftingClock, SyncMessage};
-    pub use crate::tracefile::TraceFile;
+    pub use crate::tracefile::{TraceError, TraceFile};
     pub use crate::world::mesh::{make_backend, MeshBackend};
     pub use cocoa_localization::estimator::EstimatorMode;
     pub use cocoa_multicast::protocol::MulticastProtocol;

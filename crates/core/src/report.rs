@@ -6,6 +6,7 @@ use std::fmt::Write as _;
 
 use cocoa_sim::telemetry::{Telemetry, TelemetryEvent};
 
+use crate::executor::supervisor::{JobFailure, SweepReport};
 use crate::metrics::RunMetrics;
 use crate::scenario::Scenario;
 
@@ -285,6 +286,88 @@ pub fn markdown_summary(scenario: &Scenario, metrics: &RunMetrics) -> String {
     out
 }
 
+/// Quotes a CSV field: wraps in double quotes when it contains commas,
+/// quotes or newlines, doubling any embedded quotes.
+fn csv_escape(field: &str) -> String {
+    if field.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", field.replace('"', "\"\""))
+    } else {
+        field.to_string()
+    }
+}
+
+/// A supervised sweep's terminal failures as CSV
+/// (`point,kind,attempts,detail`) — empty body on a clean sweep.
+pub fn sweep_failures_csv(report: &SweepReport<RunMetrics>) -> String {
+    let mut out = String::from("point,kind,attempts,detail\n");
+    for (i, failure) in report.failures() {
+        let _ = writeln!(
+            out,
+            "{},{},{},{}",
+            i,
+            failure.kind(),
+            report.outcomes[i].attempts,
+            csv_escape(&failure.detail())
+        );
+    }
+    out
+}
+
+/// A human-readable markdown summary of a supervised sweep: per-point
+/// outcomes, supervision counters, and — when present — a failure
+/// section with classified reasons.
+pub fn sweep_markdown(report: &SweepReport<RunMetrics>) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "## Sweep report\n");
+    let _ = writeln!(
+        out,
+        "- points: {} completed, {} failed ({} total)",
+        report.completed(),
+        report.failed(),
+        report.outcomes.len()
+    );
+    let _ = writeln!(out, "\n| point | outcome | attempts | mean error (m) |");
+    let _ = writeln!(out, "|---|---|---|---|");
+    for (i, o) in report.outcomes.iter().enumerate() {
+        match &o.result {
+            Ok(m) => {
+                let _ = writeln!(
+                    out,
+                    "| {} | ok | {} | {:.2} |",
+                    i,
+                    o.attempts,
+                    m.mean_error_over_time()
+                );
+            }
+            Err(f) => {
+                let _ = writeln!(out, "| {} | {} | {} | — |", i, f.kind(), o.attempts);
+            }
+        }
+    }
+    let _ = writeln!(out, "\n### Supervision counters\n");
+    for (name, value) in report.counters.as_pairs() {
+        let _ = writeln!(out, "- {name}: {value}");
+    }
+    if report.failed() > 0 {
+        let _ = writeln!(out, "\n### Failures\n");
+        for (i, failure) in report.failures() {
+            let _ = writeln!(
+                out,
+                "- point {}: **{}** — {}",
+                i,
+                failure.kind(),
+                failure.detail()
+            );
+            if let JobFailure::Panic(p) = failure {
+                if let Some(bt) = &p.backtrace {
+                    let _ = writeln!(out, "\n  ```\n{}\n  ```", bt.trim_end());
+                }
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -401,6 +484,52 @@ mod tests {
         let timeline = timeline_csv(&t);
         assert!(timeline.lines().count() > 1, "{timeline}");
         assert!(timeline.starts_with("t_s,robot,"));
+    }
+
+    #[test]
+    fn sweep_report_csv_and_markdown() {
+        use crate::executor::supervisor::{CaughtPanic, JobOutcome, SupervisorCounters};
+        let (_, m) = small_run();
+        let report = SweepReport {
+            outcomes: vec![
+                JobOutcome {
+                    attempts: 1,
+                    result: Ok(m),
+                },
+                JobOutcome {
+                    attempts: 3,
+                    result: Err(JobFailure::Panic(CaughtPanic {
+                        payload: "boom, with a comma".to_string(),
+                        backtrace: Some("0: fake_frame".to_string()),
+                    })),
+                },
+            ],
+            counters: SupervisorCounters {
+                retries: 2,
+                panics_caught: 3,
+                ..SupervisorCounters::default()
+            },
+        };
+        let csv = sweep_failures_csv(&report);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "point,kind,attempts,detail");
+        assert_eq!(lines.len(), 2, "one failure row");
+        assert_eq!(lines[1], "1,panic,3,\"boom, with a comma\"");
+        let md = sweep_markdown(&report);
+        assert!(md.contains("1 completed, 1 failed"), "{md}");
+        assert!(md.contains("supervisor.retries: 2"), "{md}");
+        assert!(md.contains("**panic** — boom, with a comma"), "{md}");
+        assert!(md.contains("0: fake_frame"), "backtrace included:\n{md}");
+    }
+
+    #[test]
+    fn clean_sweep_csv_is_header_only() {
+        let report: SweepReport<RunMetrics> = SweepReport {
+            outcomes: Vec::new(),
+            counters: Default::default(),
+        };
+        assert_eq!(sweep_failures_csv(&report), "point,kind,attempts,detail\n");
+        assert!(sweep_markdown(&report).contains("0 completed, 0 failed"));
     }
 
     #[test]

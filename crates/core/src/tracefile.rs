@@ -295,6 +295,145 @@ pub struct TraceFile {
     pub spans: Vec<TraceSpan>,
 }
 
+/// Why a trace failed to parse — distinguishing genuinely invalid input
+/// from the one damage shape a killed run produces: a torn final line.
+///
+/// A process killed mid-`write` leaves a JSONL file whose last line
+/// stops short. Everything before it is intact and perfectly usable —
+/// notably by `cocoa-trace bisect`, which compares the longest common
+/// prefix anyway — so [`TruncatedTail`](TraceError::TruncatedTail)
+/// carries the valid prefix instead of discarding it.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TraceError {
+    /// The trace violates the schema somewhere other than a torn tail.
+    Invalid(String),
+    /// Only the final line is damaged; every earlier line parsed and
+    /// validated.
+    TruncatedTail {
+        /// The valid trace formed by every line before the torn one.
+        /// Its `meta` is the original header, so `meta.events_emitted`
+        /// may exceed `events.len()`.
+        prefix: Box<TraceFile>,
+        /// 1-based number of the torn line.
+        line: usize,
+        /// What went wrong on that line.
+        detail: String,
+    },
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TraceError::Invalid(msg) => f.write_str(msg),
+            TraceError::TruncatedTail {
+                prefix,
+                line,
+                detail,
+            } => write!(
+                f,
+                "line {line}: {detail} (file ends on a torn line; {} valid events precede it)",
+                prefix.events.len()
+            ),
+        }
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Parser state threaded through the per-line validation.
+#[derive(Default)]
+struct TraceAccumulator {
+    meta: Option<TraceMeta>,
+    events: Vec<TraceEvent>,
+    counters: Vec<(String, u64)>,
+    spans: Vec<TraceSpan>,
+    last_seq: Option<u64>,
+    last_t: u64,
+}
+
+impl TraceAccumulator {
+    /// Parses and validates one non-empty line. Errors carry no line
+    /// number — the caller owns line accounting.
+    fn push_line(&mut self, lineno: usize, line: &str) -> Result<(), String> {
+        let obj = parse_flat_object(line)?;
+        let get_u64 = |key: &str| -> Result<u64, String> {
+            obj.get(key)
+                .and_then(|v| v.as_u64())
+                .ok_or_else(|| format!("missing integer {key:?}"))
+        };
+        let get_str = |key: &str| -> Result<String, String> {
+            obj.get(key)
+                .and_then(|v| v.as_str())
+                .map(str::to_owned)
+                .ok_or_else(|| format!("missing string {key:?}"))
+        };
+        let kind = get_str("kind")?;
+        match kind.as_str() {
+            "meta" => {
+                if self.meta.is_some() {
+                    return Err("duplicate meta line".into());
+                }
+                if lineno != 1 {
+                    return Err("meta must be the first line".into());
+                }
+                let schema = get_u64("schema")? as u32;
+                if schema != cocoa_sim::telemetry::TRACE_SCHEMA_VERSION {
+                    return Err(format!("unsupported schema {schema}"));
+                }
+                self.meta = Some(TraceMeta {
+                    schema,
+                    level: get_str("level")?,
+                    events_emitted: get_u64("events")?,
+                    dropped: get_u64("dropped")?,
+                });
+            }
+            "counter" => self.counters.push((get_str("name")?, get_u64("value")?)),
+            "span" => self.spans.push(TraceSpan {
+                name: get_str("name")?,
+                total_ns: get_u64("total_ns")?,
+                count: get_u64("count")?,
+            }),
+            k if KNOWN_EVENT_KINDS.contains(&k) => {
+                if self.meta.is_none() {
+                    return Err("event before meta line".into());
+                }
+                let seq = get_u64("seq")?;
+                let t_us = get_u64("t_us")?;
+                if self.last_seq.is_some_and(|s| seq <= s) {
+                    return Err(format!("seq {seq} not increasing"));
+                }
+                if t_us < self.last_t {
+                    return Err(format!("t_us {t_us} went backwards"));
+                }
+                self.last_seq = Some(seq);
+                self.last_t = t_us;
+                let mut fields = obj;
+                fields.remove("kind");
+                fields.remove("seq");
+                fields.remove("t_us");
+                self.events.push(TraceEvent {
+                    kind,
+                    seq,
+                    t_us,
+                    fields,
+                });
+            }
+            other => return Err(format!("unknown kind {other:?}")),
+        }
+        Ok(())
+    }
+
+    fn into_trace(self) -> Result<TraceFile, String> {
+        let meta = self.meta.ok_or("missing meta line")?;
+        Ok(TraceFile {
+            meta,
+            events: self.events,
+            counters: self.counters,
+            spans: self.spans,
+        })
+    }
+}
+
 impl TraceFile {
     /// Parses and validates a JSONL trace.
     ///
@@ -304,92 +443,49 @@ impl TraceFile {
     ///
     /// # Errors
     ///
-    /// Returns `"line N: reason"` on the first malformed line.
+    /// Returns `"line N: reason"` on the first malformed line. A torn
+    /// final line is also an error here; use [`TraceFile::parse_partial`]
+    /// to recover the valid prefix instead.
     pub fn parse(text: &str) -> Result<TraceFile, String> {
-        let mut meta = None;
-        let mut events = Vec::new();
-        let mut counters = Vec::new();
-        let mut spans = Vec::new();
-        let mut last_seq: Option<u64> = None;
-        let mut last_t: u64 = 0;
-        for (i, line) in text.lines().enumerate() {
-            let lineno = i + 1;
-            if line.trim().is_empty() {
-                continue;
-            }
-            let obj = parse_flat_object(line).map_err(|e| format!("line {lineno}: {e}"))?;
-            let get_u64 = |key: &str| -> Result<u64, String> {
-                obj.get(key)
-                    .and_then(|v| v.as_u64())
-                    .ok_or_else(|| format!("line {lineno}: missing integer {key:?}"))
-            };
-            let get_str = |key: &str| -> Result<String, String> {
-                obj.get(key)
-                    .and_then(|v| v.as_str())
-                    .map(str::to_owned)
-                    .ok_or_else(|| format!("line {lineno}: missing string {key:?}"))
-            };
-            let kind = get_str("kind")?;
-            match kind.as_str() {
-                "meta" => {
-                    if meta.is_some() {
-                        return Err(format!("line {lineno}: duplicate meta line"));
-                    }
-                    if lineno != 1 {
-                        return Err(format!("line {lineno}: meta must be the first line"));
-                    }
-                    let schema = get_u64("schema")? as u32;
-                    if schema != cocoa_sim::telemetry::TRACE_SCHEMA_VERSION {
-                        return Err(format!("line {lineno}: unsupported schema {schema}"));
-                    }
-                    meta = Some(TraceMeta {
-                        schema,
-                        level: get_str("level")?,
-                        events_emitted: get_u64("events")?,
-                        dropped: get_u64("dropped")?,
+        TraceFile::parse_partial(text).map_err(|e| e.to_string())
+    }
+
+    /// Like [`TraceFile::parse`], but classifies the one recoverable
+    /// damage shape: when only the *final* non-empty line is malformed
+    /// (the signature of a run killed mid-write), the error is
+    /// [`TraceError::TruncatedTail`] carrying the fully validated
+    /// prefix, so tools can keep working with every intact event.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Invalid`] for damage anywhere before the final
+    /// line (or a missing/unsupported header);
+    /// [`TraceError::TruncatedTail`] when only the tail is torn.
+    pub fn parse_partial(text: &str) -> Result<TraceFile, TraceError> {
+        let lines: Vec<(usize, &str)> = text
+            .lines()
+            .enumerate()
+            .map(|(i, l)| (i + 1, l))
+            .filter(|(_, l)| !l.trim().is_empty())
+            .collect();
+        let mut acc = TraceAccumulator::default();
+        for (pos, &(lineno, line)) in lines.iter().enumerate() {
+            if let Err(detail) = acc.push_line(lineno, line) {
+                let is_tail = pos == lines.len() - 1 && acc.meta.is_some();
+                if is_tail {
+                    let prefix = acc
+                        .into_trace()
+                        .expect("meta checked above, prefix is valid");
+                    return Err(TraceError::TruncatedTail {
+                        prefix: Box::new(prefix),
+                        line: lineno,
+                        detail,
                     });
                 }
-                "counter" => counters.push((get_str("name")?, get_u64("value")?)),
-                "span" => spans.push(TraceSpan {
-                    name: get_str("name")?,
-                    total_ns: get_u64("total_ns")?,
-                    count: get_u64("count")?,
-                }),
-                k if KNOWN_EVENT_KINDS.contains(&k) => {
-                    if meta.is_none() {
-                        return Err(format!("line {lineno}: event before meta line"));
-                    }
-                    let seq = get_u64("seq")?;
-                    let t_us = get_u64("t_us")?;
-                    if last_seq.is_some_and(|s| seq <= s) {
-                        return Err(format!("line {lineno}: seq {seq} not increasing"));
-                    }
-                    if t_us < last_t {
-                        return Err(format!("line {lineno}: t_us {t_us} went backwards"));
-                    }
-                    last_seq = Some(seq);
-                    last_t = t_us;
-                    let mut fields = obj;
-                    fields.remove("kind");
-                    fields.remove("seq");
-                    fields.remove("t_us");
-                    events.push(TraceEvent {
-                        kind,
-                        seq,
-                        t_us,
-                        fields,
-                    });
-                }
-                other => return Err(format!("line {lineno}: unknown kind {other:?}")),
+                return Err(TraceError::Invalid(format!("line {lineno}: {detail}")));
             }
         }
-        let meta = meta.ok_or("missing meta line")?;
-        Ok(TraceFile {
-            meta,
-            events,
-            counters,
-            spans,
-        })
+        acc.into_trace().map_err(TraceError::Invalid)
     }
 
     /// The team mean-error curve: `(t_s, mean_err_m, robots)` per sample.
@@ -697,6 +793,57 @@ mod tests {
         );
         let diffs = a.counter_diffs(&b);
         assert_eq!(diffs, vec![("traffic.fixes".to_string(), Some(1), Some(3))]);
+    }
+
+    #[test]
+    fn torn_final_line_yields_the_valid_prefix() {
+        let base = sample_trace();
+        let full = TraceFile::parse(&base).unwrap();
+        // Chop the file mid-way through its final line, as a SIGKILL
+        // during the trailing write would.
+        let cut = base.trim_end().len() - 9;
+        let torn = &base[..cut];
+        let err = TraceFile::parse_partial(torn).unwrap_err();
+        match err {
+            TraceError::TruncatedTail { prefix, line, .. } => {
+                assert_eq!(prefix.meta, full.meta);
+                assert_eq!(line, 6, "the counter line is the torn one");
+                assert_eq!(prefix.events.len(), full.events.len());
+                assert_eq!(prefix.events, full.events);
+                assert!(prefix.counters.is_empty(), "torn counter not kept");
+                // The prefix still answers queries — what bisect needs.
+                assert_eq!(prefix.team_error_curve(), full.team_error_curve());
+            }
+            other => panic!("expected TruncatedTail, got {other:?}"),
+        }
+        // The strict entry point reports the same failure as a string.
+        let msg = TraceFile::parse(torn).unwrap_err();
+        assert!(msg.contains("torn line"), "{msg}");
+    }
+
+    #[test]
+    fn damage_before_the_tail_is_still_invalid() {
+        let base = sample_trace();
+        // Tear an event line in the middle of the file.
+        let lines: Vec<&str> = base.lines().collect();
+        let mut mangled: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+        let mid = 2;
+        mangled[mid] = mangled[mid][..mangled[mid].len() / 2].to_string();
+        let text = mangled.join("\n");
+        match TraceFile::parse_partial(&text) {
+            Err(TraceError::Invalid(msg)) => {
+                assert!(msg.starts_with(&format!("line {}", mid + 1)), "{msg}");
+            }
+            other => panic!("expected Invalid, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_meta_is_invalid_not_truncated() {
+        match TraceFile::parse_partial("{\"kind\":\"counter\",\"name\":\"x\"") {
+            Err(TraceError::Invalid(_)) => {}
+            other => panic!("expected Invalid, got {other:?}"),
+        }
     }
 
     #[test]

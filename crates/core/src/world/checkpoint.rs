@@ -445,6 +445,20 @@ fn encode_scenario(s: &Scenario) -> Vec<u8> {
     buf
 }
 
+/// A 64-bit fingerprint of a scenario's full configuration, derived
+/// from the same canonical encoding the snapshot codec persists.
+///
+/// Sweep manifests store one fingerprint per point so a manifest is
+/// never replayed against a different sweep: any scenario field that
+/// affects the simulation changes the encoding, hence the fingerprint.
+/// The high 32 bits are the CRC-32 of the encoding, the low 32 bits its
+/// length — cheap, stable across runs, and collision-resistant enough
+/// for sweep-shaped point counts.
+pub fn scenario_fingerprint(s: &Scenario) -> u64 {
+    let bytes = encode_scenario(s);
+    (u64::from(cocoa_sim::snapshot::crc32(&bytes)) << 32) | bytes.len() as u64
+}
+
 fn decode_scenario(r: &mut SnapshotReader<'_>) -> Result<Scenario, SnapshotError> {
     let seed = r.u64()?;
     let area = Area {
