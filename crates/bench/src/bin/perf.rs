@@ -11,9 +11,23 @@
 //! ops/s for the naive and radial Bayesian grid updates (and their ratio),
 //! the dense and probing PDF-table lookups, and the wall time of the
 //! quick-scale Figure 7 comparison.
+//!
+//! The tripwire is armed by the regression gate
+//! (see [`cocoa_bench::regress`]):
+//!
+//! - `perf --record` additionally merges the fresh BENCH files into the
+//!   `bench/history/` ring (pruned to the last 8 entries);
+//! - `perf --check` skips the benchmarks and compares the BENCH files on
+//!   disk against the median of the history ring, exiting non-zero if any
+//!   gated metric regressed beyond its per-metric tolerance;
+//! - `--history DIR` overrides the history directory for both.
 
 use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 use std::time::Instant;
+
+use cocoa_bench::regress;
 
 use cocoa_core::experiment::{fig7_comparison, fig9_scenarios, ExperimentScale};
 use cocoa_core::metrics::RunMetrics;
@@ -58,7 +72,68 @@ fn fmt_ops(v: f64) -> String {
     }
 }
 
-fn main() {
+/// Compares the BENCH files on disk against the history ring and prints
+/// the verdict table. Returns failure if any gated metric regressed.
+fn check_only(history_dir: &Path) -> ExitCode {
+    let current = match regress::load_current(Path::new(".")) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let history = match regress::load_history(history_dir) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if history.is_empty() {
+        eprintln!(
+            "error: no history under {} — run `perf --record` first",
+            history_dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+    let report = regress::check(&current, &history);
+    print!("{}", report.render());
+    if report.passed() {
+        println!("perf check: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("perf check: REGRESSION detected");
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let mut do_check = false;
+    let mut do_record = false;
+    let mut history_dir = PathBuf::from("bench/history");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--check" => do_check = true,
+            "--record" => do_record = true,
+            "--history" => match args.next() {
+                Some(dir) => history_dir = PathBuf::from(dir),
+                None => {
+                    eprintln!("error: --history needs a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            other => {
+                eprintln!("error: unknown argument {other:?}");
+                eprintln!("usage: perf [--record] [--check] [--history DIR]");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if do_check {
+        return check_only(&history_dir);
+    }
+
     let channel = RfChannel::default();
     let mut cal_rng = SeedSplitter::new(1).stream("cal", 0);
     let table = calibrate(&channel, &CalibrationConfig::default(), &mut cal_rng);
@@ -312,4 +387,22 @@ fn main() {
     );
     std::fs::write("BENCH_snapshot.json", &snap_json).expect("write BENCH_snapshot.json");
     println!("wrote BENCH_snapshot.json");
+
+    if do_record {
+        let current = match regress::load_current(Path::new(".")) {
+            Ok(m) => m,
+            Err(e) => {
+                eprintln!("error: {e}");
+                return ExitCode::FAILURE;
+            }
+        };
+        match regress::record(&history_dir, &current) {
+            Ok(name) => println!("recorded {}", history_dir.join(name).display()),
+            Err(e) => {
+                eprintln!("error: cannot record history: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
 }

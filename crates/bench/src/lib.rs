@@ -11,6 +11,8 @@
 //! The `COCOA_BENCH_QUICK=1` environment variable downsizes the figure
 //! regeneration too (useful on laptops / CI).
 
+pub mod regress;
+
 use cocoa_core::experiment::ExperimentScale;
 use cocoa_sim::time::SimDuration;
 

@@ -75,6 +75,9 @@ OPTIONS:
     --telemetry LEVEL   off | counters | timeline | full    [default: off]
     --trace-out PATH    write a JSONL trace (implies --telemetry full);
                         inspect it with cocoa-trace
+    --metrics-out PATH  write the final counters, histograms and span
+                        totals in Prometheus text exposition format
+                        (implies at least --telemetry counters)
     --sample-interval S per-robot timeline sample interval, seconds
                         [default: the metrics interval]
     -h, --help          print this help
@@ -110,6 +113,7 @@ struct Args {
     csv_prefix: Option<String>,
     telemetry_level: TelemetryLevel,
     trace_out: Option<String>,
+    metrics_out: Option<String>,
     sample_interval: Option<SimDuration>,
     snapshot_at: Option<SimTime>,
     snapshot_out: String,
@@ -132,6 +136,7 @@ fn parse_args() -> Result<Args, ArgError> {
     let mut faults_preset: Option<String> = None;
     let mut telemetry_level = TelemetryLevel::Off;
     let mut trace_out = None;
+    let mut metrics_out = None;
     let mut sample_interval = None;
     let mut snapshot_at = None;
     let mut snapshot_out = String::from("cocoa-run.csnp");
@@ -308,6 +313,7 @@ fn parse_args() -> Result<Args, ArgError> {
                     .ok_or_else(|| Usage(format!("unknown telemetry level '{v}'")))?;
             }
             "--trace-out" => trace_out = Some(value("--trace-out")?),
+            "--metrics-out" => metrics_out = Some(value("--metrics-out")?),
             "--sample-interval" => {
                 let s: f64 = value("--sample-interval")?
                     .parse()
@@ -345,11 +351,16 @@ fn parse_args() -> Result<Args, ArgError> {
         // A trace file is only useful with the complete event stream.
         telemetry_level = TelemetryLevel::Full;
     }
+    if metrics_out.is_some() && telemetry_level < TelemetryLevel::Counters {
+        // Exposition output needs at least the counter registry.
+        telemetry_level = TelemetryLevel::Counters;
+    }
     Ok(Args {
         scenario,
         csv_prefix,
         telemetry_level,
         trace_out,
+        metrics_out,
         sample_interval,
         snapshot_at,
         snapshot_out,
@@ -483,6 +494,20 @@ fn real_main() -> i32 {
                 telemetry.dropped_events()
             ),
             Err(e) => eprintln!("failed to write {path}: {e}"),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        use cocoa_sim::telemetry::export::MetricsSnapshot;
+        let text = MetricsSnapshot::from_telemetry(&telemetry).to_exposition();
+        // Atomic tmp+rename so a reader never observes a half-written file.
+        let tmp = format!("{path}.tmp");
+        let result = std::fs::write(&tmp, text).and_then(|()| std::fs::rename(&tmp, path));
+        match result {
+            Ok(()) => eprintln!("wrote {path}"),
+            Err(e) => {
+                eprintln!("error: cannot write {path}: {e}");
+                return EXIT_RUNTIME;
+            }
         }
     }
     if let Some(prefix) = args.csv_prefix {

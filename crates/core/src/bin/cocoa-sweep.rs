@@ -18,13 +18,17 @@
 
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU32, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
+use cocoa_core::executor::fleet::FleetStatus;
 use cocoa_core::executor::manifest::encode_metrics;
+use cocoa_core::executor::supervisor::JobEvent;
 use cocoa_core::prelude::*;
 use cocoa_core::report;
 use cocoa_sim::snapshot::crc32;
+use cocoa_sim::telemetry::export::MetricsSnapshot;
+use cocoa_sim::telemetry::{Telemetry, TelemetryLevel};
 use cocoa_sim::time::SimDuration;
 
 const USAGE: &str = "\
@@ -48,6 +52,13 @@ OPTIONS:
     --deadline SECS     wall-clock limit per job attempt
     --attempts N        attempts per point before giving up [default: 3]
     --backoff-ms MS     base retry backoff, milliseconds    [default: 0]
+    --status-out PATH   maintain a machine-readable fleet status file
+                        here (JSON; rewritten atomically on every
+                        point state change, final state at exit)
+    --metrics-out PATH  write sweep counters and the per-point wall-time
+                        histogram in Prometheus exposition format
+    --progress          print a live progress line (throughput, ETA) to
+                        stderr as points start, retry and finish
     --report PREFIX     write PREFIX-failures.csv and PREFIX-sweep.md
     --print-metrics     print a deterministic per-point digest (metrics
                         codec CRC + mean error) for golden comparisons
@@ -79,6 +90,9 @@ struct Args {
     attempts: u32,
     backoff_ms: u64,
     report_prefix: Option<String>,
+    status_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
+    progress: bool,
     print_metrics: bool,
     inject_panic: Option<(usize, u32)>,
     inject_hang: Option<(usize, f64)>,
@@ -110,6 +124,9 @@ fn parse_args() -> Result<Args, String> {
         attempts: 3,
         backoff_ms: 0,
         report_prefix: None,
+        status_out: None,
+        metrics_out: None,
+        progress: false,
         print_metrics: false,
         inject_panic: None,
         inject_hang: None,
@@ -179,6 +196,9 @@ fn parse_args() -> Result<Args, String> {
                     .map_err(|e| format!("--backoff-ms: {e}"))?;
             }
             "--report" => args.report_prefix = Some(value("--report")?),
+            "--status-out" => args.status_out = Some(PathBuf::from(value("--status-out")?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value("--metrics-out")?)),
+            "--progress" => args.progress = true,
             "--print-metrics" => args.print_metrics = true,
             "--inject-panic" => {
                 args.inject_panic = Some(parse_pair("--inject-panic", &value("--inject-panic")?)?);
@@ -222,6 +242,64 @@ fn build_hook(args: &Args) -> Option<cocoa_core::executor::sweep::AttemptHook> {
     }))
 }
 
+/// Shared live-view state driven by supervisor events: the fleet state
+/// machine, per-point attempt start times (for the wall-time histogram)
+/// and the status-file / progress-line side effects. All wall-clock
+/// reads live here, at the CLI edge — the sweep itself stays
+/// deterministic.
+struct Watch {
+    fleet: Mutex<FleetStatus>,
+    started: Instant,
+    starts: Mutex<Vec<Option<Instant>>>,
+    point_wall_ms: Mutex<Vec<f64>>,
+    status_out: Option<PathBuf>,
+    progress: bool,
+}
+
+impl Watch {
+    fn new(total: usize, status_out: Option<PathBuf>, progress: bool) -> Self {
+        Watch {
+            fleet: Mutex::new(FleetStatus::new(total)),
+            started: Instant::now(),
+            starts: Mutex::new(vec![None; total]),
+            point_wall_ms: Mutex::new(Vec::new()),
+            status_out,
+            progress,
+        }
+    }
+
+    fn observe(&self, event: JobEvent) {
+        match event {
+            JobEvent::Started { index, .. } => {
+                if let Some(slot) = self.starts.lock().expect("starts").get_mut(index) {
+                    *slot = Some(Instant::now());
+                }
+            }
+            JobEvent::Completed { index, .. } => {
+                let t0 = self.starts.lock().expect("starts").get(index).copied();
+                if let Some(Some(t0)) = t0 {
+                    self.point_wall_ms
+                        .lock()
+                        .expect("wall")
+                        .push(t0.elapsed().as_secs_f64() * 1e3);
+                }
+            }
+            _ => {}
+        }
+        let mut fleet = self.fleet.lock().expect("fleet");
+        fleet.observe(event);
+        let elapsed = self.started.elapsed();
+        if self.progress {
+            eprintln!("{}", fleet.progress_line(elapsed));
+        }
+        if let Some(path) = &self.status_out {
+            if let Err(e) = fleet.store(path, elapsed) {
+                eprintln!("warning: cannot write {}: {e}", path.display());
+            }
+        }
+    }
+}
+
 fn main() {
     std::process::exit(real_main());
 }
@@ -257,6 +335,12 @@ fn real_main() -> i32 {
         out
     };
 
+    let watch = Arc::new(Watch::new(
+        scenarios.len(),
+        args.status_out.clone(),
+        args.progress,
+    ));
+    let observer_watch = Arc::clone(&watch);
     let cfg = SweepConfig {
         supervisor: SupervisorConfig {
             max_attempts: args.attempts,
@@ -267,6 +351,7 @@ fn real_main() -> i32 {
         manifest_path: args.manifest.clone(),
         inflight_interval: args.inflight,
         attempt_hook: build_hook(&args),
+        observer: Some(Arc::new(move |event| observer_watch.observe(event))),
     };
 
     let sweep = match run_supervised(scenarios, &cfg) {
@@ -309,6 +394,39 @@ fn real_main() -> i32 {
     );
     for (index, failure) in sweep.failures() {
         eprintln!("point {index}: {failure}");
+    }
+
+    let elapsed = watch.started.elapsed();
+    // The last event already stored the settled state; writing again
+    // here guarantees the file exists even for an empty sweep and
+    // reflects the final elapsed time.
+    if let Some(path) = &args.status_out {
+        let fleet = watch.fleet.lock().expect("fleet");
+        match fleet.store(path, elapsed) {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
+    }
+    if let Some(path) = &args.metrics_out {
+        // The sweep bus: supervisor counters plus the per-point
+        // wall-time histogram, exported in exposition format.
+        let mut t = Telemetry::new(TelemetryLevel::Counters);
+        sweep.counters.absorb_into(&mut t);
+        let wall_hist = t.hist_wall("sweep.point_wall_ms");
+        for &ms in watch.point_wall_ms.lock().expect("wall").iter() {
+            t.hist_record(wall_hist, ms);
+        }
+        let mut snap = MetricsSnapshot::from_telemetry(&t);
+        snap.push_gauge("sweep.points_total", sweep.outcomes.len() as f64);
+        snap.push_gauge("sweep.points_done", sweep.completed() as f64);
+        snap.push_gauge("sweep.points_failed", sweep.failed() as f64);
+        let tmp = path.with_extension("tmp");
+        let result =
+            std::fs::write(&tmp, snap.to_exposition()).and_then(|()| std::fs::rename(&tmp, path));
+        match result {
+            Ok(()) => eprintln!("wrote {}", path.display()),
+            Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+        }
     }
 
     if let Some(prefix) = &args.report_prefix {

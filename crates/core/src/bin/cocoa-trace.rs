@@ -16,6 +16,8 @@
 
 use cocoa_core::tracefile::{TraceError, TraceFile, TraceSpan};
 use cocoa_sim::snapshot::Snapshot;
+use cocoa_sim::telemetry::export::{fold_spans, render_folded};
+use cocoa_sim::telemetry::hist::{bucket_bounds, HistSnapshot, Histogram};
 
 const USAGE: &str = "\
 cocoa-trace — query a CoCoA telemetry trace (JSONL)
@@ -29,6 +31,10 @@ COMMANDS:
     summary                 meta line, event/counter totals, drop count
     counters                every end-of-run counter, sorted by name
     spans [--top N]         wall-clock span report, hottest first
+    flamegraph              collapsed-stack span profile on stdout
+                            (the folded format inferno/speedscope read)
+    hist [NAME]             histogram bucket table and percentiles;
+                            without NAME, lists recorded histograms
     timeline <ROBOT>        every event touching one robot, in time order
     windows                 per-window fixes / SYNC deliveries / starvation
     replay [--from SECS] [--limit N]
@@ -69,6 +75,8 @@ fn run(args: &[String]) -> Result<(), String> {
         "summary" => summary(&trace),
         "counters" => counters(&trace),
         "spans" => spans(&trace, parse_opt(rest, "--top")?.unwrap_or(10)),
+        "flamegraph" => flamegraph(&trace),
+        "hist" => hist(&trace, rest.first().map(String::as_str))?,
         "timeline" => {
             let robot: u64 = rest
                 .first()
@@ -136,6 +144,7 @@ fn summary(trace: &TraceFile) {
     println!("events dropped  {}", m.dropped);
     println!("counters        {}", trace.counters.len());
     println!("spans           {}", trace.spans.len());
+    println!("histograms      {}", trace.hists.len());
     // One-line grid-kernel digest: which inner loop ran and what it cost.
     let grid = |name: &str| {
         trace
@@ -167,6 +176,18 @@ fn summary(trace: &TraceFile) {
         if refined > 0 {
             println!("grid refined    {refined}");
         }
+    }
+    // One-line supervisor digest when a sweep bus absorbed its counters.
+    let supervisor: Vec<String> = trace
+        .counters
+        .iter()
+        .filter_map(|(n, v)| {
+            n.strip_prefix("supervisor.")
+                .map(|short| format!("{short}={v}"))
+        })
+        .collect();
+    if !supervisor.is_empty() {
+        println!("supervisor      {}", supervisor.join(" "));
     }
     if let (Some(first), Some(last)) = (trace.events.first(), trace.events.last()) {
         println!(
@@ -223,6 +244,66 @@ fn spans(trace: &TraceFile, top: usize) {
             share
         );
     }
+}
+
+/// Prints the collapsed-stack span profile: one `stack;frames value`
+/// line per span, value = self time in nanoseconds. Feed the output to
+/// inferno or speedscope to render an actual flamegraph.
+fn flamegraph(trace: &TraceFile) {
+    if trace.spans.is_empty() {
+        println!("(no spans — record with --telemetry full and keep the span trailer)");
+        return;
+    }
+    let totals: Vec<(&str, u128)> = trace
+        .spans
+        .iter()
+        .map(|s| (s.name.as_str(), u128::from(s.total_ns)))
+        .collect();
+    print!("{}", render_folded(&fold_spans(&totals)));
+}
+
+/// Prints one histogram's bucket table and percentiles, or lists the
+/// recorded histograms when no name is given.
+fn hist(trace: &TraceFile, name: Option<&str>) -> Result<(), String> {
+    if trace.hists.is_empty() {
+        println!("(no histograms — record with --telemetry counters or above)");
+        return Ok(());
+    }
+    let Some(name) = name else {
+        let width = trace.hists.iter().map(|h| h.name.len()).max().unwrap_or(0);
+        for h in &trace.hists {
+            let kind = if h.wall { "wall" } else { "sim" };
+            println!("{:<width$}  {:>10} samples  ({kind})", h.name, h.count);
+        }
+        return Ok(());
+    };
+    let h = trace
+        .hists
+        .iter()
+        .find(|h| h.name == name)
+        .ok_or_else(|| format!("no histogram named '{name}' (try `hist` with no name)"))?;
+    let full = Histogram::from_snapshot(&HistSnapshot {
+        buckets: h.buckets.clone(),
+        count: h.count,
+        sum: h.sum,
+        min: h.min,
+        max: h.max,
+    });
+    println!("{name}: {} samples, sum {}", h.count, h.sum);
+    let ps = [0.0, 0.5, 0.9, 0.99, 1.0];
+    let qs = full.percentiles(&ps);
+    let labels = ["min", "p50", "p90", "p99", "max"];
+    for (label, q) in labels.iter().zip(&qs) {
+        println!("  {label:<4} {q}");
+    }
+    println!("{:>16} {:>16} {:>10}  histogram", "low", "high", "count");
+    let peak = h.buckets.iter().map(|&(_, c)| c).max().unwrap_or(1);
+    for &(idx, count) in &h.buckets {
+        let (lo, hi) = bucket_bounds(idx as usize);
+        let bar = "#".repeat(((count as f64 / peak as f64) * 40.0).ceil() as usize);
+        println!("{lo:>16.6} {hi:>16.6} {count:>10}  {bar}");
+    }
+    Ok(())
 }
 
 fn timeline(trace: &TraceFile, robot: u64) {

@@ -24,6 +24,7 @@
 //!   with deterministic backoff, typed failure classification, and (via
 //!   [`sweep`]) checkpointed auto-resume of interrupted sweeps.
 
+pub mod fleet;
 pub mod manifest;
 pub mod supervisor;
 pub mod sweep;

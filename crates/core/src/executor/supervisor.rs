@@ -277,6 +277,49 @@ impl SupervisorCounters {
     }
 }
 
+/// A live observation from the supervised fleet: one attempt-level
+/// state change of one job. Emitted synchronously from worker threads,
+/// so observers must be cheap and thread-safe; they exist to drive
+/// progress displays and status files, never control flow.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobEvent {
+    /// An attempt is starting (`attempt` is 1-based).
+    Started {
+        /// Job index in input order.
+        index: usize,
+        /// Attempt number, starting at 1.
+        attempt: u32,
+    },
+    /// The job produced a value.
+    Completed {
+        /// Job index in input order.
+        index: usize,
+        /// Attempts consumed.
+        attempts: u32,
+    },
+    /// The attempt failed retryably; another attempt will follow.
+    Retrying {
+        /// Job index in input order.
+        index: usize,
+        /// The attempt that just failed.
+        attempt: u32,
+        /// Failure tag ([`JobFailure::kind`]).
+        kind: &'static str,
+    },
+    /// The job terminally failed.
+    Failed {
+        /// Job index in input order.
+        index: usize,
+        /// Attempts consumed.
+        attempts: u32,
+        /// Failure tag ([`JobFailure::kind`]).
+        kind: &'static str,
+    },
+}
+
+/// Shared callback receiving [`JobEvent`]s as a fleet progresses.
+pub type JobObserver = Arc<dyn Fn(JobEvent) + Send + Sync>;
+
 /// The structured result of a supervised sweep: one outcome per job in
 /// input order, plus the aggregate counters.
 #[derive(Debug, Clone, PartialEq)]
@@ -397,6 +440,25 @@ impl Supervisor {
         F: Fn(usize, &T) -> Result<R, JobFailure> + Send + Sync + 'static,
         S: Fn(&T) -> u64 + Sync,
     {
+        self.map_seeded_observed(items, seed_of, f, None)
+    }
+
+    /// Like [`Supervisor::map_seeded`], but every attempt-level state
+    /// change is reported to `observer` as it happens — the seam behind
+    /// live fleet displays (see [`super::fleet::FleetStatus`]).
+    pub fn map_seeded_observed<T, R, F, S>(
+        &self,
+        items: Vec<T>,
+        seed_of: S,
+        f: F,
+        observer: Option<JobObserver>,
+    ) -> SweepReport<R>
+    where
+        T: Send + Sync + 'static,
+        R: Send + 'static,
+        F: Fn(usize, &T) -> Result<R, JobFailure> + Send + Sync + 'static,
+        S: Fn(&T) -> u64 + Sync,
+    {
         let n = items.len();
         if n == 0 {
             return SweepReport {
@@ -418,7 +480,7 @@ impl Supervisor {
                         break;
                     }
                     let seed = seed_of(&items[i]);
-                    let outcome = self.run_job(&counters, &items, &f, i, seed);
+                    let outcome = self.run_job(&counters, &items, &f, i, seed, observer.as_deref());
                     *slots[i].lock().expect("result slot poisoned") = Some(outcome);
                 });
             }
@@ -449,17 +511,27 @@ impl Supervisor {
         f: &Arc<F>,
         index: usize,
         seed: u64,
+        observer: Option<&(dyn Fn(JobEvent) + Send + Sync)>,
     ) -> JobOutcome<R>
     where
         T: Send + Sync + 'static,
         R: Send + 'static,
         F: Fn(usize, &T) -> Result<R, JobFailure> + Send + Sync + 'static,
     {
+        let notify = |event: JobEvent| {
+            if let Some(obs) = observer {
+                obs(event);
+            }
+        };
         let splitter = SeedSplitter::new(seed);
         let max_attempts = self.cfg.max_attempts.max(1);
         let mut attempts = 0u32;
         let result = loop {
             attempts += 1;
+            notify(JobEvent::Started {
+                index,
+                attempt: attempts,
+            });
             let attempt = run_attempt(self.cfg.deadline, items, f, index);
             let failure = match attempt {
                 Ok(Ok(value)) => break Ok(value),
@@ -476,11 +548,24 @@ impl Supervisor {
                 break Err(failure);
             }
             counters.retries.fetch_add(1, Ordering::Relaxed);
+            notify(JobEvent::Retrying {
+                index,
+                attempt: attempts,
+                kind: failure.kind(),
+            });
             let delay = backoff_delay(&self.cfg, &splitter, index, attempts);
             if !delay.is_zero() {
                 std::thread::sleep(delay);
             }
         };
+        match &result {
+            Ok(_) => notify(JobEvent::Completed { index, attempts }),
+            Err(failure) => notify(JobEvent::Failed {
+                index,
+                attempts,
+                kind: failure.kind(),
+            }),
+        }
         JobOutcome { attempts, result }
     }
 }
@@ -707,6 +792,77 @@ mod tests {
         let report = sup.map(Vec::<u64>::new(), |_, &x| Ok(x));
         assert!(report.outcomes.is_empty());
         assert!(report.is_clean());
+    }
+
+    #[test]
+    fn observer_sees_the_full_job_lifecycle() {
+        let events = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&events);
+        let sup = Supervisor::new(SupervisorConfig {
+            max_attempts: 2,
+            ..SupervisorConfig::default()
+        });
+        let report = sup.map_seeded_observed(
+            vec![0u64, 1],
+            |_| 0,
+            |i, &x| {
+                assert!(i != 1, "boom");
+                Ok(x)
+            },
+            Some(Arc::new(move |e| {
+                sink.lock().expect("sink").push(e);
+            })),
+        );
+        assert_eq!(report.completed(), 1);
+        let events = events.lock().expect("sink");
+        let of = |index: usize| -> Vec<JobEvent> {
+            events
+                .iter()
+                .copied()
+                .filter(|e| match e {
+                    JobEvent::Started { index: i, .. }
+                    | JobEvent::Completed { index: i, .. }
+                    | JobEvent::Retrying { index: i, .. }
+                    | JobEvent::Failed { index: i, .. } => *i == index,
+                })
+                .collect()
+        };
+        assert_eq!(
+            of(0),
+            vec![
+                JobEvent::Started {
+                    index: 0,
+                    attempt: 1
+                },
+                JobEvent::Completed {
+                    index: 0,
+                    attempts: 1
+                },
+            ]
+        );
+        assert_eq!(
+            of(1),
+            vec![
+                JobEvent::Started {
+                    index: 1,
+                    attempt: 1
+                },
+                JobEvent::Retrying {
+                    index: 1,
+                    attempt: 1,
+                    kind: "panic"
+                },
+                JobEvent::Started {
+                    index: 1,
+                    attempt: 2
+                },
+                JobEvent::Failed {
+                    index: 1,
+                    attempts: 2,
+                    kind: "panic"
+                },
+            ]
+        );
     }
 
     #[test]

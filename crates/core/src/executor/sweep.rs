@@ -34,7 +34,7 @@ use crate::scenario::Scenario;
 use crate::world::checkpoint::scenario_fingerprint;
 
 use super::manifest::{ManifestError, PointState, SweepManifest};
-use super::supervisor::{JobFailure, Supervisor, SupervisorConfig, SweepReport};
+use super::supervisor::{JobFailure, JobObserver, Supervisor, SupervisorConfig, SweepReport};
 
 /// A hook invoked at the start of every job attempt with the point
 /// index — the chaos-injection seam used by tests and the
@@ -54,6 +54,9 @@ pub struct SweepConfig {
     pub inflight_interval: Option<SimDuration>,
     /// Chaos-injection hook, called at the start of every attempt.
     pub attempt_hook: Option<AttemptHook>,
+    /// Live fleet observer, receiving every attempt-level state change
+    /// (see [`super::fleet::FleetStatus`]).
+    pub observer: Option<JobObserver>,
 }
 
 impl std::fmt::Debug for SweepConfig {
@@ -63,6 +66,7 @@ impl std::fmt::Debug for SweepConfig {
             .field("manifest_path", &self.manifest_path)
             .field("inflight_interval", &self.inflight_interval)
             .field("attempt_hook", &self.attempt_hook.as_ref().map(|_| "…"))
+            .field("observer", &self.observer.as_ref().map(|_| "…"))
             .finish()
     }
 }
@@ -160,10 +164,11 @@ pub fn run_supervised(
     let every = cfg.inflight_interval.filter(|e| !e.is_zero());
     let hook = cfg.attempt_hook.clone();
     let job_ckpt = Arc::clone(&ckpt);
-    let mut report = supervisor.map_seeded(
+    let mut report = supervisor.map_seeded_observed(
         scenarios,
         |s| s.seed,
         move |index, s| run_point(index, s, &job_ckpt, every, hook.as_deref()),
+        cfg.observer.clone(),
     );
 
     report.counters.checkpoints_written = ckpt.checkpoints_written.load(Ordering::Relaxed);

@@ -259,6 +259,25 @@ pub struct TraceSpan {
     pub count: u64,
 }
 
+/// One histogram line of a trace (the `include_spans` trailer).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceHist {
+    /// Histogram name.
+    pub name: String,
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Whether the histogram tracks wall-clock quantities.
+    pub wall: bool,
+    /// Non-zero buckets as `(bucket index, count)`, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
 /// Every event kind the schema defines.
 pub const KNOWN_EVENT_KINDS: &[&str] = &[
     "window_start",
@@ -293,6 +312,8 @@ pub struct TraceFile {
     pub counters: Vec<(String, u64)>,
     /// Span totals, if the trace embeds them.
     pub spans: Vec<TraceSpan>,
+    /// Histogram snapshots, if the trace embeds them.
+    pub hists: Vec<TraceHist>,
 }
 
 /// Why a trace failed to parse — distinguishing genuinely invalid input
@@ -347,6 +368,7 @@ struct TraceAccumulator {
     events: Vec<TraceEvent>,
     counters: Vec<(String, u64)>,
     spans: Vec<TraceSpan>,
+    hists: Vec<TraceHist>,
     last_seq: Option<u64>,
     last_t: u64,
 }
@@ -393,6 +415,42 @@ impl TraceAccumulator {
                 total_ns: get_u64("total_ns")?,
                 count: get_u64("count")?,
             }),
+            "hist" => {
+                let get_f64 = |key: &str| -> Result<f64, String> {
+                    obj.get(key)
+                        .and_then(|v| v.as_f64())
+                        .ok_or_else(|| format!("missing number {key:?}"))
+                };
+                let wall = match obj.get("wall") {
+                    Some(JsonValue::Bool(b)) => *b,
+                    _ => return Err("missing boolean \"wall\"".into()),
+                };
+                // Non-zero buckets ride a compact "idx:count,idx:count"
+                // string so hist lines stay flat JSON objects.
+                let mut buckets = Vec::new();
+                let spec = get_str("buckets")?;
+                for pair in spec.split(',').filter(|p| !p.is_empty()) {
+                    let (idx, count) = pair
+                        .split_once(':')
+                        .ok_or_else(|| format!("malformed bucket pair {pair:?}"))?;
+                    let idx: u32 = idx
+                        .parse()
+                        .map_err(|_| format!("bad bucket index {idx:?}"))?;
+                    let count: u64 = count
+                        .parse()
+                        .map_err(|_| format!("bad bucket count {count:?}"))?;
+                    buckets.push((idx, count));
+                }
+                self.hists.push(TraceHist {
+                    name: get_str("name")?,
+                    count: get_u64("count")?,
+                    sum: get_f64("sum")?,
+                    min: get_f64("min")?,
+                    max: get_f64("max")?,
+                    wall,
+                    buckets,
+                });
+            }
             k if KNOWN_EVENT_KINDS.contains(&k) => {
                 if self.meta.is_none() {
                     return Err("event before meta line".into());
@@ -430,6 +488,7 @@ impl TraceAccumulator {
             events: self.events,
             counters: self.counters,
             spans: self.spans,
+            hists: self.hists,
         })
     }
 }
@@ -744,6 +803,36 @@ mod tests {
         assert_eq!(trace.spans.len(), 1);
         assert_eq!(trace.spans[0].name, "grid.update");
         assert_eq!(trace.spans[0].count, 1);
+    }
+
+    #[test]
+    fn hist_lines_parse_when_embedded() {
+        let mut t = Telemetry::new(TelemetryLevel::Counters);
+        let h = t.hist("run.robot_error_m");
+        for x in [0.5, 1.5, 1.5, -2.0] {
+            t.hist_record(h, x);
+        }
+        let trace = TraceFile::parse(&t.to_jsonl(true)).unwrap();
+        assert_eq!(trace.hists.len(), 1);
+        let hist = &trace.hists[0];
+        assert_eq!(hist.name, "run.robot_error_m");
+        assert_eq!(hist.count, 4);
+        assert_eq!(hist.sum, 1.5);
+        assert_eq!(hist.min, -2.0);
+        assert_eq!(hist.max, 1.5);
+        assert!(!hist.wall);
+        assert_eq!(hist.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 4);
+        // A trace without the trailer simply has no hists.
+        let bare = TraceFile::parse(&t.to_jsonl(false)).unwrap();
+        assert!(bare.hists.is_empty());
+    }
+
+    #[test]
+    fn malformed_hist_buckets_are_rejected() {
+        let text = "{\"kind\":\"meta\",\"schema\":1,\"level\":\"counters\",\"events\":0,\"dropped\":0}\n\
+                    {\"kind\":\"hist\",\"name\":\"x\",\"count\":1,\"sum\":1,\"min\":1,\"max\":1,\"wall\":false,\"buckets\":\"7\"}\n";
+        let err = TraceFile::parse(text).unwrap_err();
+        assert!(err.contains("malformed bucket pair"), "{err}");
     }
 
     #[test]

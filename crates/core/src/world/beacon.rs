@@ -57,7 +57,8 @@ pub(crate) fn transmit_intent(
             p
         }
     };
-    transmit(engine, world, robot, packet, now);
+    let scan_span = world.spans.channel_sample;
+    transmit(engine, world, robot, packet, now, scan_span);
 }
 
 /// Puts `packet` on the air from `robot` and schedules the delivery
@@ -68,6 +69,7 @@ pub(crate) fn transmit(
     robot: usize,
     packet: Packet,
     now: SimTime,
+    scan_span: cocoa_sim::telemetry::SpanId,
 ) {
     // A garbling transmitter corrupts the frame on the air: if the garbled
     // bytes still parse the receivers get a wrong-but-well-formed packet;
@@ -128,7 +130,7 @@ pub(crate) fn transmit(
         world.medium.record_rssi(tx, world.robots[j].id, rssi);
         receivers.push(j);
     }
-    world.telemetry.span_end(world.spans.channel_sample, sp);
+    world.telemetry.span_end(scan_span, sp);
     engine.schedule_at(now + duration, Event::TxEnd { tx, receivers });
 }
 
@@ -185,6 +187,9 @@ fn dispatch(
                 let r = &world.robots[robot];
                 r.has_fix.then(|| r.estimate(mode, &area))
             };
+            world
+                .telemetry
+                .hist_record(world.hists.beacon_rssi, rssi.value());
             let r = &mut world.robots[robot];
             if let Some(rf) = r.rf.as_mut() {
                 world.traffic.beacons_received += 1;

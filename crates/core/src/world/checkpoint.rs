@@ -56,7 +56,10 @@ use cocoa_sim::snapshot::{
     intern, put_bool, put_bytes, put_f64, put_str, put_u32, put_u64, put_u8, put_usize, Snapshot,
     SnapshotError, SnapshotReader, SnapshotWriter,
 };
-use cocoa_sim::telemetry::{SpanStart, StampedEvent, Telemetry, TelemetryEvent, TelemetryLevel};
+use cocoa_sim::telemetry::hist::{HistSnapshot, Histogram, NUM_BUCKETS};
+use cocoa_sim::telemetry::{
+    SpanStart, StampedEvent, Telemetry, TelemetryCheckpoint, TelemetryEvent, TelemetryLevel,
+};
 use cocoa_sim::time::{SimDuration, SimTime};
 use cocoa_sim::trace::TraceLevel;
 
@@ -1611,7 +1614,52 @@ fn encode_telemetry(t: &Telemetry) -> Vec<u8> {
         put_str(b, name);
         put_u64(b, value);
     });
+    // Deterministic histogram state (wall-clock histograms restart at
+    // zero on resume, exactly like span timers).
+    put_vec(
+        &mut buf,
+        &t.histograms().deterministic_sorted(),
+        |b, &(name, hist)| {
+            put_str(b, name);
+            put_hist(b, hist);
+        },
+    );
     buf
+}
+
+fn put_hist(buf: &mut Vec<u8>, h: &Histogram) {
+    let snap = h.snapshot();
+    put_u64(buf, snap.count);
+    put_f64(buf, snap.sum);
+    put_f64(buf, snap.min);
+    put_f64(buf, snap.max);
+    put_vec(buf, &snap.buckets, |b, &(idx, c)| {
+        put_u32(b, idx);
+        put_u64(b, c);
+    });
+}
+
+fn read_hist(r: &mut SnapshotReader<'_>) -> Result<Histogram, SnapshotError> {
+    let count = r.u64()?;
+    let sum = r.f64()?;
+    let min = r.f64()?;
+    let max = r.f64()?;
+    let buckets = read_vec(r, |r| Ok((r.u32()?, r.u64()?)))?;
+    for &(idx, _) in &buckets {
+        if idx as usize >= NUM_BUCKETS {
+            return Err(malformed(format!("histogram bucket index {idx}")));
+        }
+    }
+    if sum.is_nan() || min.is_nan() || max.is_nan() {
+        return Err(malformed("histogram NaN aggregate"));
+    }
+    Ok(Histogram::from_snapshot(&HistSnapshot {
+        buckets,
+        count,
+        sum,
+        min,
+        max,
+    }))
 }
 
 fn decode_telemetry(r: &mut SnapshotReader<'_>) -> Result<Telemetry, SnapshotError> {
@@ -1634,7 +1682,8 @@ fn decode_telemetry(r: &mut SnapshotReader<'_>) -> Result<Telemetry, SnapshotErr
         })
     })?;
     let counters = read_vec(r, |r| Ok((intern(r.str_()?), r.u64()?)))?;
-    Ok(Telemetry::from_checkpoint(
+    let hists = read_vec(r, |r| Ok((intern(r.str_()?), read_hist(r)?)))?;
+    Ok(Telemetry::from_checkpoint(TelemetryCheckpoint {
         level,
         capacity,
         seq,
@@ -1642,7 +1691,8 @@ fn decode_telemetry(r: &mut SnapshotReader<'_>) -> Result<Telemetry, SnapshotErr
         sample_interval,
         events,
         counters,
-    ))
+        hists,
+    }))
 }
 
 // ---------------------------------------------------------------------------
@@ -1783,6 +1833,7 @@ fn decode(
         t
     };
     let spans = SpanIds::register(&mut telemetry);
+    let hists = events::HistIds::register(&mut telemetry);
 
     let world = WorldState {
         scenario,
@@ -1803,6 +1854,7 @@ fn decode(
         max_guard: extras.max_guard,
         telemetry,
         spans,
+        hists,
         next_robot_sample: extras.next_robot_sample,
         fault_rng,
         burst: extras.burst,
@@ -2050,11 +2102,13 @@ impl SimRun {
 
         let mut telemetry = telemetry;
         let spans = SpanIds::register(&mut telemetry);
+        let hists = events::HistIds::register(&mut telemetry);
         let t_total = telemetry.span_start();
         world.scenario = scenario.clone();
         world.max_guard = (scenario.beacon_period / 4).max(scenario.guard_band);
         world.telemetry = telemetry;
         world.spans = spans;
+        world.hists = hists;
         world.next_robot_sample = None;
         let engine = world::build_initial_schedule(&mut world);
         Ok(SimRun {

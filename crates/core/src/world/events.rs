@@ -5,6 +5,7 @@ use cocoa_net::mac::TxId;
 use cocoa_net::packet::{NodeId, Packet};
 use cocoa_sim::engine::Engine;
 use cocoa_sim::faults::Fault;
+use cocoa_sim::telemetry::hist::HistId;
 use cocoa_sim::telemetry::{SpanId, Telemetry};
 use cocoa_sim::time::SimDuration;
 
@@ -86,8 +87,49 @@ pub(crate) struct SpanIds {
     pub(crate) grid_update: SpanId,
     pub(crate) grid_fix: SpanId,
     pub(crate) channel_sample: SpanId,
+    /// Channel scan for mesh JOIN REPLY transmissions. Distinct from
+    /// `channel_sample` so each scan attributes to the event category
+    /// that actually paid for it — the flamegraph fold relies on every
+    /// subsystem span having a single event-span parent.
+    pub(crate) channel_sample_reply: SpanId,
+    /// Channel scan for mesh rebroadcast transmissions (see
+    /// `channel_sample_reply`).
+    pub(crate) channel_sample_rebroadcast: SpanId,
     pub(crate) mesh_handle: SpanId,
     pub(crate) mobility_step: SpanId,
+}
+
+/// Pre-registered histogram handles, so hot paths never look a histogram
+/// up by name. All of these are deterministic (recorded from simulation
+/// state only); the one wall-clock histogram, `span.duration_us`, is
+/// owned by the bus itself.
+#[derive(Clone, Copy)]
+pub(crate) struct HistIds {
+    /// Per-robot localization error at each metrics tick, metres.
+    pub(crate) robot_error: HistId,
+    /// Team mean localization error at each metrics tick, metres.
+    pub(crate) team_error: HistId,
+    /// Posterior entropy fraction of RF robots at each metrics tick.
+    pub(crate) entropy_frac: HistId,
+    /// Per-fix localization error at window close, metres.
+    pub(crate) fix_err: HistId,
+    /// RSSI of every delivered beacon, dBm (negative values).
+    pub(crate) beacon_rssi: HistId,
+    /// Pending event-queue depth at each metrics tick.
+    pub(crate) queue_depth: HistId,
+}
+
+impl HistIds {
+    pub(crate) fn register(t: &mut Telemetry) -> HistIds {
+        HistIds {
+            robot_error: t.hist("run.robot_error_m"),
+            team_error: t.hist("run.team_error_m"),
+            entropy_frac: t.hist("run.entropy_frac"),
+            fix_err: t.hist("run.fix_err_m"),
+            beacon_rssi: t.hist("radio.beacon_rssi_dbm"),
+            queue_depth: t.hist("engine.queue_depth"),
+        }
+    }
 }
 
 impl SpanIds {
@@ -113,6 +155,8 @@ impl SpanIds {
             grid_update: t.span_id("grid.update"),
             grid_fix: t.span_id("grid.fix"),
             channel_sample: t.span_id("channel.sample"),
+            channel_sample_reply: t.span_id("channel.sample_reply"),
+            channel_sample_rebroadcast: t.span_id("channel.sample_rebroadcast"),
             mesh_handle: t.span_id("mesh.handle"),
             mobility_step: t.span_id("mobility.step"),
         }

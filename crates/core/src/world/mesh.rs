@@ -401,7 +401,8 @@ pub(crate) fn mesh_reply(
         return;
     }
     if let Some(packet) = world.robots[robot].mesh.make_reply(now, source) {
-        super::beacon::transmit(engine, world, robot, packet, now);
+        let scan_span = world.spans.channel_sample_reply;
+        super::beacon::transmit(engine, world, robot, packet, now, scan_span);
     }
 }
 
@@ -430,7 +431,10 @@ pub(crate) fn mesh_rebroadcast(
         .mesh
         .make_rebroadcast(now, source, seq, &info)
     {
-        Some(packet) => super::beacon::transmit(engine, world, robot, packet, now),
+        Some(packet) => {
+            let scan_span = world.spans.channel_sample_rebroadcast;
+            super::beacon::transmit(engine, world, robot, packet, now, scan_span);
+        }
         None => {
             if world.robots[robot].mesh.stats().queries_suppressed > suppressed_before {
                 world.telemetry.emit(

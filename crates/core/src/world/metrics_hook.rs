@@ -22,11 +22,24 @@ pub(crate) fn metrics_sample(engine: &mut Engine<Event>, world: &mut WorldState,
     let mut n = 0usize;
     for r in &world.robots {
         if r.alive && r.reports_error(mode) {
-            sum += r.localization_error(mode, &area);
+            let err = r.localization_error(mode, &area);
+            world.telemetry.hist_record(world.hists.robot_error, err);
+            sum += err;
             n += 1;
         }
+        if r.alive {
+            if let Some(frac) = r.rf.as_ref().and_then(|rf| rf.entropy_fraction()) {
+                world.telemetry.hist_record(world.hists.entropy_frac, frac);
+            }
+        }
     }
+    world
+        .telemetry
+        .hist_record(world.hists.queue_depth, engine.pending() as f64);
     if n > 0 {
+        world
+            .telemetry
+            .hist_record(world.hists.team_error, sum / n as f64);
         world.error_series.push(ErrorPoint {
             t_s: now.as_secs_f64(),
             mean_error_m: sum / n as f64,

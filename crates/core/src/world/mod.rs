@@ -61,7 +61,7 @@ use crate::robot::Robot;
 use crate::scenario::Scenario;
 use crate::sync::DriftingClock;
 
-use events::{Event, SpanIds};
+use events::{Event, HistIds, SpanIds};
 
 /// The multicast group every robot joins for SYNC delivery.
 pub(crate) const SYNC_GROUP: GroupId = GroupId(1);
@@ -99,6 +99,7 @@ pub(crate) struct WorldState {
     pub(crate) max_guard: SimDuration,
     pub(crate) telemetry: Telemetry,
     pub(crate) spans: SpanIds,
+    pub(crate) hists: HistIds,
     /// Next sim time at which per-robot timeline samples are due.
     pub(crate) next_robot_sample: Option<SimTime>,
     // Fault-injection state.
@@ -208,6 +209,7 @@ pub fn run_with_telemetry(scenario: &Scenario, telemetry: Telemetry) -> (RunMetr
 /// the checkpoint warm-fork path. Does not schedule any events.
 pub(crate) fn setup_world(scenario: &Scenario, mut telemetry: Telemetry) -> WorldState {
     let spans = SpanIds::register(&mut telemetry);
+    let hists = HistIds::register(&mut telemetry);
     let t_calibrate = telemetry.span_start();
     scenario
         .validate()
@@ -337,6 +339,7 @@ pub(crate) fn setup_world(scenario: &Scenario, mut telemetry: Telemetry) -> Worl
         max_guard,
         telemetry,
         spans,
+        hists,
         next_robot_sample: None,
         fault_rng: split.stream("faults", 0),
         burst: None,

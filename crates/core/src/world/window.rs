@@ -216,6 +216,10 @@ pub(crate) fn robot_window_end(
                     r.has_fix = true;
                     r.last_fix_window = Some(window);
                     world.traffic.fixes += 1;
+                    world.telemetry.hist_record(
+                        world.hists.fix_err,
+                        r.motion.true_position().distance_to(fix),
+                    );
                     world.telemetry.emit(
                         now,
                         TelemetryEvent::Fix {

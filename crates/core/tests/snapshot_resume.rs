@@ -122,6 +122,41 @@ fn resume_is_bit_identical_for_every_grid_kernel_variant() {
 }
 
 #[test]
+fn resume_restores_histogram_state_bit_identically() {
+    // The deterministic histograms (per-robot error, entropy, RSSI,
+    // queue depth, …) are part of the snapshot codec: a resumed run's
+    // final histograms must equal the uninterrupted run's, bucket for
+    // bucket and aggregate for aggregate. Wall-clock histograms
+    // (`span.duration_us`) are measurement, not state — they restart
+    // empty on resume and are excluded from the comparison.
+    let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2);
+    for protocol in MulticastProtocol::ALL {
+        let s = scenario(42, protocol, "chaos");
+        let (_, t_cold) = SimRun::new(&s, Telemetry::new(TelemetryLevel::Full)).finish();
+
+        let mut first = SimRun::new(&s, Telemetry::new(TelemetryLevel::Full));
+        first.run_until(at);
+        let bytes = first.capture();
+        drop(first);
+        let resumed = SimRun::resume(&bytes).expect("own snapshot must restore");
+        let (_, t_res) = resumed.finish();
+
+        let cold: Vec<_> = t_cold.histograms().deterministic_sorted();
+        let res: Vec<_> = t_res.histograms().deterministic_sorted();
+        assert_eq!(
+            cold,
+            res,
+            "{}: deterministic histograms diverged after resume",
+            protocol.as_str()
+        );
+        assert!(
+            cold.iter().any(|(_, h)| h.count() > 0),
+            "the comparison must cover populated histograms"
+        );
+    }
+}
+
+#[test]
 fn marked_resume_counts_and_announces_the_restore() {
     let s = scenario(42, MulticastProtocol::Flood, "sync-crash");
     let mut first = SimRun::new(&s, Telemetry::new(TelemetryLevel::Full));

@@ -43,6 +43,119 @@ fn different_seeds_give_different_traces() {
 }
 
 #[test]
+fn histograms_have_zero_observer_effect() {
+    // Histogram recording must be invisible to the simulation AND to the
+    // deterministic trace: with histograms on vs off, RunMetrics and the
+    // wall-clock-free JSONL are byte-identical across every mesh backend
+    // and under fault injection. Hist lines ride only the `to_jsonl(true)`
+    // trailer, next to the span report.
+    use cocoa_multicast::protocol::MulticastProtocol;
+    let mut variants = Vec::new();
+    for protocol in [
+        MulticastProtocol::Flood,
+        MulticastProtocol::Odmrp,
+        MulticastProtocol::Mrmm,
+    ] {
+        let mut s = scenario(11);
+        s.multicast = protocol;
+        s.validate().expect("valid scenario");
+        variants.push(s);
+    }
+    variants.push(faulty_scenario(11));
+    for s in variants {
+        let mut dark = Telemetry::new(TelemetryLevel::Full);
+        dark.set_histograms(false);
+        let (m_off, t_off) = run_with_telemetry(&s, dark);
+        let (m_on, t_on) = run_with_telemetry(&s, Telemetry::new(TelemetryLevel::Full));
+        assert_eq!(
+            m_on, m_off,
+            "histograms changed RunMetrics ({:?})",
+            s.multicast
+        );
+        assert_eq!(
+            t_on.to_jsonl(false),
+            t_off.to_jsonl(false),
+            "histograms changed the deterministic trace ({:?})",
+            s.multicast
+        );
+        // And the instrumented side actually measured something.
+        let populated = t_on
+            .histograms()
+            .sorted()
+            .iter()
+            .any(|(_, h, _)| h.count() > 0);
+        assert!(populated, "instrumented run recorded no histogram samples");
+        assert!(
+            t_off
+                .histograms()
+                .sorted()
+                .iter()
+                .all(|(_, h, _)| h.count() == 0),
+            "set_histograms(false) must record nothing"
+        );
+    }
+}
+
+#[test]
+fn exposition_export_round_trips_from_a_real_run() {
+    use cocoa_sim::telemetry::export::{parse_exposition, MetricsSnapshot};
+    let (_, t) = run_with_telemetry(&scenario(42), Telemetry::new(TelemetryLevel::Full));
+    let text = MetricsSnapshot::from_telemetry(&t).to_exposition();
+    let families = parse_exposition(&text).expect("exported text must satisfy our own lint");
+    // The run instruments at least the six core distributions plus span
+    // durations; each must survive the round trip with samples intact.
+    let hist_families: Vec<_> = families.iter().filter(|f| !f.buckets.is_empty()).collect();
+    assert!(
+        hist_families.len() >= 6,
+        "expected >= 6 histogram families, got {}",
+        hist_families.len()
+    );
+    assert!(
+        families
+            .iter()
+            .any(|f| f.name.starts_with("cocoa_traffic_")),
+        "counters must be exported alongside histograms"
+    );
+}
+
+#[test]
+fn folded_stacks_conserve_span_profiler_totals_exactly() {
+    use cocoa_sim::telemetry::export::fold_spans;
+    let (_, t) = run_with_telemetry(&scenario(42), Telemetry::new(TelemetryLevel::Full));
+    let report = t.spans().report();
+    assert!(!report.is_empty(), "a full-telemetry run must record spans");
+    let totals: Vec<(&str, u128)> = report.iter().map(|s| (s.name, s.total_ns)).collect();
+    let folded = fold_spans(&totals);
+    // Per-span conservation: a span's profiler total equals its folded
+    // self time plus the folded lines of all stacks nesting under it.
+    for stat in &report {
+        let attributed: u128 = folded
+            .iter()
+            .filter(|(stack, _)| {
+                stack.ends_with(&format!(";{}", stat.name))
+                    || stack == stat.name
+                    || stack.contains(&format!(";{};", stat.name))
+                    || stack.starts_with(&format!("{};", stat.name))
+            })
+            .map(|(_, v)| *v)
+            .sum();
+        assert_eq!(
+            attributed, stat.total_ns,
+            "span {} lost time in the fold",
+            stat.name
+        );
+    }
+    // Global conservation: the flamegraph's grand total is the root's
+    // profiler total (everything nests under run.total).
+    let grand: u128 = folded.iter().map(|(_, v)| *v).sum();
+    let root = report
+        .iter()
+        .find(|s| s.name == "run.total")
+        .expect("run.total span");
+    assert_eq!(grand, root.total_ns);
+}
+
+#[test]
 fn observation_does_not_perturb_the_run() {
     // The whole point of the read-only telemetry design: metrics from an
     // instrumented run equal metrics from a dark run, bit for bit.

@@ -57,6 +57,11 @@ use crate::jsonfmt::{escape_json, write_opt_f64};
 use crate::time::{SimDuration, SimTime};
 use crate::trace::{Trace, TraceLevel};
 
+pub mod export;
+pub mod hist;
+
+use hist::{HistId, Histogram, HistogramRegistry};
+
 /// Version of the JSONL trace schema emitted by [`Telemetry::to_jsonl`].
 pub const TRACE_SCHEMA_VERSION: u32 = 1;
 
@@ -324,6 +329,29 @@ pub struct StampedEvent {
     pub event: TelemetryEvent,
 }
 
+/// Checkpointed bus state for [`Telemetry::from_checkpoint`]: everything
+/// deterministic the bus carries — wall-clock span timers and wall
+/// histograms are deliberately absent.
+#[derive(Debug)]
+pub struct TelemetryCheckpoint {
+    /// The recording level.
+    pub level: TelemetryLevel,
+    /// Ring-buffer capacity bound, if one was set.
+    pub capacity: Option<usize>,
+    /// Next sequence number to assign.
+    pub seq: u64,
+    /// Events evicted before the capture.
+    pub dropped: u64,
+    /// Per-robot timeline sampling interval, if configured.
+    pub sample_interval: Option<SimDuration>,
+    /// The retained event window.
+    pub events: Vec<StampedEvent>,
+    /// Counter values by name.
+    pub counters: Vec<(&'static str, u64)>,
+    /// Deterministic histogram states by name.
+    pub hists: Vec<(&'static str, Histogram)>,
+}
+
 /// Handle to one registered counter (index into the registry, `Copy`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CounterId(usize);
@@ -561,6 +589,9 @@ pub struct Telemetry {
     dropped: u64,
     counters: CounterRegistry,
     spans: SpanProfiler,
+    hists: HistogramRegistry,
+    hist_enabled: bool,
+    span_dur_hist: HistId,
     legacy: Option<Trace>,
     sample_interval: Option<SimDuration>,
 }
@@ -568,6 +599,10 @@ pub struct Telemetry {
 impl Telemetry {
     /// A bus recording at `level`, unbounded.
     pub fn new(level: TelemetryLevel) -> Self {
+        let mut hists = HistogramRegistry::new();
+        // Span durations are wall-clock — the one non-deterministic hist,
+        // excluded from snapshots and equivalence checks like span timers.
+        let span_dur_hist = hists.register("span.duration_us", true);
         Telemetry {
             level,
             events: VecDeque::new(),
@@ -576,6 +611,9 @@ impl Telemetry {
             dropped: 0,
             counters: CounterRegistry::new(),
             spans: SpanProfiler::new(),
+            hists,
+            hist_enabled: true,
+            span_dur_hist,
             legacy: None,
             sample_interval: None,
         }
@@ -607,29 +645,26 @@ impl Telemetry {
     }
 
     /// Rebuilds a bus from checkpointed state: the retained event window,
-    /// the emission/drop totals and the counter values, exactly as captured.
+    /// the emission/drop totals, the counter values and the deterministic
+    /// histogram states, exactly as captured.
     ///
-    /// Span timers restart at zero — span durations are wall-clock, the one
+    /// Span timers (and wall-clock histograms such as `span.duration_us`)
+    /// restart at zero — span durations are wall-clock, the one
     /// non-deterministic quantity the bus records, and are excluded from
     /// snapshots by design. Any legacy [`Trace`] attachment is likewise not
     /// part of a checkpoint; reattach one after restoring if needed.
-    pub fn from_checkpoint(
-        level: TelemetryLevel,
-        capacity: Option<usize>,
-        seq: u64,
-        dropped: u64,
-        sample_interval: Option<SimDuration>,
-        events: Vec<StampedEvent>,
-        counters: Vec<(&'static str, u64)>,
-    ) -> Self {
-        let mut t = Telemetry::new(level);
-        t.capacity = capacity;
-        t.seq = seq;
-        t.dropped = dropped;
-        t.sample_interval = sample_interval;
-        t.events = events.into();
-        for (name, value) in counters {
+    pub fn from_checkpoint(c: TelemetryCheckpoint) -> Self {
+        let mut t = Telemetry::new(c.level);
+        t.capacity = c.capacity;
+        t.seq = c.seq;
+        t.dropped = c.dropped;
+        t.sample_interval = c.sample_interval;
+        t.events = c.events.into();
+        for (name, value) in c.counters {
             t.counters.set(name, value);
+        }
+        for (name, hist) in c.hists {
+            t.hists.restore(name, hist);
         }
         t
     }
@@ -790,6 +825,43 @@ impl Telemetry {
         &self.counters
     }
 
+    /// Registers (or looks up) a deterministic histogram.
+    pub fn hist(&mut self, name: &'static str) -> HistId {
+        self.hists.register(name, false)
+    }
+
+    /// Registers (or looks up) a wall-clock histogram — excluded from
+    /// snapshots and determinism checks, like span timers.
+    pub fn hist_wall(&mut self, name: &'static str) -> HistId {
+        self.hists.register(name, true)
+    }
+
+    /// Records a histogram sample (no-op below `Counters` or when
+    /// histograms are disabled). Recording is a branch plus four writes —
+    /// no allocation, no clock, no RNG — so it never perturbs a run.
+    #[inline]
+    pub fn hist_record(&mut self, id: HistId, x: f64) {
+        if self.hist_enabled && self.level >= TelemetryLevel::Counters {
+            self.hists.record(id, x);
+        }
+    }
+
+    /// Enables or disables histogram recording wholesale (used by the
+    /// zero-observer-effect suite to compare on vs off).
+    pub fn set_histograms(&mut self, enabled: bool) {
+        self.hist_enabled = enabled;
+    }
+
+    /// Whether histogram recording is enabled.
+    pub fn histograms_enabled(&self) -> bool {
+        self.hist_enabled
+    }
+
+    /// The histogram registry.
+    pub fn histograms(&self) -> &HistogramRegistry {
+        &self.hists
+    }
+
     /// Registers (or looks up) a span by name.
     pub fn span_id(&mut self, name: &'static str) -> SpanId {
         self.spans.register(name)
@@ -806,11 +878,18 @@ impl Telemetry {
         }
     }
 
-    /// Closes a span opened with [`Telemetry::span_start`].
+    /// Closes a span opened with [`Telemetry::span_start`]. The duration
+    /// also feeds the wall-clock `span.duration_us` histogram (spans only
+    /// open at `Full`, so this costs nothing otherwise).
     #[inline]
     pub fn span_end(&mut self, id: SpanId, start: SpanStart) {
         if let Some(t0) = start {
-            self.spans.record(id, t0.elapsed());
+            let elapsed = t0.elapsed();
+            self.spans.record(id, elapsed);
+            if self.hist_enabled {
+                self.hists
+                    .record(self.span_dur_hist, elapsed.as_secs_f64() * 1e6);
+            }
         }
     }
 
@@ -848,9 +927,10 @@ impl Telemetry {
     /// Serializes the deterministic part of the bus as JSONL: one `meta`
     /// header line, one line per event, and one `counter` line per
     /// registered counter (sorted by name). With `include_spans`, a
-    /// trailer of `span` lines is appended — span durations are wall-clock
-    /// and therefore the only non-reproducible content; leave them out to
-    /// get a byte-identical trace across identical seeds.
+    /// trailer of `span` lines and non-empty `hist` lines is appended —
+    /// span durations (and the `span.duration_us` histogram) are
+    /// wall-clock and therefore non-reproducible content; leave the
+    /// trailer out to get a byte-identical trace across identical seeds.
     pub fn to_jsonl(&self, include_spans: bool) -> String {
         let mut out = String::with_capacity(64 + self.events.len() * 96);
         let _ = writeln!(
@@ -874,6 +954,28 @@ impl Telemetry {
                     "{{\"kind\":\"span\",\"name\":\"{}\",\"total_ns\":{},\"count\":{}}}",
                     s.name, s.total_ns, s.count
                 );
+            }
+            for (name, h, wall) in self.hists.sorted() {
+                if h.is_empty() {
+                    continue;
+                }
+                let _ = write!(
+                    out,
+                    "{{\"kind\":\"hist\",\"name\":\"{name}\",\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"wall\":{wall},\"buckets\":\"",
+                    h.count(),
+                    h.sum(),
+                    h.min(),
+                    h.max()
+                );
+                let mut first = true;
+                for (idx, c) in h.nonzero_buckets() {
+                    if !first {
+                        out.push(',');
+                    }
+                    first = false;
+                    let _ = write!(out, "{idx}:{c}");
+                }
+                out.push_str("\"}\n");
             }
         }
         out
@@ -1248,6 +1350,47 @@ mod tests {
         t.span_end(id, s);
         assert!(!t.to_jsonl(false).contains("\"kind\":\"span\""));
         assert!(t.to_jsonl(true).contains("\"kind\":\"span\""));
+    }
+
+    #[test]
+    fn hist_recording_is_gated_by_level_and_toggle() {
+        let mut t = Telemetry::off();
+        let h = t.hist("run.x");
+        t.hist_record(h, 1.0);
+        assert!(t.histograms().get("run.x").unwrap().is_empty());
+
+        let mut t = Telemetry::new(TelemetryLevel::Counters);
+        let h = t.hist("run.x");
+        t.hist_record(h, 1.0);
+        assert_eq!(t.histograms().get("run.x").unwrap().count(), 1);
+        t.set_histograms(false);
+        t.hist_record(h, 2.0);
+        assert_eq!(t.histograms().get("run.x").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn hist_lines_ride_the_span_trailer_only() {
+        let mut t = Telemetry::new(TelemetryLevel::Counters);
+        let h = t.hist("run.x");
+        t.hist_record(h, 2.5);
+        assert!(!t.to_jsonl(false).contains("\"kind\":\"hist\""));
+        let full = t.to_jsonl(true);
+        assert!(full.contains(
+            "{\"kind\":\"hist\",\"name\":\"run.x\",\"count\":1,\"sum\":2.5,\"min\":2.5,\"max\":2.5,\"wall\":false,\"buckets\":\""
+        ));
+        // The empty span.duration_us histogram is omitted.
+        assert!(!full.contains("span.duration_us"));
+    }
+
+    #[test]
+    fn span_end_feeds_the_wall_duration_hist() {
+        let mut t = Telemetry::new(TelemetryLevel::Full);
+        let id = t.span_id("grid.update");
+        let s = t.span_start();
+        t.span_end(id, s);
+        let h = t.histograms().get("span.duration_us").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(t.histograms().is_wall("span.duration_us"), Some(true));
     }
 
     #[test]
