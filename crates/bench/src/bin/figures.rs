@@ -7,14 +7,15 @@
 //! ```
 //!
 //! Pass figure names (`fig1 fig4 fig6 fig7 fig8 fig9 fig10 ablations
-//! multicast geo`) to run a subset.
+//! multicast estimator geo`) to run a subset.
 
 use cocoa_bench::figure_scale;
 use cocoa_core::experiment::{
-    ablation_grid_resolution, ablation_multicast, ablation_packet_loss, ablation_propagation,
-    ablation_relay_beaconing, ablation_rf_algorithm, ablation_sync, ablation_tx_power,
-    fig10_equipped, fig1_calibration, fig4_odometry, fig6_rf_only, fig7_comparison, fig8_cdf,
-    fig9_period, render_ablation, render_multicast_ablation,
+    ablation_estimator, ablation_grid_resolution, ablation_multicast, ablation_packet_loss,
+    ablation_propagation, ablation_relay_beaconing, ablation_rf_algorithm, ablation_sync,
+    ablation_tx_power, fig10_equipped, fig1_calibration, fig4_odometry, fig6_rf_only,
+    fig7_comparison, fig8_cdf, fig9_period, render_ablation, render_estimator_ablation,
+    render_multicast_ablation,
 };
 use cocoa_core::prelude::*;
 use cocoa_georouting::prelude::*;
@@ -153,6 +154,9 @@ fn main() {
     }
     if want("multicast") {
         println!("{}", render_multicast_ablation(&ablation_multicast(scale)));
+    }
+    if want("estimator") {
+        println!("{}", render_estimator_ablation(&ablation_estimator(scale)));
     }
     if want("geo") {
         geo_routing_experiment();

@@ -29,7 +29,9 @@ use std::time::Instant;
 
 use cocoa_bench::regress;
 
-use cocoa_core::experiment::{fig7_comparison, fig9_scenarios, ExperimentScale};
+use cocoa_core::experiment::{
+    ablation_estimator, fig7_comparison, fig9_scenarios, ExperimentScale,
+};
 use cocoa_core::metrics::RunMetrics;
 use cocoa_core::runner::{run, SimRun};
 use cocoa_localization::adaptive::AdaptiveGrid;
@@ -268,6 +270,23 @@ fn main() -> ExitCode {
     let fig7_secs = t0.elapsed().as_secs_f64();
     let fig7_headline = fig7.headline();
 
+    // Quick-scale estimator-backend ablation: the summary rows feed the
+    // regression gate, so a change that silently degrades one RF backend
+    // (or stops exercising the outlier gate under faults) trips `--check`.
+    let t0 = Instant::now();
+    let est_rows = ablation_estimator(ExperimentScale::quick());
+    let est_secs = t0.elapsed().as_secs_f64();
+    let est = |algo: &str, faults: &str| {
+        est_rows
+            .iter()
+            .find(|r| r.algorithm.to_string() == algo && r.faults == faults)
+            .expect("ablation_estimator rows are fixed")
+    };
+    let est_bayes = est("bayes", "none");
+    let est_lateration = est("multilateration", "none");
+    let est_ekf = est("ekf", "none");
+    let est_ekf_chaos = est("ekf", "chaos");
+
     // Warm-start sweep: the default beacon-period family (Fig. 9, paper
     // periods 10/50/100/300 s) executed point by point, cold vs forked
     // from a shared time-zero snapshot. Both paths run serially so the
@@ -343,6 +362,15 @@ fn main() -> ExitCode {
         println!("fig7 headline @ 2 m/s: CoCoA {cocoa:.1} m vs RF-only {rf:.1} m");
     }
     println!(
+        "estimator ablation:    bayes {:.2} m / wls {:.2} m / ekf {:.2} m \
+         (chaos {:.2} m, {} gated) in {est_secs:.2} s",
+        est_bayes.mean_error_m,
+        est_lateration.mean_error_m,
+        est_ekf.mean_error_m,
+        est_ekf_chaos.mean_error_m,
+        est_ekf_chaos.outliers_rejected,
+    );
+    println!(
         "warm-start sweep:      cold {snap_cold_secs:.2} s, warm {snap_warm_secs:.2} s \
          ({snap_speedup:.2}x, setup {snap_setup_secs:.3} s, snapshot {snapshot_bytes} B)"
     );
@@ -387,6 +415,22 @@ fn main() -> ExitCode {
     );
     std::fs::write("BENCH_snapshot.json", &snap_json).expect("write BENCH_snapshot.json");
     println!("wrote BENCH_snapshot.json");
+
+    let est_json = format!(
+        "{{\n  \"estimator_bayes_error_m\": {:.4},\n  \
+         \"estimator_multilateration_error_m\": {:.4},\n  \
+         \"estimator_ekf_error_m\": {:.4},\n  \
+         \"estimator_ekf_chaos_error_m\": {:.4},\n  \
+         \"estimator_ekf_chaos_outliers_rejected\": {},\n  \
+         \"estimator_quick_wall_secs\": {est_secs:.3}\n}}\n",
+        est_bayes.mean_error_m,
+        est_lateration.mean_error_m,
+        est_ekf.mean_error_m,
+        est_ekf_chaos.mean_error_m,
+        est_ekf_chaos.outliers_rejected,
+    );
+    std::fs::write("BENCH_estimator.json", &est_json).expect("write BENCH_estimator.json");
+    println!("wrote BENCH_estimator.json");
 
     if do_record {
         let current = match regress::load_current(Path::new(".")) {

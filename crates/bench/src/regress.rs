@@ -91,6 +91,18 @@ pub const SPECS: &[MetricSpec] = &[
     spec("grid_adaptive_cells_ratio", HigherIsBetter, 0.05),
     spec("grid_adaptive_estimate_delta_m", LowerIsBetter, 0.05),
     spec("fig7_quick_wall_secs", LowerIsBetter, 1.0),
+    // --- BENCH_estimator.json: quick-scale estimator-backend ablation.
+    // The errors are deterministic for a fixed seed, but deliberate
+    // algorithm tuning legitimately moves them — tolerances are loose so
+    // only a substantial accuracy loss gates. The chaos row is
+    // informational: fault interleavings shift with unrelated scheduling
+    // changes.
+    spec("estimator_bayes_error_m", LowerIsBetter, 0.15),
+    spec("estimator_multilateration_error_m", LowerIsBetter, 0.3),
+    spec("estimator_ekf_error_m", LowerIsBetter, 0.3),
+    spec("estimator_ekf_chaos_error_m", Informational, 0.0),
+    spec("estimator_ekf_chaos_outliers_rejected", Informational, 0.0),
+    spec("estimator_quick_wall_secs", LowerIsBetter, 1.0),
     // --- BENCH_snapshot.json ---
     spec("snapshot_bytes", LowerIsBetter, 0.02),
     spec("cold_wall_secs", LowerIsBetter, 1.0),
@@ -152,7 +164,11 @@ pub fn parse_metrics(text: &str) -> Result<Metrics, String> {
 pub fn load_current(dir: &Path) -> Result<Metrics, String> {
     let mut merged = Metrics::new();
     let mut found = false;
-    for name in ["BENCH_grid.json", "BENCH_snapshot.json"] {
+    for name in [
+        "BENCH_grid.json",
+        "BENCH_snapshot.json",
+        "BENCH_estimator.json",
+    ] {
         let path = dir.join(name);
         let Ok(text) = fs::read_to_string(&path) else {
             continue;

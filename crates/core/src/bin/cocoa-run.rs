@@ -48,7 +48,8 @@ OPTIONS:
     --mode MODE         cocoa | rf-only | odometry        [default: cocoa]
     --multicast PROTO   SYNC transport: flood | odmrp | mrmm
                                                           [default: mrmm]
-    --algorithm ALGO    bayes | multilateration           [default: bayes]
+    --estimator ALGO    bayes | multilateration | ekf     [default: bayes]
+    --algorithm ALGO    alias of --estimator
     --grid METRES       Bayesian grid resolution          [default: 2.0]
     --grid-kernel K     grid inner loop: simd | scalar    [default: simd]
     --grid-precision P  lane arithmetic: f64 | f32        [default: f64]
@@ -230,14 +231,17 @@ fn parse_args() -> Result<Args, ArgError> {
                 }
                 other => return Err(Usage(format!("unknown mode '{other}'"))),
             },
-            "--algorithm" => match value("--algorithm")?.as_str() {
+            "--estimator" | "--algorithm" => match value(&flag)?.as_str() {
                 "bayes" => {
                     b.rf_algorithm(RfAlgorithm::Bayes);
                 }
                 "multilateration" => {
                     b.rf_algorithm(RfAlgorithm::Multilateration);
                 }
-                other => return Err(Usage(format!("unknown algorithm '{other}'"))),
+                "ekf" => {
+                    b.rf_algorithm(RfAlgorithm::Ekf);
+                }
+                other => return Err(Usage(format!("unknown estimator '{other}'"))),
             },
             "--grid" => {
                 b.grid_resolution(

@@ -177,6 +177,32 @@ fn summary(trace: &TraceFile) {
             println!("grid refined    {refined}");
         }
     }
+    // One-line estimator digest: which RF backend ran and how its windows
+    // resolved (`estimator.<backend>.*` is emitted by every counter run).
+    for backend in ["bayes", "multilateration", "ekf"] {
+        let est = |short: &str| grid(&format!("estimator.{backend}.{short}"));
+        if est("windows") == 0 && est("beacons_seen") == 0 {
+            continue;
+        }
+        let mut parts = vec![
+            format!("windows={}", est("windows")),
+            format!("fixes={}", est("fixes")),
+            format!("flat={}", est("flat_windows")),
+            format!("beacons={}/{}", est("beacons_applied"), est("beacons_seen")),
+        ];
+        let rejected = est("beacons_rejected_outlier");
+        if rejected > 0 {
+            parts.push(format!("outliers={rejected}"));
+        }
+        if backend == "ekf" {
+            parts.push(format!(
+                "updates={}/{}",
+                est("updates_applied"),
+                est("updates_applied") + est("updates_gated")
+            ));
+        }
+        println!("estimator {backend:<5} {}", parts.join(" "));
+    }
     // One-line supervisor digest when a sweep bus absorbed its counters.
     let supervisor: Vec<String> = trace
         .counters

@@ -25,7 +25,9 @@
 use bytes::Bytes;
 
 use cocoa_localization::adaptive::Tile;
+use cocoa_localization::backend::BackendCheckpoint;
 use cocoa_localization::bayes::GridStats;
+use cocoa_localization::ekf::EkfSnapshot;
 use cocoa_localization::estimator::{
     EstimatorCheckpoint, EstimatorMode, RfAlgorithm, WindowStats, WindowedRfEstimator,
 };
@@ -378,6 +380,7 @@ fn encode_scenario(s: &Scenario) -> Vec<u8> {
         match s.rf_algorithm {
             RfAlgorithm::Bayes => 0,
             RfAlgorithm::Multilateration => 1,
+            RfAlgorithm::Ekf => 2,
         },
     );
     put_bool(&mut buf, s.coordination);
@@ -487,6 +490,7 @@ fn decode_scenario(r: &mut SnapshotReader<'_>) -> Result<Scenario, SnapshotError
     let rf_algorithm = match r.u8()? {
         0 => RfAlgorithm::Bayes,
         1 => RfAlgorithm::Multilateration,
+        2 => RfAlgorithm::Ekf,
         t => return Err(bad_tag("rf algorithm", t)),
     };
     let coordination = r.bool()?;
@@ -839,12 +843,16 @@ fn decode_medium(r: &mut SnapshotReader<'_>) -> Result<MediumState, SnapshotErro
 // Robots section.
 // ---------------------------------------------------------------------------
 
+/// Writes the v4 estimator section: the lifecycle header shared by every
+/// backend, then a backend tag and the tagged solver payload (mirroring
+/// [`BackendCheckpoint`]).
 fn put_estimator(buf: &mut Vec<u8>, c: &EstimatorCheckpoint) {
     put_u8(
         buf,
-        match c.algorithm {
+        match c.algorithm() {
             RfAlgorithm::Bayes => 0,
             RfAlgorithm::Multilateration => 1,
+            RfAlgorithm::Ekf => 2,
         },
     );
     put_opt(buf, c.last_fix, put_point);
@@ -855,86 +863,147 @@ fn put_estimator(buf: &mut Vec<u8>, c: &EstimatorCheckpoint) {
     put_u64(buf, c.stats.beacons_seen);
     put_u64(buf, c.stats.beacons_applied);
     put_u64(buf, c.stats.beacons_rejected_outlier);
-    put_vec(buf, &c.posterior_cells, |b, &p| put_f64(b, p));
-    put_u32(buf, c.beacons_applied);
-    put_u32(buf, c.beacons_seen);
-    put_vec(buf, &c.ranges, |b, obs| {
-        put_point(b, obs.anchor);
-        put_f64(b, obs.range);
-        put_f64(b, obs.weight);
-    });
-    put_vec(buf, &c.adaptive_tiles, |b, tile| match tile {
-        Tile::Coarse(mass) => {
-            put_u8(b, 0);
-            put_f64(b, *mass);
+    match &c.backend {
+        BackendCheckpoint::Bayes {
+            posterior_cells,
+            adaptive_tiles,
+            pending,
+            grid_stats,
+            beacons_applied,
+            beacons_seen,
+        } => {
+            put_vec(buf, posterior_cells, |b, &p| put_f64(b, p));
+            put_u32(buf, *beacons_applied);
+            put_u32(buf, *beacons_seen);
+            put_vec(buf, adaptive_tiles, |b, tile| match tile {
+                Tile::Coarse(mass) => {
+                    put_u8(b, 0);
+                    put_f64(b, *mass);
+                }
+                Tile::Refined(cells) => {
+                    put_u8(b, 1);
+                    put_vec(b, cells, |b, &m| put_f64(b, m));
+                }
+            });
+            put_vec(buf, pending, |b, &(anchor, bin)| {
+                put_point(b, anchor);
+                put_u32(b, bin.0 as u16 as u32);
+            });
+            put_u64(buf, grid_stats.kernel_scalar);
+            put_u64(buf, grid_stats.kernel_simd);
+            put_u64(buf, grid_stats.kernel_simd_f32);
+            put_u64(buf, grid_stats.kernel_fused);
+            put_u64(buf, grid_stats.kernel_adaptive);
+            put_u64(buf, grid_stats.fused_windows);
+            put_u64(buf, grid_stats.cells_touched);
+            put_u64(buf, grid_stats.cells_refined);
         }
-        Tile::Refined(cells) => {
-            put_u8(b, 1);
-            put_vec(b, cells, |b, &m| put_f64(b, m));
+        BackendCheckpoint::Lateration { ranges } => {
+            put_vec(buf, ranges, |b, obs| {
+                put_point(b, obs.anchor);
+                put_f64(b, obs.range);
+                put_f64(b, obs.weight);
+            });
         }
-    });
-    put_vec(buf, &c.pending, |b, &(anchor, bin)| {
-        put_point(b, anchor);
-        put_u32(b, bin.0 as u16 as u32);
-    });
-    put_u64(buf, c.grid_stats.kernel_scalar);
-    put_u64(buf, c.grid_stats.kernel_simd);
-    put_u64(buf, c.grid_stats.kernel_simd_f32);
-    put_u64(buf, c.grid_stats.kernel_fused);
-    put_u64(buf, c.grid_stats.kernel_adaptive);
-    put_u64(buf, c.grid_stats.fused_windows);
-    put_u64(buf, c.grid_stats.cells_touched);
-    put_u64(buf, c.grid_stats.cells_refined);
+        BackendCheckpoint::Ekf {
+            filter,
+            window_applied,
+            last_odo,
+        } => {
+            put_f64(buf, filter.x);
+            put_f64(buf, filter.y);
+            put_f64(buf, filter.p11);
+            put_f64(buf, filter.p12);
+            put_f64(buf, filter.p22);
+            put_u64(buf, filter.updates_applied);
+            put_u64(buf, filter.updates_gated);
+            put_u32(buf, filter.consecutive_gated);
+            put_u32(buf, *window_applied);
+            put_opt(buf, *last_odo, put_point);
+        }
+    }
 }
 
 fn read_estimator(r: &mut SnapshotReader<'_>) -> Result<EstimatorCheckpoint, SnapshotError> {
     let algorithm = match r.u8()? {
         0 => RfAlgorithm::Bayes,
         1 => RfAlgorithm::Multilateration,
+        2 => RfAlgorithm::Ekf,
         t => return Err(bad_tag("rf algorithm", t)),
     };
+    let last_fix = read_opt(r, read_point)?;
+    let in_window = r.bool()?;
+    let stats = WindowStats {
+        windows: r.u32()?,
+        fixes: r.u32()?,
+        flat_windows: r.u32()?,
+        beacons_seen: r.u64()?,
+        beacons_applied: r.u64()?,
+        beacons_rejected_outlier: r.u64()?,
+    };
+    let backend = match algorithm {
+        RfAlgorithm::Bayes => {
+            let posterior_cells = read_vec(r, |r| r.f64())?;
+            let beacons_applied = r.u32()?;
+            let beacons_seen = r.u32()?;
+            let adaptive_tiles = read_vec(r, |r| match r.u8()? {
+                0 => Ok(Tile::Coarse(r.f64()?)),
+                1 => Ok(Tile::Refined(read_vec(r, |r| r.f64())?)),
+                t => Err(bad_tag("adaptive tile", t)),
+            })?;
+            let pending = read_vec(r, |r| {
+                let anchor = read_point(r)?;
+                let bin = RssiBin(r.u32()? as u16 as i16);
+                Ok((anchor, bin))
+            })?;
+            let grid_stats = GridStats {
+                kernel_scalar: r.u64()?,
+                kernel_simd: r.u64()?,
+                kernel_simd_f32: r.u64()?,
+                kernel_fused: r.u64()?,
+                kernel_adaptive: r.u64()?,
+                fused_windows: r.u64()?,
+                cells_touched: r.u64()?,
+                cells_refined: r.u64()?,
+            };
+            BackendCheckpoint::Bayes {
+                posterior_cells,
+                adaptive_tiles,
+                pending,
+                grid_stats,
+                beacons_applied,
+                beacons_seen,
+            }
+        }
+        RfAlgorithm::Multilateration => BackendCheckpoint::Lateration {
+            ranges: read_vec(r, |r| {
+                Ok(RangeObservation {
+                    anchor: read_point(r)?,
+                    range: r.f64()?,
+                    weight: r.f64()?,
+                })
+            })?,
+        },
+        RfAlgorithm::Ekf => BackendCheckpoint::Ekf {
+            filter: EkfSnapshot {
+                x: r.f64()?,
+                y: r.f64()?,
+                p11: r.f64()?,
+                p12: r.f64()?,
+                p22: r.f64()?,
+                updates_applied: r.u64()?,
+                updates_gated: r.u64()?,
+                consecutive_gated: r.u32()?,
+            },
+            window_applied: r.u32()?,
+            last_odo: read_opt(r, read_point)?,
+        },
+    };
     Ok(EstimatorCheckpoint {
-        algorithm,
-        last_fix: read_opt(r, read_point)?,
-        in_window: r.bool()?,
-        stats: WindowStats {
-            windows: r.u32()?,
-            fixes: r.u32()?,
-            flat_windows: r.u32()?,
-            beacons_seen: r.u64()?,
-            beacons_applied: r.u64()?,
-            beacons_rejected_outlier: r.u64()?,
-        },
-        posterior_cells: read_vec(r, |r| r.f64())?,
-        beacons_applied: r.u32()?,
-        beacons_seen: r.u32()?,
-        ranges: read_vec(r, |r| {
-            Ok(RangeObservation {
-                anchor: read_point(r)?,
-                range: r.f64()?,
-                weight: r.f64()?,
-            })
-        })?,
-        adaptive_tiles: read_vec(r, |r| match r.u8()? {
-            0 => Ok(Tile::Coarse(r.f64()?)),
-            1 => Ok(Tile::Refined(read_vec(r, |r| r.f64())?)),
-            t => Err(bad_tag("adaptive tile", t)),
-        })?,
-        pending: read_vec(r, |r| {
-            let anchor = read_point(r)?;
-            let bin = RssiBin(r.u32()? as u16 as i16);
-            Ok((anchor, bin))
-        })?,
-        grid_stats: GridStats {
-            kernel_scalar: r.u64()?,
-            kernel_simd: r.u64()?,
-            kernel_simd_f32: r.u64()?,
-            kernel_fused: r.u64()?,
-            kernel_adaptive: r.u64()?,
-            fused_windows: r.u64()?,
-            cells_touched: r.u64()?,
-            cells_refined: r.u64()?,
-        },
+        last_fix,
+        in_window,
+        stats,
+        backend,
     })
 }
 
@@ -2116,5 +2185,126 @@ impl SimRun {
             engine,
             t_total,
         })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn arb_point() -> impl Strategy<Value = Point> {
+        (0.0f64..200.0, 0.0f64..200.0).prop_map(|(x, y)| Point::new(x, y))
+    }
+
+    fn arb_stats() -> impl Strategy<Value = WindowStats> {
+        (
+            any::<u16>(),
+            any::<u16>(),
+            any::<u16>(),
+            any::<u32>(),
+            any::<u32>(),
+            any::<u32>(),
+        )
+            .prop_map(|(w, f, fl, seen, applied, rejected)| WindowStats {
+                windows: u32::from(w),
+                fixes: u32::from(f),
+                flat_windows: u32::from(fl),
+                beacons_seen: u64::from(seen),
+                beacons_applied: u64::from(applied),
+                beacons_rejected_outlier: u64::from(rejected),
+            })
+    }
+
+    fn arb_backend() -> impl Strategy<Value = BackendCheckpoint> {
+        let bayes = (
+            proptest::collection::vec(0.0f64..1.0, 0..64),
+            proptest::collection::vec(
+                prop_oneof![
+                    (0.0f64..1.0).prop_map(Tile::Coarse),
+                    proptest::collection::vec(0.0f64..1.0, 1..8).prop_map(Tile::Refined),
+                ],
+                0..6,
+            ),
+            proptest::collection::vec(
+                (arb_point(), -120i16..0).prop_map(|(p, b)| (p, RssiBin(b))),
+                0..4,
+            ),
+            any::<u8>(),
+            any::<u8>(),
+        )
+            .prop_map(
+                |(cells, tiles, pending, applied, seen)| BackendCheckpoint::Bayes {
+                    posterior_cells: cells,
+                    adaptive_tiles: tiles,
+                    pending,
+                    grid_stats: GridStats::default(),
+                    beacons_applied: u32::from(applied),
+                    beacons_seen: u32::from(seen),
+                },
+            );
+        let lateration = proptest::collection::vec(
+            (arb_point(), 0.1f64..300.0, 0.01f64..10.0).prop_map(|(anchor, range, weight)| {
+                RangeObservation {
+                    anchor,
+                    range,
+                    weight,
+                }
+            }),
+            0..8,
+        )
+        .prop_map(|ranges| BackendCheckpoint::Lateration { ranges });
+        let ekf = (
+            arb_point(),
+            (1e-9f64..1e4, 1e-9f64..1e4, -10.0f64..10.0),
+            (any::<u32>(), any::<u32>(), any::<u16>(), 0u32..8),
+            prop_oneof![Just(None), arb_point().prop_map(Some)],
+        )
+            .prop_map(|(mean, (p11, p22, p12), (ua, ug, cg, wa), last_odo)| {
+                BackendCheckpoint::Ekf {
+                    filter: EkfSnapshot {
+                        x: mean.x,
+                        y: mean.y,
+                        p11,
+                        p12,
+                        p22,
+                        updates_applied: u64::from(ua),
+                        updates_gated: u64::from(ug),
+                        consecutive_gated: u32::from(cg),
+                    },
+                    window_applied: wa,
+                    last_odo,
+                }
+            });
+        prop_oneof![bayes, lateration, ekf]
+    }
+
+    proptest! {
+        /// The v4 estimator section round-trips byte-exactly for every
+        /// backend variant: encode → decode → re-encode reproduces both
+        /// the checkpoint struct and the original bytes.
+        #[test]
+        fn estimator_section_round_trips_byte_exactly(
+            backend in arb_backend(),
+            stats in arb_stats(),
+            last_fix in prop_oneof![Just(None), arb_point().prop_map(Some)],
+            in_window in any::<bool>(),
+        ) {
+            let checkpoint = EstimatorCheckpoint {
+                last_fix,
+                in_window,
+                stats,
+                backend,
+            };
+            let mut bytes = Vec::new();
+            put_estimator(&mut bytes, &checkpoint);
+            let mut reader = SnapshotReader::new(&bytes, "test");
+            let decoded = read_estimator(&mut reader).expect("own bytes must decode");
+            prop_assert_eq!(reader.remaining(), 0, "decoder must consume the section");
+            prop_assert_eq!(&decoded, &checkpoint);
+            let mut again = Vec::new();
+            put_estimator(&mut again, &decoded);
+            prop_assert_eq!(again, bytes, "re-encode must be byte-identical");
+        }
     }
 }

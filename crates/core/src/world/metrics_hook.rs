@@ -3,6 +3,7 @@
 //! every accumulator into [`RunMetrics`] plus the telemetry counter
 //! registry.
 
+use cocoa_localization::estimator::RfAlgorithm;
 use cocoa_multicast::mesh::MeshStats;
 use cocoa_multicast::protocol::MulticastProtocol;
 use cocoa_sim::engine::Engine;
@@ -121,6 +122,40 @@ pub(crate) fn snapshot(world: &mut WorldState, index: usize) {
         })
         .collect();
     world.position_snapshots.push((time, states));
+}
+
+/// Per-estimator-backend counter namespaces, in
+/// [`cocoa_localization::estimator::WindowStats::counters`] order.
+///
+/// [`cocoa_sim::telemetry::Telemetry::absorb`] interns `&'static str`
+/// names, so the three namespaces are spelled out instead of formatted.
+fn estimator_counter_names(algorithm: RfAlgorithm) -> &'static [&'static str; 6] {
+    match algorithm {
+        RfAlgorithm::Bayes => &[
+            "estimator.bayes.windows",
+            "estimator.bayes.fixes",
+            "estimator.bayes.flat_windows",
+            "estimator.bayes.beacons_seen",
+            "estimator.bayes.beacons_applied",
+            "estimator.bayes.beacons_rejected_outlier",
+        ],
+        RfAlgorithm::Multilateration => &[
+            "estimator.multilateration.windows",
+            "estimator.multilateration.fixes",
+            "estimator.multilateration.flat_windows",
+            "estimator.multilateration.beacons_seen",
+            "estimator.multilateration.beacons_applied",
+            "estimator.multilateration.beacons_rejected_outlier",
+        ],
+        RfAlgorithm::Ekf => &[
+            "estimator.ekf.windows",
+            "estimator.ekf.fixes",
+            "estimator.ekf.flat_windows",
+            "estimator.ekf.beacons_seen",
+            "estimator.ekf.beacons_applied",
+            "estimator.ekf.beacons_rejected_outlier",
+        ],
+    }
 }
 
 /// Per-backend counter namespaces, in [`MeshStats::counters`] order.
@@ -249,6 +284,31 @@ pub(crate) fn finalize(
         }
         t.absorb("robustness.stale_syncs_ignored", ro.stale_syncs_ignored);
         t.absorb("robustness.malformed_sync_bodies", ro.malformed_sync_bodies);
+        // Estimator backend accounting: the `estimator.<backend>.*`
+        // namespace names the solver that actually ran, so ablation sweeps
+        // over RF backends stay attributable, mirroring `mesh.<backend>.*`.
+        let mut ws = cocoa_localization::estimator::WindowStats::default();
+        let (mut ekf_applied, mut ekf_gated) = (0u64, 0u64);
+        let mut any_ekf = false;
+        for r in &world.robots {
+            if let Some(rf) = r.rf.as_ref() {
+                ws.absorb(&rf.stats());
+                if let Some((applied, gated)) = rf.ekf_counters() {
+                    any_ekf = true;
+                    ekf_applied += applied;
+                    ekf_gated += gated;
+                }
+            }
+        }
+        let names = estimator_counter_names(world.scenario.rf_algorithm);
+        for ((short, value), name) in ws.counters().iter().zip(names) {
+            debug_assert!(name.ends_with(short), "{name} out of order vs {short}");
+            t.absorb(name, *value);
+        }
+        if any_ekf {
+            t.absorb("estimator.ekf.updates_applied", ekf_applied);
+            t.absorb("estimator.ekf.updates_gated", ekf_gated);
+        }
         // The flat `mesh.*` namespace stays for backwards compatibility;
         // the `mesh.<backend>.*` namespace names the transport that
         // actually ran, so multi-backend sweeps stay attributable.

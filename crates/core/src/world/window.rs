@@ -140,7 +140,12 @@ pub(crate) fn robot_wake(
             }
         }
         r.synced_this_window = robot == world.sync_robot && world.scenario.sync_enabled;
+        let odo = r.motion.odometry_pose().position;
         if let Some(rf) = r.rf.as_mut() {
+            // Odometry-integrating backends (the EKF) run their prediction
+            // step over the displacement dead-reckoned since the last wake;
+            // window-reset backends ignore the report.
+            rf.note_odometry(odo);
             rf.begin_window();
         }
     }
@@ -254,6 +259,10 @@ pub(crate) fn robot_window_end(
                             odo_at_fix: odo_pose.position,
                         });
                         r.motion.reset_odometry_to(Pose::new(fix, heading));
+                        // The odometry frame just jumped to the fix;
+                        // odometry-integrating backends must re-anchor so the
+                        // jump is not mistaken for motion.
+                        rf.reanchor_odometry(fix);
                     }
                 }
                 WindowOutcome::FlatPosterior { entropy, threshold } => {

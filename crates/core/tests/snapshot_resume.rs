@@ -79,6 +79,37 @@ fn resume_is_bit_identical_across_backends_and_fault_presets() {
 }
 
 #[test]
+fn resume_is_bit_identical_for_every_estimator_backend() {
+    // The v4 estimator section is backend-tagged: each RF solver's state
+    // (posterior cells / range set / EKF mean+covariance) must survive
+    // capture and restore so the resumed run stays bit-identical, across
+    // every mesh backend it might be combined with.
+    use cocoa_localization::estimator::RfAlgorithm;
+    let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2);
+    for algorithm in RfAlgorithm::ALL {
+        for protocol in MulticastProtocol::ALL {
+            let mut s = scenario(42, protocol, "sync-crash");
+            s.rf_algorithm = algorithm;
+            s.validate().expect("estimator scenario must validate");
+            let (m_cold, j_cold) = uninterrupted(&s);
+            let (m_res, j_res) = interrupted_at(&s, at);
+            assert_eq!(
+                m_cold,
+                m_res,
+                "{algorithm}/{}: RunMetrics diverged after resume",
+                protocol.as_str()
+            );
+            assert_eq!(
+                j_cold,
+                j_res,
+                "{algorithm}/{}: telemetry JSONL diverged after resume",
+                protocol.as_str()
+            );
+        }
+    }
+}
+
+#[test]
 fn resume_is_bit_identical_for_every_grid_kernel_variant() {
     let at = SimTime::ZERO + SimDuration::from_secs(DURATION_S / 2);
     let variants = [

@@ -306,15 +306,22 @@ fn golden_odmrp_scenario() -> Scenario {
         .build()
 }
 
-/// Drops `mesh.<backend>.*` counter lines (additive, refactor-era) so the
-/// remaining trace must match the pre-refactor bytes exactly.
+/// Drops `mesh.<backend>.*` / `estimator.<backend>.*` counter lines
+/// (additive, refactor-era) so the remaining trace must match the
+/// pre-refactor bytes exactly.
 fn strip_backend_counters(trace: &str) -> String {
     let mut out = String::with_capacity(trace.len());
     for line in trace.lines() {
         let is_backend_counter = line.starts_with("{\"kind\":\"counter\"")
-            && ["mesh.flood.", "mesh.odmrp.", "mesh.mrmm.", "grid."]
-                .iter()
-                .any(|p| line.contains(&format!("\"name\":\"{p}")));
+            && [
+                "mesh.flood.",
+                "mesh.odmrp.",
+                "mesh.mrmm.",
+                "grid.",
+                "estimator.",
+            ]
+            .iter()
+            .any(|p| line.contains(&format!("\"name\":\"{p}")));
         if !is_backend_counter {
             out.push_str(line);
             out.push('\n');

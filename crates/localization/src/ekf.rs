@@ -238,12 +238,70 @@ impl EkfLocalizer {
 
     /// Fuses one beacon through the calibration table (range = PDF mean,
     /// sigma = PDF sigma), like the other estimators do.
+    ///
+    /// This is the raw filter interface: it applies only the filter's own
+    /// innovation gate. The *shared* beacon outlier gate (claimed distance
+    /// vs RSSI-implied distance) is enforced one layer up, by
+    /// [`crate::estimator::WindowedRfEstimator::observe_beacon_checked`],
+    /// which screens beacons before any backend — this one included — sees
+    /// them.
     pub fn update_from_beacon(&mut self, table: &PdfTable, anchor: Point, rssi: Dbm) -> EkfUpdate {
         match table.lookup(rssi) {
             Some(pdf) => self.update_range(anchor, pdf.mean(), pdf.sigma().max(0.25)),
             None => EkfUpdate::NoPdf,
         }
     }
+
+    /// The filter's complete internal state as checkpoint data.
+    pub fn snapshot(&self) -> EkfSnapshot {
+        EkfSnapshot {
+            x: self.x,
+            y: self.y,
+            p11: self.p11,
+            p12: self.p12,
+            p22: self.p22,
+            updates_applied: self.updates_applied,
+            updates_gated: self.updates_gated,
+            consecutive_gated: self.consecutive_gated,
+        }
+    }
+
+    /// Restores the internal state captured by
+    /// [`snapshot`](Self::snapshot). Configuration and area are not part
+    /// of the snapshot; the filter must be constructed with the same ones
+    /// the original had.
+    pub fn restore_snapshot(&mut self, s: EkfSnapshot) {
+        self.x = s.x;
+        self.y = s.y;
+        self.p11 = s.p11;
+        self.p12 = s.p12;
+        self.p22 = s.p22;
+        self.updates_applied = s.updates_applied;
+        self.updates_gated = s.updates_gated;
+        self.consecutive_gated = s.consecutive_gated;
+    }
+}
+
+/// The filter's internal state — position, covariance and gate counters —
+/// as checkpoint data (see [`EkfLocalizer::snapshot`]).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EkfSnapshot {
+    /// Believed x position, metres.
+    pub x: f64,
+    /// Believed y position, metres.
+    pub y: f64,
+    /// Covariance entry P₁₁.
+    pub p11: f64,
+    /// Covariance entry P₁₂ (= P₂₁).
+    pub p12: f64,
+    /// Covariance entry P₂₂.
+    pub p22: f64,
+    /// Range updates fused so far.
+    pub updates_applied: u64,
+    /// Range updates rejected by the gate so far.
+    pub updates_gated: u64,
+    /// Length of the current consecutive-rejection streak.
+    pub consecutive_gated: u32,
 }
 
 #[cfg(test)]
@@ -340,6 +398,79 @@ mod tests {
             f.uncertainty()
         );
         assert!(f.updates_gated() >= 2, "the gate fired first");
+    }
+
+    #[test]
+    fn gate_reopens_after_the_configured_streak() {
+        // Pins the `gate_reset_after` contract: the first N−1 consecutive
+        // rejections leave the covariance untouched, the Nth inflates it
+        // ×10 (σ ×√10) and resets the streak, and the reopened gate
+        // eventually lets the honest measurement through.
+        let mut f = EkfLocalizer::new(
+            EkfConfig {
+                initial_sigma_m: 1.0,
+                gate_reset_after: 3,
+                ..EkfConfig::default()
+            },
+            Area::square(200.0),
+            Some(Point::new(60.0, 60.0)), // confidently wrong
+        );
+        let robot = Point::new(100.0, 100.0);
+        let anchor = Point::new(95.0, 100.0);
+        let range = robot.distance_to(anchor);
+        let unc0 = f.uncertainty();
+        for i in 0..2 {
+            assert_eq!(
+                f.update_range(anchor, range, 1.0),
+                EkfUpdate::Gated,
+                "rejection {i} must be gated"
+            );
+            assert_eq!(
+                f.uncertainty(),
+                unc0,
+                "rejection {i} is below the streak; P must not move"
+            );
+        }
+        assert_eq!(f.update_range(anchor, range, 1.0), EkfUpdate::Gated);
+        assert!(
+            (f.uncertainty() - unc0 * 10f64.sqrt()).abs() < 1e-9,
+            "the streak's 3rd rejection must inflate σ by √10: {} vs {}",
+            f.uncertainty(),
+            unc0 * 10f64.sqrt()
+        );
+        assert_eq!(f.updates_gated(), 3);
+        // The gate reopened: repeated inflation admits the measurement,
+        // which pulls the confidently-wrong state toward the truth.
+        let err0 = f.estimate().distance_to(robot);
+        let mut applied = false;
+        for _ in 0..12 {
+            if f.update_range(anchor, range, 1.0) == EkfUpdate::Applied {
+                applied = true;
+                break;
+            }
+        }
+        assert!(applied, "the reopened gate must admit the measurement");
+        assert!(f.estimate().distance_to(robot) < err0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_bit_exactly() {
+        let mut f = ekf();
+        let robot = Point::new(100.0, 100.0);
+        f.predict(Vec2::new(3.0, -2.0));
+        for &a in &[
+            Point::new(90.0, 100.0),
+            Point::new(110.0, 108.0),
+            Point::new(100.0, 88.0),
+        ] {
+            f.update_range(a, robot.distance_to(a), 1.0);
+        }
+        f.update_range(Point::new(95.0, 100.0), 120.0, 1.0); // gated
+        let s = f.snapshot();
+        let mut g = ekf();
+        g.restore_snapshot(s);
+        assert_eq!(f, g);
+        assert_eq!(g.snapshot(), s);
     }
 
     #[test]

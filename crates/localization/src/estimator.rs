@@ -10,18 +10,24 @@
 //! - **RF-only** freezes the last fix until the next window;
 //! - **CoCoA** dead-reckons from the last fix with odometry;
 //! - **odometry-only** never uses the radio at all.
+//!
+//! The window *lifecycle* (this module) is separate from the per-window
+//! *solver*, which lives behind the [`RfBackend`] trait in
+//! [`crate::backend`]: Bayesian grid inference (the paper's algorithm),
+//! weighted least-squares multilateration, and an extended Kalman filter
+//! that carries state across windows.
 
 use serde::{Deserialize, Serialize};
 
 use cocoa_net::calibration::{PdfTable, RadialConstraintTable};
 use cocoa_net::geometry::Point;
-use cocoa_net::rssi::{Dbm, RssiBin};
+use cocoa_net::rssi::Dbm;
 
-use crate::adaptive::Tile;
-use crate::bayes::{BayesianLocalizer, GridStats, ObservationResult, Posterior};
+use crate::backend::{BackendCheckpoint, EkfBackend, RfBackend};
+use crate::bayes::{BayesianLocalizer, GridStats, ObservationResult};
 use crate::grid::GridConfig;
 use crate::kernel::GridPipeline;
-use crate::multilateration::{MultilaterationConfig, Multilaterator, RangeObservation};
+use crate::multilateration::{MultilaterationConfig, Multilaterator};
 
 /// Which localization strategy a robot runs (paper Sections 4.1–4.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -60,7 +66,8 @@ impl EstimatorMode {
 /// Which per-window RF algorithm computes the fix. The paper implements
 /// Bayesian inference and notes (Section 5) that CoCoA "is not tied to a
 /// specific localization technique. … Other approaches could be integrated
-/// in CoCoA as well" — the multilateration baseline is exactly that.
+/// in CoCoA as well" — the multilateration baseline and the EKF are exactly
+/// that.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum RfAlgorithm {
     /// Bayesian grid inference (the paper's algorithm).
@@ -68,6 +75,10 @@ pub enum RfAlgorithm {
     Bayes,
     /// Weighted least-squares multilateration (the classic baseline).
     Multilateration,
+    /// Extended Kalman filter: odometry prediction between windows, gated
+    /// range updates from beacon RSSI (the Kalman-family alternative the
+    /// paper's related work surveys).
+    Ekf,
 }
 
 impl std::fmt::Display for RfAlgorithm {
@@ -75,14 +86,46 @@ impl std::fmt::Display for RfAlgorithm {
         match self {
             RfAlgorithm::Bayes => f.write_str("bayes"),
             RfAlgorithm::Multilateration => f.write_str("multilateration"),
+            RfAlgorithm::Ekf => f.write_str("ekf"),
         }
     }
 }
 
+impl RfAlgorithm {
+    /// Every selectable algorithm, in codec-tag order.
+    pub const ALL: [RfAlgorithm; 3] = [
+        RfAlgorithm::Bayes,
+        RfAlgorithm::Multilateration,
+        RfAlgorithm::Ekf,
+    ];
+}
+
+/// The concrete solver behind the lifecycle. An enum (rather than a boxed
+/// trait object) so the estimator keeps its `Clone`/`PartialEq`/serde
+/// derives; every behavioural access goes through [`RfBackend`].
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 enum Backend {
     Bayes(Box<BayesianLocalizer>),
     Lateration(Multilaterator),
+    Ekf(EkfBackend),
+}
+
+impl Backend {
+    fn as_dyn(&self) -> &dyn RfBackend {
+        match self {
+            Backend::Bayes(b) => &**b,
+            Backend::Lateration(l) => l,
+            Backend::Ekf(e) => e,
+        }
+    }
+
+    fn as_dyn_mut(&mut self) -> &mut dyn RfBackend {
+        match self {
+            Backend::Bayes(b) => &mut **b,
+            Backend::Lateration(l) => l,
+            Backend::Ekf(e) => e,
+        }
+    }
 }
 
 /// Statistics of a windowed estimator's life so far.
@@ -98,8 +141,35 @@ pub struct WindowStats {
     pub beacons_seen: u64,
     /// Beacons actually applied to posteriors.
     pub beacons_applied: u64,
-    /// Beacons refused by the outlier gate.
+    /// Beacons refused by the outlier gate (the shared claimed-distance
+    /// gate, plus the EKF backend's innovation gate).
     pub beacons_rejected_outlier: u64,
+}
+
+impl WindowStats {
+    /// The statistics as `(short-name, value)` pairs, in the order the
+    /// `estimator.<backend>.*` telemetry counters are exported.
+    pub fn counters(&self) -> [(&'static str, u64); 6] {
+        [
+            ("windows", u64::from(self.windows)),
+            ("fixes", u64::from(self.fixes)),
+            ("flat_windows", u64::from(self.flat_windows)),
+            ("beacons_seen", self.beacons_seen),
+            ("beacons_applied", self.beacons_applied),
+            ("beacons_rejected_outlier", self.beacons_rejected_outlier),
+        ]
+    }
+
+    /// Adds another estimator's lifetime statistics into this one (the
+    /// team-wide aggregation the telemetry counters report).
+    pub fn absorb(&mut self, other: &WindowStats) {
+        self.windows += other.windows;
+        self.fixes += other.fixes;
+        self.flat_windows += other.flat_windows;
+        self.beacons_seen += other.beacons_seen;
+        self.beacons_applied += other.beacons_applied;
+        self.beacons_rejected_outlier += other.beacons_rejected_outlier;
+    }
 }
 
 /// How a transmit window ended, as judged by
@@ -124,11 +194,13 @@ pub enum WindowOutcome {
 
 /// The per-robot windowed RF estimator.
 ///
-/// Drives a [`BayesianLocalizer`] through the CoCoA window lifecycle:
+/// Drives an [`RfBackend`] through the CoCoA window lifecycle:
 /// `begin_window → observe_beacon* → end_window`. If a window yields fewer
 /// than three beacons, the previous fix is retained ("if certain robots do
 /// not receive any beacons, they continue with their old estimated
-/// position", paper Section 2.3).
+/// position", paper Section 2.3). The lifecycle policy — window state, the
+/// shared outlier gate, the entropy watchdog, [`WindowStats`] — lives here;
+/// what a window's beacons mean is the backend's business.
 ///
 /// # Examples
 ///
@@ -176,8 +248,8 @@ impl WindowedRfEstimator {
 
     /// Creates an estimator with an explicit per-window algorithm and grid
     /// pipeline (kernel, precision, fusion, adaptive resolution). The
-    /// pipeline only affects the Bayesian backend; multilateration has no
-    /// grid and ignores it.
+    /// pipeline only affects the Bayesian backend; the gridless backends
+    /// (multilateration, EKF) ignore it.
     pub fn with_pipeline(grid: GridConfig, algorithm: RfAlgorithm, pipeline: GridPipeline) -> Self {
         let backend = match algorithm {
             RfAlgorithm::Bayes => {
@@ -187,6 +259,7 @@ impl WindowedRfEstimator {
                 grid.area,
                 MultilaterationConfig::default(),
             )),
+            RfAlgorithm::Ekf => Backend::Ekf(EkfBackend::new(grid)),
         };
         WindowedRfEstimator {
             backend,
@@ -198,19 +271,14 @@ impl WindowedRfEstimator {
 
     /// The algorithm this estimator runs.
     pub fn algorithm(&self) -> RfAlgorithm {
-        match self.backend {
-            Backend::Bayes(_) => RfAlgorithm::Bayes,
-            Backend::Lateration(_) => RfAlgorithm::Multilateration,
-        }
+        self.backend.as_dyn().algorithm()
     }
 
-    /// Starts a transmit window: the posterior is thrown away (paper
-    /// Section 2.3) and beacon accumulation begins.
+    /// Starts a transmit window: window-reset backends throw their
+    /// posterior away (paper Section 2.3), the EKF keeps its filter state,
+    /// and beacon accumulation begins.
     pub fn begin_window(&mut self) {
-        match &mut self.backend {
-            Backend::Bayes(b) => b.reset(),
-            Backend::Lateration(l) => l.reset(),
-        }
+        self.backend.as_dyn_mut().begin_window();
         self.in_window = true;
         self.stats.windows += 1;
     }
@@ -218,6 +286,23 @@ impl WindowedRfEstimator {
     /// Whether a window is currently open.
     pub fn in_window(&self) -> bool {
         self.in_window
+    }
+
+    /// Reports the robot's current dead-reckoned position so backends that
+    /// integrate odometry between windows (the EKF) can run their
+    /// prediction step. Call once per wake, before
+    /// [`begin_window`](Self::begin_window); window-reset backends ignore
+    /// it.
+    pub fn note_odometry(&mut self, position: Point) {
+        self.backend.as_dyn_mut().note_odometry(position);
+    }
+
+    /// Tells the estimator the odometry frame was just re-anchored to
+    /// `fix` (CoCoA resets the dead-reckoning origin on every fresh fix),
+    /// so odometry-integrating backends don't see the frame jump as
+    /// motion.
+    pub fn reanchor_odometry(&mut self, fix: Point) {
+        self.backend.as_dyn_mut().reanchor_odometry(fix);
     }
 
     /// Offers one received beacon to the open window.
@@ -234,27 +319,19 @@ impl WindowedRfEstimator {
         if !self.in_window {
             return ObservationResult::Rejected;
         }
-        let r = match &mut self.backend {
-            Backend::Bayes(b) => b.observe_beacon(table, beacon_pos, rssi),
-            Backend::Lateration(l) => {
-                if l.observe_beacon(table, beacon_pos, rssi) {
-                    ObservationResult::Applied
-                } else {
-                    ObservationResult::NoPdf
-                }
-            }
-        };
-        if r == ObservationResult::Applied {
-            self.stats.beacons_applied += 1;
-        }
+        let r = self
+            .backend
+            .as_dyn_mut()
+            .observe_beacon(table, beacon_pos, rssi);
+        self.account(r);
         r
     }
 
     /// Offers one received beacon, using the precomputed radial constraint
     /// cache for the Bayesian backend (the zero-allocation fast path).
     ///
-    /// The multilateration backend has no radial form and falls back to the
-    /// PDF table, so the two arguments must describe the same calibration.
+    /// The gridless backends have no radial form and fall back to the PDF
+    /// table, so the two arguments must describe the same calibration.
     pub fn observe_beacon_radial(
         &mut self,
         table: &PdfTable,
@@ -266,20 +343,25 @@ impl WindowedRfEstimator {
         if !self.in_window {
             return ObservationResult::Rejected;
         }
-        let r = match &mut self.backend {
-            Backend::Bayes(b) => b.observe_beacon_radial(radial, beacon_pos, rssi),
-            Backend::Lateration(l) => {
-                if l.observe_beacon(table, beacon_pos, rssi) {
-                    ObservationResult::Applied
-                } else {
-                    ObservationResult::NoPdf
-                }
-            }
-        };
-        if r == ObservationResult::Applied {
-            self.stats.beacons_applied += 1;
-        }
+        let r = self
+            .backend
+            .as_dyn_mut()
+            .observe_beacon_radial(table, radial, beacon_pos, rssi);
+        self.account(r);
         r
+    }
+
+    /// Folds one backend verdict into the lifetime statistics. Only the
+    /// EKF backend ever returns [`ObservationResult::Outlier`] (its
+    /// innovation gate); the shared claimed-distance gate accounts for its
+    /// own rejections in
+    /// [`observe_beacon_checked`](Self::observe_beacon_checked).
+    fn account(&mut self, r: ObservationResult) {
+        match r {
+            ObservationResult::Applied => self.stats.beacons_applied += 1,
+            ObservationResult::Outlier => self.stats.beacons_rejected_outlier += 1,
+            ObservationResult::NoPdf | ObservationResult::Rejected => {}
+        }
     }
 
     /// Offers one received beacon through the radial fast path, first
@@ -289,8 +371,8 @@ impl WindowedRfEstimator {
     /// claimed position implies a distance to us; the observed RSSI implies
     /// another (the calibration PDF's mean). When the two disagree by more
     /// than `gate_m` metres the beacon is almost certainly corrupt or lying
-    /// and is refused before it can distort the posterior. A `gate_m` of
-    /// `0.0`, a missing reference, or an uncalibrated RSSI disables the
+    /// and is refused before any backend can be distorted by it. A `gate_m`
+    /// of `0.0`, a missing reference, or an uncalibrated RSSI disables the
     /// check and the beacon flows through
     /// [`WindowedRfEstimator::observe_beacon_radial`] unchanged.
     pub fn observe_beacon_checked(
@@ -335,8 +417,9 @@ impl WindowedRfEstimator {
     /// window reports [`WindowOutcome::FlatPosterior`], the previous fix is
     /// kept, and the caller degrades to dead reckoning.
     ///
-    /// `watchdog_frac >= 1.0` disables the veto. The multilateration
-    /// backend has no posterior, so the watchdog never fires there.
+    /// `watchdog_frac >= 1.0` disables the veto. Backends without a
+    /// posterior ([`RfBackend::end_window_confidence`] returns `None`)
+    /// never trip the watchdog.
     ///
     /// Fused pipelines must flush their pending beacons before the window
     /// is judged — use
@@ -356,21 +439,16 @@ impl WindowedRfEstimator {
         watchdog_frac: f64,
         radial: Option<&RadialConstraintTable>,
     ) -> WindowOutcome {
-        if let (Backend::Bayes(b), Some(radial)) = (&mut self.backend, radial) {
-            b.flush_pending(radial);
+        if let Some(radial) = radial {
+            self.backend.as_dyn_mut().flush_pending(radial);
         }
         self.in_window = false;
-        let estimate = match &self.backend {
-            Backend::Bayes(b) => b.estimate(),
-            Backend::Lateration(l) => l.estimate(),
-        };
-        let Some(fix) = estimate else {
+        let Some(fix) = self.backend.as_dyn().estimate() else {
             return WindowOutcome::NoFix;
         };
         if watchdog_frac < 1.0 {
-            if let Backend::Bayes(b) = &self.backend {
-                let entropy = b.entropy();
-                let threshold = watchdog_frac * b.max_entropy();
+            if let Some((entropy, max_entropy)) = self.backend.as_dyn().end_window_confidence() {
+                let threshold = watchdog_frac * max_entropy;
                 if entropy > threshold {
                     self.stats.flat_windows += 1;
                     return WindowOutcome::FlatPosterior { entropy, threshold };
@@ -388,30 +466,17 @@ impl WindowedRfEstimator {
     }
 
     /// Posterior entropy (confidence proxy for the relay-beaconing guard).
-    /// Multilateration has no posterior; it reports infinity.
+    /// Backends without a posterior report infinity.
     pub fn entropy(&self) -> f64 {
-        match &self.backend {
-            Backend::Bayes(b) => b.entropy(),
-            Backend::Lateration(_) => f64::INFINITY,
-        }
+        self.backend.as_dyn().entropy()
     }
 
     /// Posterior entropy as a fraction of the uniform-grid maximum, in
-    /// `[0, 1]` (1 = completely uninformative). `None` for the
-    /// multilateration backend, which has no posterior — telemetry
-    /// timelines record it as null rather than a fake number.
+    /// `[0, 1]` (1 = completely uninformative). `None` for backends without
+    /// a posterior — telemetry timelines record it as null rather than a
+    /// fake number.
     pub fn entropy_fraction(&self) -> Option<f64> {
-        match &self.backend {
-            Backend::Bayes(b) => {
-                let max = b.max_entropy();
-                if max > 0.0 {
-                    Some(b.entropy() / max)
-                } else {
-                    Some(0.0)
-                }
-            }
-            Backend::Lateration(_) => None,
-        }
+        self.backend.as_dyn().entropy_fraction()
     }
 
     /// Lifetime statistics.
@@ -419,68 +484,38 @@ impl WindowedRfEstimator {
         self.stats
     }
 
+    /// EKF-only lifetime counters `(updates_applied, updates_gated)`;
+    /// `None` for the other backends.
+    pub fn ekf_counters(&self) -> Option<(u64, u64)> {
+        self.backend.as_dyn().ekf_counters()
+    }
+
     /// Kernel/fusion/adaptive accounting of the Bayesian backend (the
-    /// `grid.*` telemetry counters). Zero for multilateration.
+    /// `grid.*` telemetry counters). Zero for gridless backends.
     pub fn grid_stats(&self) -> GridStats {
-        match &self.backend {
-            Backend::Bayes(b) => *b.grid_stats(),
-            Backend::Lateration(_) => GridStats::default(),
-        }
+        self.backend.as_dyn().grid_stats()
     }
 
     /// The active grid pipeline, if the Bayesian backend is running.
     pub fn pipeline(&self) -> Option<&GridPipeline> {
-        match &self.backend {
-            Backend::Bayes(b) => Some(b.pipeline()),
-            Backend::Lateration(_) => None,
-        }
+        self.backend.as_dyn().pipeline()
     }
 
-    /// The estimator's complete state as checkpoint data. Exactly one of
-    /// the backend-specific field groups is populated, per
-    /// [`EstimatorCheckpoint::algorithm`]; within the Bayes group, dense
-    /// pipelines fill `posterior_cells` and adaptive pipelines fill
-    /// `adaptive_tiles`.
+    /// The estimator's complete state as checkpoint data: the lifecycle
+    /// header plus the backend-tagged solver state (see
+    /// [`BackendCheckpoint`]).
     pub fn checkpoint(&self) -> EstimatorCheckpoint {
-        let base = EstimatorCheckpoint {
-            algorithm: self.algorithm(),
+        EstimatorCheckpoint {
             last_fix: self.last_fix,
             in_window: self.in_window,
             stats: self.stats,
-            posterior_cells: Vec::new(),
-            adaptive_tiles: Vec::new(),
-            pending: Vec::new(),
-            grid_stats: GridStats::default(),
-            beacons_applied: 0,
-            beacons_seen: 0,
-            ranges: Vec::new(),
-        };
-        match &self.backend {
-            Backend::Bayes(b) => {
-                let (cells, tiles) = match b.posterior() {
-                    Posterior::Dense(g) => (g.cells().to_vec(), Vec::new()),
-                    Posterior::Adaptive(g) => (Vec::new(), g.tiles().to_vec()),
-                };
-                EstimatorCheckpoint {
-                    posterior_cells: cells,
-                    adaptive_tiles: tiles,
-                    pending: b.pending().to_vec(),
-                    grid_stats: *b.grid_stats(),
-                    beacons_applied: b.beacons_applied(),
-                    beacons_seen: b.beacons_seen(),
-                    ..base
-                }
-            }
-            Backend::Lateration(l) => EstimatorCheckpoint {
-                ranges: l.ranges().to_vec(),
-                ..base
-            },
+            backend: self.backend.as_dyn().checkpoint(),
         }
     }
 
     /// Rebuilds an estimator from checkpointed state over `grid` (the same
     /// grid configuration the original was built with), under the default
-    /// grid pipeline. The multilateration backend is reconstructed with the
+    /// grid pipeline. The gridless backends are reconstructed with the
     /// default solver configuration, as
     /// [`WindowedRfEstimator::with_algorithm`] uses.
     pub fn from_checkpoint(grid: GridConfig, c: EstimatorCheckpoint) -> Self {
@@ -501,22 +536,34 @@ impl WindowedRfEstimator {
         pipeline: GridPipeline,
         c: EstimatorCheckpoint,
     ) -> Self {
-        let backend = match c.algorithm {
-            RfAlgorithm::Bayes => {
+        let backend = match c.backend {
+            BackendCheckpoint::Bayes {
+                posterior_cells,
+                adaptive_tiles,
+                pending,
+                grid_stats,
+                beacons_applied,
+                beacons_seen,
+            } => {
                 let mut b = BayesianLocalizer::with_pipeline(grid, pipeline);
                 if pipeline.adaptive {
-                    b.restore_posterior_tiles(c.adaptive_tiles);
+                    b.restore_posterior_tiles(adaptive_tiles);
                 } else {
-                    b.restore_posterior_cells(&c.posterior_cells);
+                    b.restore_posterior_cells(&posterior_cells);
                 }
-                b.restore_counters(c.beacons_applied, c.beacons_seen, c.pending, c.grid_stats);
+                b.restore_counters(beacons_applied, beacons_seen, pending, grid_stats);
                 Backend::Bayes(Box::new(b))
             }
-            RfAlgorithm::Multilateration => {
+            BackendCheckpoint::Lateration { ranges } => {
                 let mut l = Multilaterator::new(grid.area, MultilaterationConfig::default());
-                l.restore_ranges(c.ranges);
+                l.restore_ranges(ranges);
                 Backend::Lateration(l)
             }
+            BackendCheckpoint::Ekf {
+                filter,
+                window_applied,
+                last_odo,
+            } => Backend::Ekf(EkfBackend::restore(grid, filter, window_applied, last_odo)),
         };
         WindowedRfEstimator {
             backend,
@@ -528,33 +575,25 @@ impl WindowedRfEstimator {
 }
 
 /// The windowed estimator's complete state as checkpoint data (see
-/// [`WindowedRfEstimator::checkpoint`]).
+/// [`WindowedRfEstimator::checkpoint`]): the lifecycle header shared by
+/// every backend, plus the backend-tagged solver state.
 #[derive(Debug, Clone, PartialEq)]
 pub struct EstimatorCheckpoint {
-    /// Which backend algorithm was running.
-    pub algorithm: RfAlgorithm,
     /// The most recent trusted fix, if any.
     pub last_fix: Option<Point>,
     /// Whether a transmit window was open.
     pub in_window: bool,
     /// Lifetime statistics.
     pub stats: WindowStats,
-    /// Posterior cell probabilities (Bayes backend with a dense pipeline;
-    /// empty otherwise).
-    pub posterior_cells: Vec<f64>,
-    /// Posterior tile state (Bayes backend with the adaptive pipeline;
-    /// empty otherwise).
-    pub adaptive_tiles: Vec<Tile>,
-    /// Recorded-but-unflushed fused beacons (Bayes backend only).
-    pub pending: Vec<(Point, RssiBin)>,
-    /// Kernel/fusion/adaptive accounting (Bayes backend only).
-    pub grid_stats: GridStats,
-    /// Beacons applied since the last window reset (Bayes backend only).
-    pub beacons_applied: u32,
-    /// Beacons offered since the last window reset (Bayes backend only).
-    pub beacons_seen: u32,
-    /// Collected ranges (multilateration backend only; empty otherwise).
-    pub ranges: Vec<RangeObservation>,
+    /// The solver's state, tagged by algorithm.
+    pub backend: BackendCheckpoint,
+}
+
+impl EstimatorCheckpoint {
+    /// Which backend algorithm was running.
+    pub fn algorithm(&self) -> RfAlgorithm {
+        self.backend.algorithm()
+    }
 }
 
 #[cfg(test)]
@@ -691,6 +730,106 @@ mod tests {
     }
 
     #[test]
+    fn shared_outlier_gate_screens_the_ekf_backend_too() {
+        // Satellite of the backend refactor: the claimed-distance gate
+        // must fire *before* the backend, so a lying beacon never reaches
+        // the EKF's innovation machinery (whose own gate would otherwise
+        // be the only line of defence, and which a vague filter leaves
+        // wide open).
+        let (ch, table, _) = setup();
+        let grid = GridConfig::new(Area::square(200.0), 2.0);
+        let radial = crate::bayes::radial_constraints_for_grid(&table, &grid);
+        let mut est = WindowedRfEstimator::with_algorithm(grid, RfAlgorithm::Ekf);
+        assert_eq!(est.algorithm(), RfAlgorithm::Ekf);
+        est.begin_window();
+        let reference = Some(Point::new(100.0, 100.0));
+        let lying_rssi = ch.mean_rssi(80.0);
+        let r = est.observe_beacon_checked(
+            &table,
+            &radial,
+            Point::new(105.0, 100.0),
+            lying_rssi,
+            reference,
+            40.0,
+        );
+        assert_eq!(r, ObservationResult::Outlier);
+        assert_eq!(est.stats().beacons_rejected_outlier, 1);
+        // The filter saw nothing: neither an applied nor a gated update.
+        assert_eq!(est.ekf_counters(), Some((0, 0)));
+        // An honest beacon passes the gate and reaches the filter.
+        let honest_rssi = ch.mean_rssi(5.0);
+        let r = est.observe_beacon_checked(
+            &table,
+            &radial,
+            Point::new(105.0, 100.0),
+            honest_rssi,
+            reference,
+            40.0,
+        );
+        assert_eq!(r, ObservationResult::Applied);
+        assert_eq!(est.ekf_counters(), Some((1, 0)));
+    }
+
+    #[test]
+    fn ekf_estimator_produces_fixes_and_carries_state() {
+        let (ch, table, _) = setup();
+        let grid = GridConfig::new(Area::square(200.0), 2.0);
+        let mut est = WindowedRfEstimator::with_algorithm(grid, RfAlgorithm::Ekf);
+        let mut rng = SeedSplitter::new(7).stream("t", 0);
+        let robot = Point::new(100.0, 100.0);
+        let beacons = [
+            Point::new(92.0, 100.0),
+            Point::new(108.0, 104.0),
+            Point::new(100.0, 92.0),
+            Point::new(110.0, 96.0),
+        ];
+        let mut fix = None;
+        for _ in 0..4 {
+            est.note_odometry(robot);
+            est.begin_window();
+            for b in beacons {
+                let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+                est.observe_beacon(&table, b, rssi);
+            }
+            fix = est.end_window().or(fix);
+        }
+        let fix = fix.expect("four windows of four beacons must fix");
+        assert!(fix.distance_to(robot) < 25.0, "fix {fix}");
+        assert!(est.stats().fixes >= 1);
+        // The EKF has no posterior: entropy is the no-confidence sentinel.
+        assert_eq!(est.entropy(), f64::INFINITY);
+        assert_eq!(est.entropy_fraction(), None);
+        assert_eq!(est.pipeline(), None);
+    }
+
+    #[test]
+    fn checkpoints_round_trip_for_every_algorithm() {
+        let (ch, table, _) = setup();
+        let grid = GridConfig::new(Area::square(200.0), 2.0);
+        let mut rng = SeedSplitter::new(8).stream("t", 0);
+        let robot = Point::new(80.0, 120.0);
+        for algorithm in RfAlgorithm::ALL {
+            let mut est = WindowedRfEstimator::with_algorithm(grid, algorithm);
+            est.note_odometry(Point::new(79.0, 119.0));
+            est.begin_window();
+            for b in [
+                Point::new(72.0, 120.0),
+                Point::new(88.0, 124.0),
+                Point::new(80.0, 112.0),
+            ] {
+                let rssi = ch.sample_rssi(robot.distance_to(b), &mut rng);
+                est.observe_beacon(&table, b, rssi);
+            }
+            est.end_window();
+            est.begin_window(); // leave a window open: in_window must survive
+            let c = est.checkpoint();
+            assert_eq!(c.algorithm(), algorithm);
+            let restored = WindowedRfEstimator::from_checkpoint(grid, c);
+            assert_eq!(restored, est, "{algorithm}: restore must be exact");
+        }
+    }
+
+    #[test]
     fn entropy_watchdog_vetoes_flat_posteriors() {
         let (ch, table, mut est) = setup();
         let mut rng = SeedSplitter::new(9).stream("t", 0);
@@ -734,5 +873,6 @@ mod tests {
         assert!(EstimatorMode::Cocoa.uses_odometry_between_windows());
         assert!(!EstimatorMode::RfOnly.uses_odometry_between_windows());
         assert_eq!(EstimatorMode::Cocoa.to_string(), "cocoa");
+        assert_eq!(RfAlgorithm::Ekf.to_string(), "ekf");
     }
 }

@@ -13,12 +13,17 @@
 //! 4. after ≥ 3 beacons, the posterior mean is the position estimate
 //!    (Eq. 3);
 //! 5. [`estimator`] wraps the algorithm in the CoCoA window lifecycle and
-//!    defines the three evaluation modes (odometry-only / RF-only / CoCoA).
+//!    defines the three evaluation modes (odometry-only / RF-only / CoCoA);
+//! 6. [`backend`] makes the per-window solver pluggable behind the
+//!    [`backend::RfBackend`] trait — Bayesian grid inference (the default),
+//!    multilateration, and the EKF — per the paper's Section 5 note that
+//!    CoCoA "is not tied to a specific localization technique".
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod adaptive;
+pub mod backend;
 pub mod bayes;
 pub mod ekf;
 pub mod estimator;
@@ -29,10 +34,11 @@ pub mod multilateration;
 /// Glob-import of the most commonly used types.
 pub mod prelude {
     pub use crate::adaptive::AdaptiveGrid;
+    pub use crate::backend::{BackendCheckpoint, EkfBackend, RfBackend};
     pub use crate::bayes::{
         BayesianLocalizer, GridStats, ObservationResult, MIN_BEACONS_FOR_ESTIMATE,
     };
-    pub use crate::ekf::{EkfConfig, EkfLocalizer, EkfUpdate};
+    pub use crate::ekf::{EkfConfig, EkfLocalizer, EkfSnapshot, EkfUpdate};
     pub use crate::estimator::{
         EstimatorMode, RfAlgorithm, WindowOutcome, WindowStats, WindowedRfEstimator,
     };

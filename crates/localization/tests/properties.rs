@@ -1,4 +1,5 @@
-//! Property-based tests for the Bayesian localization invariants.
+//! Property-based tests for the Bayesian localization invariants, the EKF
+//! backend's covariance health, and backend checkpoint round-trips.
 
 use cocoa_localization::adaptive::AdaptiveGrid;
 use cocoa_localization::bayes::{radial_constraints_for_grid, CONSTRAINT_FLOOR};
@@ -7,7 +8,7 @@ use cocoa_localization::kernel::{GridKernel, GridPipeline, GridPrecision, F32_KE
 use cocoa_localization::prelude::*;
 use cocoa_net::calibration::{calibrate, CalibrationConfig, DistancePdf, PdfTable, RadialProfile};
 use cocoa_net::channel::RfChannel;
-use cocoa_net::geometry::{Area, Point};
+use cocoa_net::geometry::{Area, Point, Vec2};
 use cocoa_net::rssi::{Dbm, RssiBin};
 use cocoa_sim::rng::SeedSplitter;
 use proptest::prelude::*;
@@ -238,6 +239,109 @@ proptest! {
         prop_assert!(stats.fixes <= u64::from(stats.windows) as u32);
         prop_assert!(stats.beacons_applied <= stats.beacons_seen);
         prop_assert_eq!(stats.beacons_seen, u64::from(windows) * beacons_per as u64);
+    }
+}
+
+/// One step of an arbitrary EKF schedule: a dead-reckoned displacement or
+/// a (possibly wildly inconsistent) range update.
+#[derive(Debug, Clone, Copy)]
+enum EkfOp {
+    Predict(f64, f64),
+    Update(f64, f64, f64, f64),
+}
+
+fn arb_ekf_op() -> impl Strategy<Value = EkfOp> {
+    prop_oneof![
+        ((-20.0..20.0f64), (-20.0..20.0f64)).prop_map(|(x, y)| EkfOp::Predict(x, y)),
+        (
+            (0.0..200.0f64),
+            (0.0..200.0f64),
+            (0.5..250.0f64),
+            (0.25..12.0f64),
+        )
+            .prop_map(|(x, y, r, s)| EkfOp::Update(x, y, r, s)),
+    ]
+}
+
+proptest! {
+    /// The EKF covariance stays a symmetric positive-definite matrix under
+    /// arbitrary interleavings of prediction steps and (gated, applied or
+    /// inflating) range updates — the filter never talks itself into an
+    /// impossible uncertainty, whatever the measurement stream does.
+    #[test]
+    fn ekf_covariance_stays_symmetric_positive_definite(
+        ops in proptest::collection::vec(arb_ekf_op(), 1..60),
+        initial_sigma in 1.0..150.0f64,
+    ) {
+        let mut f = EkfLocalizer::new(
+            EkfConfig { initial_sigma_m: initial_sigma, ..EkfConfig::default() },
+            Area::square(200.0),
+            None,
+        );
+        for op in &ops {
+            match *op {
+                EkfOp::Predict(x, y) => f.predict(Vec2::new(x, y)),
+                EkfOp::Update(x, y, r, s) => {
+                    f.update_range(Point::new(x, y), r, s);
+                }
+            }
+            // Symmetry is structural (P₁₂ is stored once); health means the
+            // matrix it denotes is positive-definite and finite.
+            let s = f.snapshot();
+            prop_assert!(
+                s.p11.is_finite() && s.p22.is_finite() && s.p12.is_finite(),
+                "covariance went non-finite: {s:?}"
+            );
+            prop_assert!(s.p11 > 0.0 && s.p22 > 0.0, "diagonal must stay positive: {s:?}");
+            prop_assert!(
+                s.p12 * s.p12 <= s.p11 * s.p22 * (1.0 + 1e-9) + 1e-12,
+                "P must stay positive-definite: {s:?}"
+            );
+            prop_assert!(f.uncertainty().is_finite());
+            prop_assert!(Area::square(200.0).contains(f.estimate()));
+        }
+    }
+
+    /// Every backend's checkpoint restores to an estimator that equals the
+    /// original field for field — including mid-window, with a window open
+    /// and beacons partially accumulated.
+    #[test]
+    fn backend_checkpoints_round_trip_for_every_algorithm(
+        seed in 0u64..200,
+        beacons_per in 0usize..6,
+        windows in 1u32..4,
+        open in any::<bool>(),
+    ) {
+        let ch = RfChannel::default();
+        let table = calibrate(
+            &ch,
+            &CalibrationConfig { samples_per_distance: 30, ..Default::default() },
+            &mut SeedSplitter::new(seed).stream("cal", 0),
+        );
+        let grid = GridConfig::new(Area::square(200.0), 4.0);
+        let robot = Point::new(100.0, 100.0);
+        for algorithm in RfAlgorithm::ALL {
+            let mut est = WindowedRfEstimator::with_algorithm(grid, algorithm);
+            let mut rng = SeedSplitter::new(seed).stream("b", 0);
+            use rand::Rng;
+            for w in 0..windows {
+                est.note_odometry(Point::new(100.0 + f64::from(w), 100.0));
+                est.begin_window();
+                for _ in 0..beacons_per {
+                    let b = Point::new(rng.gen::<f64>() * 200.0, rng.gen::<f64>() * 200.0);
+                    let rssi = ch.sample_rssi(b.distance_to(robot).max(0.5), &mut rng);
+                    est.observe_beacon(&table, b, rssi);
+                }
+                if w + 1 < windows || !open {
+                    est.end_window();
+                }
+            }
+            let c = est.checkpoint();
+            prop_assert_eq!(c.algorithm(), algorithm);
+            let restored = WindowedRfEstimator::from_checkpoint(grid, c.clone());
+            prop_assert_eq!(&restored, &est, "{} restore must be exact", algorithm);
+            prop_assert_eq!(restored.checkpoint(), c, "{} re-checkpoint must be exact", algorithm);
+        }
     }
 }
 

@@ -56,8 +56,9 @@ pub const SNAPSHOT_MAGIC: [u8; 4] = *b"CSNP";
 /// Version of the snapshot wire schema. Bump whenever the meaning of any
 /// section's bytes changes; readers reject other versions outright rather
 /// than guessing. (v3: the telemetry section gained deterministic
-/// histogram state after the counters vector.)
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
+/// histogram state after the counters vector. v4: the estimator section
+/// became backend-tagged — Bayes, multilateration, or EKF payloads.)
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
 
 /// A typed decode failure. Corrupted input surfaces here — never a panic.
 #[derive(Debug, Clone, PartialEq, Eq)]

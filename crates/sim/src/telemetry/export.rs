@@ -450,6 +450,8 @@ mod tests {
         let mut snap = MetricsSnapshot::new();
         snap.push_counter("traffic.fixes", 42);
         snap.push_counter("mesh.data_delivered", 7);
+        snap.push_counter("estimator.ekf.beacons_rejected_outlier", 5);
+        snap.push_counter("estimator.ekf.updates_gated", 2);
         snap.push_gauge("sweep.points_total", 3.0);
         let mut h = Histogram::new();
         for x in [0.5, 1.0, 2.0, -3.0, 0.0] {
@@ -463,7 +465,14 @@ mod tests {
     fn exposition_round_trips_through_the_validator() {
         let text = sample_snapshot().to_exposition();
         let families = parse_exposition(&text).expect("own output must validate");
-        assert_eq!(families.len(), 4);
+        assert_eq!(families.len(), 6);
+        // The estimator-backend namespace survives the sanitizer and the
+        // strict parser like every other dotted counter name.
+        let outliers = families
+            .iter()
+            .find(|f| f.name == "cocoa_estimator_ekf_beacons_rejected_outlier_total")
+            .unwrap();
+        assert_eq!(outliers.value, 5.0);
         let hist = families
             .iter()
             .find(|f| f.kind == FamilyKind::Histogram)
