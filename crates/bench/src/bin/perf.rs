@@ -33,7 +33,8 @@ use cocoa_core::experiment::{
     ablation_estimator, fig7_comparison, fig9_scenarios, ExperimentScale,
 };
 use cocoa_core::metrics::RunMetrics;
-use cocoa_core::runner::{run, SimRun};
+use cocoa_core::runner::{run, WarmArtifacts};
+use cocoa_core::serve::{client, ServeConfig, Server};
 use cocoa_localization::adaptive::AdaptiveGrid;
 use cocoa_localization::bayes::{radial_constraints_for_grid, BayesianLocalizer};
 use cocoa_localization::grid::{GridConfig, PositionGrid};
@@ -307,30 +308,69 @@ fn main() -> ExitCode {
     let cold: Vec<RunMetrics> = scenarios.iter().map(run).collect();
     let snap_cold_secs = t0.elapsed().as_secs_f64();
     let t0 = Instant::now();
-    let mut seed_run = SimRun::new(&scenarios[0], Telemetry::off());
-    let snapshot = seed_run.capture();
-    let (table, radial) = seed_run.calibration();
-    drop(seed_run);
+    let artifacts = WarmArtifacts::build(&scenarios[0]);
     let snap_setup_secs = t0.elapsed().as_secs_f64();
     let warm: Vec<RunMetrics> = scenarios
         .iter()
         .map(|s| {
-            SimRun::warm_fork(
-                &snapshot,
-                s,
-                table.clone(),
-                radial.clone(),
-                Telemetry::off(),
-            )
-            .expect("fig9 points are fork-compatible")
-            .finish()
-            .0
+            artifacts
+                .fork(s, Telemetry::off())
+                .expect("fig9 points are fork-compatible")
+                .finish()
+                .0
         })
         .collect();
     let snap_warm_secs = t0.elapsed().as_secs_f64();
     assert_eq!(cold, warm, "warm forks must be bit-identical to cold runs");
     let snap_speedup = snap_cold_secs / snap_warm_secs;
-    let snapshot_bytes = snapshot.len();
+    let snapshot_bytes = artifacts.snapshot_bytes().len();
+
+    // Serve round trip: an in-process `cocoa-serve` server on an
+    // ephemeral port, timed through the bundled HTTP client (the exact
+    // `--submit` code path). Cold executes the run; an identical
+    // resubmission must come from the results cache with a byte-identical
+    // body; a same-family spec at a different beacon period forks from
+    // the warm-artifact cache instead of cold-starting. The ≥5× floor on
+    // the cold/cached ratio is deliberately loose — a cache hit skips the
+    // whole simulation, so anything near the floor means the cache broke.
+    let serve_spec = "{\"seed\": 42, \"robots\": 10, \"equipped\": 5, \
+                      \"duration_s\": 300, \"period_s\": 100}";
+    let serve_warm_spec = "{\"seed\": 42, \"robots\": 10, \"equipped\": 5, \
+                           \"duration_s\": 300, \"period_s\": 50}";
+    let server = Server::start(ServeConfig {
+        quiet: true,
+        ..ServeConfig::default()
+    })
+    .expect("serve bench server starts");
+    let serve_addr = server.local_addr().to_string();
+    let t0 = Instant::now();
+    let serve_cold = client::submit(&serve_addr, serve_spec).expect("cold submit");
+    let serve_cold_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let serve_cached = client::submit(&serve_addr, serve_spec).expect("cached submit");
+    let serve_cached_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let serve_warm = client::submit(&serve_addr, serve_warm_spec).expect("warm submit");
+    let serve_warm_secs = t0.elapsed().as_secs_f64();
+    assert_eq!(serve_cold.status, 200, "{}", serve_cold.body_str());
+    assert_eq!(serve_cold.cache_status(), Some("miss"));
+    assert_eq!(serve_cached.cache_status(), Some("hit"));
+    assert_eq!(serve_warm.status, 200, "{}", serve_warm.body_str());
+    let serve_warm_forks = server
+        .counters()
+        .into_iter()
+        .find(|(name, _)| *name == "serve.warm_forks")
+        .map_or(0, |(_, v)| v);
+    assert_eq!(serve_warm_forks, 1, "warm spec must fork cached artifacts");
+    let serve_bit_identical = serve_cold.body == serve_cached.body;
+    assert!(serve_bit_identical, "cached body must be byte-identical");
+    let serve_cache_speedup = serve_cold_secs / serve_cached_secs.max(1e-9);
+    assert!(
+        serve_cache_speedup >= 5.0,
+        "cache hit only {serve_cache_speedup:.1}x faster than cold \
+         ({serve_cold_secs:.4} s vs {serve_cached_secs:.4} s)"
+    );
+    drop(server);
 
     println!("grid update (naive):   {}", fmt_ops(grid_naive));
     println!(
@@ -373,6 +413,10 @@ fn main() -> ExitCode {
     println!(
         "warm-start sweep:      cold {snap_cold_secs:.2} s, warm {snap_warm_secs:.2} s \
          ({snap_speedup:.2}x, setup {snap_setup_secs:.3} s, snapshot {snapshot_bytes} B)"
+    );
+    println!(
+        "serve round trip:      cold {serve_cold_secs:.3} s, cached {serve_cached_secs:.4} s \
+         ({serve_cache_speedup:.0}x), warm fork {serve_warm_secs:.3} s"
     );
 
     let json = format!(
@@ -431,6 +475,16 @@ fn main() -> ExitCode {
     );
     std::fs::write("BENCH_estimator.json", &est_json).expect("write BENCH_estimator.json");
     println!("wrote BENCH_estimator.json");
+
+    let serve_json = format!(
+        "{{\n  \"serve_cold_wall_secs\": {serve_cold_secs:.4},\n  \
+         \"serve_cached_wall_secs\": {serve_cached_secs:.5},\n  \
+         \"serve_warm_wall_secs\": {serve_warm_secs:.4},\n  \
+         \"serve_cache_speedup\": {serve_cache_speedup:.1},\n  \
+         \"serve_bit_identical\": {serve_bit_identical}\n}}\n"
+    );
+    std::fs::write("BENCH_serve.json", &serve_json).expect("write BENCH_serve.json");
+    println!("wrote BENCH_serve.json");
 
     if do_record {
         let current = match regress::load_current(Path::new(".")) {

@@ -112,6 +112,20 @@ pub const SPECS: &[MetricSpec] = &[
     // `true` baseline fails — bit-identical warm resume is an invariant,
     // not a performance number.
     spec("bit_identical", HigherIsBetter, 0.0),
+    // --- BENCH_serve.json: the cocoa-serve round trip. The cold leg is
+    // one full run plus HTTP overhead; the cached leg must be served
+    // straight from the results cache, so the cold/cached ratio collapses
+    // toward 1 the moment the cache stops working — that ratio is the
+    // gate (perf itself also asserts an absolute ≥5× floor). The cached
+    // wall time alone is sub-millisecond scheduler noise, so it is
+    // tracked but informational.
+    spec("serve_cold_wall_secs", LowerIsBetter, 1.0),
+    spec("serve_cached_wall_secs", Informational, 0.0),
+    spec("serve_warm_wall_secs", LowerIsBetter, 1.0),
+    spec("serve_cache_speedup", HigherIsBetter, 0.8),
+    // Byte-identical cold vs cached bodies is an invariant, like
+    // `bit_identical` above.
+    spec("serve_bit_identical", HigherIsBetter, 0.0),
 ];
 
 const fn spec(key: &'static str, direction: Direction, tolerance: f64) -> MetricSpec {
@@ -168,6 +182,7 @@ pub fn load_current(dir: &Path) -> Result<Metrics, String> {
         "BENCH_grid.json",
         "BENCH_snapshot.json",
         "BENCH_estimator.json",
+        "BENCH_serve.json",
     ] {
         let path = dir.join(name);
         let Ok(text) = fs::read_to_string(&path) else {

@@ -76,6 +76,17 @@ impl FleetStatus {
         }
     }
 
+    /// Appends `n` fresh pending points and returns the index of the
+    /// first one. A batch sweep knows its size up front, but a server
+    /// observes an open-ended job stream — each accepted job grows the
+    /// fleet by one and reports events under the returned index.
+    pub fn grow(&mut self, n: usize) -> usize {
+        let first = self.points.len();
+        self.points
+            .extend(std::iter::repeat_n(PointProgress::Pending, n));
+        first
+    }
+
     /// Folds one supervisor event into the per-point state machine.
     /// Terminal states are sticky: a zombie attempt (abandoned after
     /// its deadline) can never un-finish a point.
@@ -296,6 +307,20 @@ mod tests {
         assert_eq!(fleet.done(), 2);
         assert_eq!(fleet.failed(), 1);
         assert!(fleet.is_settled());
+    }
+
+    #[test]
+    fn grow_appends_pending_points() {
+        let mut fleet = FleetStatus::new(0);
+        assert_eq!(fleet.grow(1), 0);
+        assert_eq!(fleet.grow(2), 1);
+        assert_eq!(fleet.total(), 3);
+        assert_eq!(fleet.pending(), 3);
+        fleet.observe(JobEvent::Completed {
+            index: 2,
+            attempts: 1,
+        });
+        assert_eq!(fleet.done(), 1);
     }
 
     #[test]

@@ -269,6 +269,18 @@ impl SupervisorCounters {
         ]
     }
 
+    /// Accumulates another report's counters into this one. The serve
+    /// layer runs many single-job supervisions and keeps one
+    /// process-lifetime aggregate for its stats endpoint.
+    pub fn merge(&mut self, other: &SupervisorCounters) {
+        self.retries += other.retries;
+        self.timeouts += other.timeouts;
+        self.panics_caught += other.panics_caught;
+        self.checkpoints_written += other.checkpoints_written;
+        self.points_skipped_on_resume += other.points_skipped_on_resume;
+        self.snapshots_corrupt += other.snapshots_corrupt;
+    }
+
     /// Publishes the counters onto a telemetry bus.
     pub fn absorb_into(&self, telemetry: &mut Telemetry) {
         for (name, value) in self.as_pairs() {

@@ -21,7 +21,7 @@ use cocoa_sim::time::{SimDuration, SimTime};
 use cocoa_sim::telemetry::Telemetry;
 
 use crate::metrics::RunMetrics;
-use crate::runner::{run, SimRun};
+use crate::runner::{run, WarmArtifacts};
 use crate::scenario::{Scenario, ScenarioBuilder};
 
 /// How big to run an experiment.
@@ -81,7 +81,7 @@ fn run_parallel(scenarios: Vec<Scenario>) -> Vec<RunMetrics> {
 /// The base scenario's setup — validation, RF calibration, team
 /// placement, RNG stream splits — is performed once; each point then
 /// forks the captured state under its own schedule-side parameters via
-/// [`SimRun::warm_fork`], reusing the calibration tables instead of
+/// [`WarmArtifacts::fork`], reusing the calibration tables instead of
 /// recomputing them per run. A point that changes a setup-feeding field
 /// (and is therefore not fork-compatible with the base) falls back to a
 /// cold [`run`], so the output is always identical to what
@@ -91,18 +91,9 @@ pub fn run_warm_parallel(scenarios: Vec<Scenario>) -> Vec<RunMetrics> {
     let Some(first) = scenarios.first() else {
         return Vec::new();
     };
-    let mut base = SimRun::new(first, Telemetry::off());
-    let snapshot = base.capture();
-    let (table, radial) = base.calibration();
-    drop(base);
+    let artifacts = std::sync::Arc::new(WarmArtifacts::build(first));
     crate::executor::map_bounded(scenarios, move |s| {
-        match SimRun::warm_fork(
-            &snapshot,
-            s,
-            table.clone(),
-            radial.clone(),
-            Telemetry::off(),
-        ) {
+        match artifacts.fork(s, Telemetry::off()) {
             Ok(fork) => fork.finish().0,
             Err(_) => run(s),
         }
@@ -594,7 +585,7 @@ pub fn fig9_period(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
 
 /// [`fig9_period`] on the warm-start path: the seed's setup is captured
 /// once as a time-zero snapshot and every `(period, coordination)` point
-/// forks it via [`SimRun::warm_fork`]. Produces bit-identical figures to
+/// forks it via [`WarmArtifacts::fork`]. Produces bit-identical figures to
 /// [`fig9_period`] (pinned by test) in less wall-clock time.
 pub fn fig9_period_warm(scale: ExperimentScale, periods_s: &[u64]) -> Fig9Period {
     fig9_assemble(

@@ -25,7 +25,9 @@
 //!   ledger;
 //! - [`experiment`]: one driver per paper figure (4 through 10);
 //! - [`tracefile`]: the read side of the telemetry bus — JSONL trace
-//!   parsing, validation and the queries behind `cocoa-trace`.
+//!   parsing, validation and the queries behind `cocoa-trace`;
+//! - [`serve`]: sweep-as-a-service — the `cocoa-serve` batch server with
+//!   single-flight scenario dedup and a warm-artifact cache.
 //!
 //! # Examples
 //!
@@ -54,6 +56,7 @@ pub mod report;
 pub mod robot;
 pub mod runner;
 pub mod scenario;
+pub mod serve;
 pub mod sync;
 pub mod tracefile;
 pub mod world;
@@ -74,6 +77,7 @@ pub mod prelude {
     pub use crate::robot::Robot;
     pub use crate::runner::{run, run_traced, run_with_telemetry};
     pub use crate::scenario::{Scenario, ScenarioBuilder};
+    pub use crate::serve::{parse_spec, request_fingerprint, ServeConfig, ServeRequest, Server};
     pub use crate::sync::{DriftingClock, SyncMessage};
     pub use crate::tracefile::{TraceError, TraceFile};
     pub use crate::world::mesh::{make_backend, MeshBackend};

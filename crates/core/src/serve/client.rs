@@ -1,0 +1,259 @@
+//! The bundled `cocoa-serve` client: submit specs, tail JSONL streams,
+//! decode final metrics — all over `std::net`, no external tools.
+//!
+//! Every helper opens one connection, sends one request and reads one
+//! `Connection: close` response. [`submit_tailed`] additionally relays
+//! each complete body line to a writer *as it arrives*, which is what
+//! `cocoa-serve --submit` uses to tail a run from a terminal.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+
+use crate::executor::manifest::decode_metrics;
+use crate::metrics::RunMetrics;
+
+use super::http::from_hex;
+
+/// One parsed HTTP response.
+pub struct ClientResponse {
+    /// The HTTP status code.
+    pub status: u16,
+    /// Response headers as `(name, value)` pairs, order preserved.
+    pub headers: Vec<(String, String)>,
+    /// The raw body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// A header value by case-insensitive name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n.eq_ignore_ascii_case(name))
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The `X-Cocoa-Cache` provenance (`miss`, `join` or `hit`).
+    pub fn cache_status(&self) -> Option<&str> {
+        self.header("X-Cocoa-Cache")
+    }
+
+    /// The body as (lossy) UTF-8.
+    pub fn body_str(&self) -> String {
+        String::from_utf8_lossy(&self.body).into_owned()
+    }
+
+    /// The telemetry portion of a run body: everything before the
+    /// `serve.metrics` trailer line — byte-for-byte what a local run
+    /// would have written with `--trace-out`.
+    pub fn telemetry_jsonl(&self) -> String {
+        let body = self.body_str();
+        match body.rfind("{\"kind\":\"serve.metrics\"") {
+            Some(pos) => body[..pos].to_string(),
+            None => body,
+        }
+    }
+
+    /// The `serve.metrics` trailer line, if present.
+    fn metrics_line(&self) -> Option<String> {
+        let body = self.body_str();
+        let pos = body.rfind("{\"kind\":\"serve.metrics\"")?;
+        Some(body[pos..].trim_end().to_string())
+    }
+
+    /// Decodes the final [`RunMetrics`] from the trailer line. The
+    /// hex payload is the byte-exact `encode_metrics` form, so the
+    /// decoded value equals the server's local metrics exactly.
+    ///
+    /// # Errors
+    ///
+    /// A message if the body has no trailer, the hex is malformed, or
+    /// the metrics codec rejects the payload.
+    pub fn metrics(&self) -> Result<RunMetrics, String> {
+        let line = self
+            .metrics_line()
+            .ok_or_else(|| "response has no serve.metrics line".to_string())?;
+        let object = crate::tracefile::parse_flat_object(&line)?;
+        let hex = object
+            .get("metrics_hex")
+            .and_then(|v| v.as_str())
+            .ok_or_else(|| "serve.metrics line has no metrics_hex".to_string())?;
+        let bytes = from_hex(hex)?;
+        decode_metrics(&bytes).map_err(|e| e.to_string())
+    }
+}
+
+/// Sends one request and reads the whole response.
+///
+/// # Errors
+///
+/// A message on connection, write or read failure, or a malformed
+/// response head.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+) -> Result<ClientResponse, String> {
+    request_tailed(addr, method, path, body, None)
+}
+
+/// Like [`request`], but relays each complete body line to `tail` as
+/// it arrives off the socket.
+///
+/// # Errors
+///
+/// As [`request`]; tail-writer errors are ignored (the response is
+/// still returned in full).
+pub fn request_tailed(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: &[u8],
+    mut tail: Option<&mut dyn Write>,
+) -> Result<ClientResponse, String> {
+    let mut stream =
+        TcpStream::connect(addr).map_err(|e| format!("cannot connect to {addr}: {e}"))?;
+    let head = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nContent-Length: {}\r\n\
+         Connection: close\r\n\r\n",
+        body.len()
+    );
+    stream
+        .write_all(head.as_bytes())
+        .and_then(|()| stream.write_all(body))
+        .and_then(|()| stream.flush())
+        .map_err(|e| format!("cannot send request: {e}"))?;
+    read_response(&mut stream, &mut tail)
+}
+
+fn read_response(
+    stream: &mut TcpStream,
+    tail: &mut Option<&mut dyn Write>,
+) -> Result<ClientResponse, String> {
+    let mut buf = Vec::new();
+    let mut chunk = [0u8; 8192];
+    let head_len = loop {
+        if let Some(pos) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+            break pos;
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read response: {e}"))?;
+        if n == 0 {
+            return Err("connection closed before response head".into());
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    };
+    let head = std::str::from_utf8(&buf[..head_len])
+        .map_err(|_| "response head is not UTF-8".to_string())?;
+    let mut lines = head.split("\r\n");
+    let status_line = lines.next().unwrap_or("");
+    let status: u16 = status_line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("malformed status line '{status_line}'"))?;
+    let mut headers = Vec::new();
+    let mut content_length: Option<usize> = None;
+    for line in lines {
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_string();
+            let value = value.trim().to_string();
+            if name.eq_ignore_ascii_case("content-length") {
+                content_length = value.parse().ok();
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = buf[head_len + 4..].to_vec();
+    let mut emitted = emit_lines(tail, &body, 0);
+    loop {
+        if let Some(expected) = content_length {
+            if body.len() >= expected {
+                body.truncate(expected);
+                break;
+            }
+        }
+        let n = stream
+            .read(&mut chunk)
+            .map_err(|e| format!("read body: {e}"))?;
+        if n == 0 {
+            // `Connection: close` — EOF is the end of body when the
+            // server sent no Content-Length.
+            if content_length.map(|e| body.len() < e).unwrap_or(false) {
+                return Err("connection closed mid-body".into());
+            }
+            break;
+        }
+        body.extend_from_slice(&chunk[..n]);
+        emitted = emit_lines(tail, &body, emitted);
+    }
+    // Flush any unterminated final line.
+    if emitted < body.len() {
+        if let Some(out) = tail.as_mut() {
+            let _ = out.write_all(&body[emitted..]);
+            let _ = out.flush();
+        }
+    }
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Writes every complete (newline-terminated) line past `from` to the
+/// tail writer; returns the new high-water mark.
+fn emit_lines(tail: &mut Option<&mut dyn Write>, body: &[u8], from: usize) -> usize {
+    let Some(out) = tail.as_mut() else {
+        return from;
+    };
+    let Some(last_newline) = body[from..].iter().rposition(|&b| b == b'\n') else {
+        return from;
+    };
+    let upto = from + last_newline + 1;
+    let _ = out.write_all(&body[from..upto]);
+    let _ = out.flush();
+    upto
+}
+
+/// POSTs a spec to `/v1/runs` and returns the full response.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn submit(addr: &str, spec: &str) -> Result<ClientResponse, String> {
+    request(addr, "POST", "/v1/runs", spec.as_bytes())
+}
+
+/// POSTs a spec and tails the streamed JSONL to `out` line-by-line.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn submit_tailed(
+    addr: &str,
+    spec: &str,
+    out: &mut dyn Write,
+) -> Result<ClientResponse, String> {
+    request_tailed(addr, "POST", "/v1/runs", spec.as_bytes(), Some(out))
+}
+
+/// GETs a path (health, stats, fleet, spec template).
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn get(addr: &str, path: &str) -> Result<ClientResponse, String> {
+    request(addr, "GET", path, b"")
+}
+
+/// Asks the server to begin a graceful drain.
+///
+/// # Errors
+///
+/// As [`request`].
+pub fn shutdown(addr: &str) -> Result<ClientResponse, String> {
+    request(addr, "POST", "/v1/shutdown", b"")
+}

@@ -451,18 +451,123 @@ fn encode_scenario(s: &Scenario) -> Vec<u8> {
     buf
 }
 
+/// The setup-feeding subset of the scenario encoding: exactly the
+/// fields whose effects are baked into a time-zero snapshot during
+/// [`world::setup_world`] (seed, arena, team size and composition,
+/// speed range, estimator, grid resolution, channel, energy, odometry,
+/// mesh, multicast, clock skew). Two scenarios with identical immutable
+/// encodings are warm-fork compatible; everything else is schedule-side
+/// and may differ between a snapshot and its forks.
+///
+/// [`SimRun::warm_fork`] compares these bytes directly, so the
+/// compatibility check and the [`warm_fingerprint`] cache key can never
+/// drift apart.
+fn encode_scenario_immutable(s: &Scenario) -> Vec<u8> {
+    let mut buf = Vec::new();
+    put_u64(&mut buf, s.seed);
+    put_f64(&mut buf, s.area.x_min);
+    put_f64(&mut buf, s.area.x_max);
+    put_f64(&mut buf, s.area.y_min);
+    put_f64(&mut buf, s.area.y_max);
+    put_usize(&mut buf, s.num_robots);
+    put_usize(&mut buf, s.num_equipped);
+    put_f64(&mut buf, s.v_min);
+    put_f64(&mut buf, s.v_max);
+    put_u8(
+        &mut buf,
+        match s.mode {
+            EstimatorMode::OdometryOnly => 0,
+            EstimatorMode::RfOnly => 1,
+            EstimatorMode::Cocoa => 2,
+        },
+    );
+    put_u8(
+        &mut buf,
+        match s.rf_algorithm {
+            RfAlgorithm::Bayes => 0,
+            RfAlgorithm::Multilateration => 1,
+            RfAlgorithm::Ekf => 2,
+        },
+    );
+    put_f64(&mut buf, s.grid_resolution_m);
+    put_channel(&mut buf, &s.channel);
+    put_energy(&mut buf, &s.energy);
+    put_f64(&mut buf, s.odometry.displacement_sigma);
+    put_f64(&mut buf, s.odometry.angular_sigma);
+    put_f64(&mut buf, s.odometry.heading_drift_sigma);
+    put_u8(
+        &mut buf,
+        match s.mesh.mode {
+            MeshMode::Odmrp => 0,
+            MeshMode::Mrmm => 1,
+        },
+    );
+    put_u8(&mut buf, s.mesh.max_hops);
+    put_dur(&mut buf, s.mesh.fg_timeout);
+    put_dur(&mut buf, s.mesh.reply_delay);
+    put_dur(&mut buf, s.mesh.rebroadcast_jitter);
+    put_f64(&mut buf, s.mesh.range_m);
+    put_f64(&mut buf, s.mesh.lifetime_horizon_s);
+    put_f64(&mut buf, s.mesh.prune.min_lifetime_s);
+    put_u32(&mut buf, s.mesh.prune.redundancy_threshold);
+    put_dur(&mut buf, s.mesh.dedup_retention);
+    put_u8(
+        &mut buf,
+        match s.multicast {
+            MulticastProtocol::Flood => 0,
+            MulticastProtocol::Odmrp => 1,
+            MulticastProtocol::Mrmm => 2,
+        },
+    );
+    put_f64(&mut buf, s.clock_skew_ppm);
+    buf
+}
+
+/// CRC-fingerprints `payload` under the given codec version: the high
+/// 32 bits are the CRC-32 of the version-prefixed payload, the low 32
+/// bits its length. Prefixing the version means fingerprints computed
+/// by different snapshot schemas never collide, so caches keyed by a
+/// fingerprint (serve results, warm artifacts, sweep manifests) cannot
+/// cross-serve stale state after a codec bump.
+fn versioned_fingerprint(payload: &[u8], version: u32) -> u64 {
+    let mut buf = Vec::with_capacity(payload.len() + 4);
+    put_u32(&mut buf, version);
+    buf.extend_from_slice(payload);
+    (u64::from(cocoa_sim::snapshot::crc32(&buf)) << 32) | buf.len() as u64
+}
+
 /// A 64-bit fingerprint of a scenario's full configuration, derived
-/// from the same canonical encoding the snapshot codec persists.
+/// from the same canonical encoding the snapshot codec persists,
+/// prefixed with [`cocoa_sim::snapshot::SNAPSHOT_SCHEMA_VERSION`].
 ///
 /// Sweep manifests store one fingerprint per point so a manifest is
 /// never replayed against a different sweep: any scenario field that
-/// affects the simulation changes the encoding, hence the fingerprint.
-/// The high 32 bits are the CRC-32 of the encoding, the low 32 bits its
-/// length — cheap, stable across runs, and collision-resistant enough
-/// for sweep-shaped point counts.
+/// affects the simulation changes the encoding, hence the fingerprint,
+/// and a snapshot-codec version bump changes every fingerprint, so
+/// artifacts produced by one schema are never served against another.
+/// Cheap, stable across runs, and collision-resistant enough for
+/// sweep-shaped point counts.
 pub fn scenario_fingerprint(s: &Scenario) -> u64 {
-    let bytes = encode_scenario(s);
-    (u64::from(cocoa_sim::snapshot::crc32(&bytes)) << 32) | bytes.len() as u64
+    versioned_fingerprint(
+        &encode_scenario(s),
+        cocoa_sim::snapshot::SNAPSHOT_SCHEMA_VERSION,
+    )
+}
+
+/// A 64-bit fingerprint of only the scenario's *setup-feeding* fields
+/// (see [`SimRun::warm_fork`] for the list), version-prefixed like
+/// [`scenario_fingerprint`].
+///
+/// Two scenarios with equal warm fingerprints share calibration tables,
+/// radial constraint tables and the time-zero snapshot: any of them can
+/// be served by forking the same [`WarmArtifacts`]. Schedule-side
+/// fields (beacon period, windowing, faults, duration…) deliberately do
+/// not participate.
+pub fn warm_fingerprint(s: &Scenario) -> u64 {
+    versioned_fingerprint(
+        &encode_scenario_immutable(s),
+        cocoa_sim::snapshot::SNAPSHOT_SCHEMA_VERSION,
+    )
 }
 
 fn decode_scenario(r: &mut SnapshotReader<'_>) -> Result<Scenario, SnapshotError> {
@@ -2143,22 +2248,12 @@ impl SimRun {
             ));
         }
         drop(engine);
-        let base = &world.scenario;
-        let compatible = base.seed == scenario.seed
-            && base.area == scenario.area
-            && base.num_robots == scenario.num_robots
-            && base.num_equipped == scenario.num_equipped
-            && base.v_min == scenario.v_min
-            && base.v_max == scenario.v_max
-            && base.mode == scenario.mode
-            && base.rf_algorithm == scenario.rf_algorithm
-            && base.grid_resolution_m == scenario.grid_resolution_m
-            && base.channel == scenario.channel
-            && base.energy == scenario.energy
-            && base.odometry == scenario.odometry
-            && base.mesh == scenario.mesh
-            && base.multicast == scenario.multicast
-            && base.clock_skew_ppm == scenario.clock_skew_ppm;
+        // Byte-compare the canonical immutable encodings instead of a
+        // field-by-field check so this gate and the warm-artifact cache
+        // key (`warm_fingerprint`) can never disagree about what counts
+        // as setup-feeding.
+        let compatible =
+            encode_scenario_immutable(&world.scenario) == encode_scenario_immutable(scenario);
         if !compatible {
             return Err(malformed(
                 "warm fork scenario changes a setup-feeding field (seed, area, team, \
@@ -2187,6 +2282,94 @@ impl SimRun {
         })
     }
 }
+
+/// The scenario-immutable artifacts of one warm-fork family: the
+/// calibration PDF table, the radial constraint table and the time-zero
+/// snapshot bytes, split out of the per-run [`SimRun`] state so a
+/// single build can be shared (`Arc<WarmArtifacts>`) across worker
+/// threads and forked once per sweep point or served request.
+///
+/// The artifacts are keyed by [`warm_fingerprint`]: every scenario with
+/// the same setup-feeding fields forks the same artifacts regardless of
+/// its schedule-side knobs. `WarmArtifacts` is `Send + Sync` (asserted
+/// below), which is what lets the serve layer and `run_warm_parallel`
+/// hand one copy to many workers without cloning megabytes of tables.
+#[derive(Clone)]
+pub struct WarmArtifacts {
+    snapshot: Vec<u8>,
+    table: PdfTable,
+    radial: RadialConstraintTable,
+    fingerprint: u64,
+}
+
+impl WarmArtifacts {
+    /// Builds the artifacts for `base`'s warm-fork family: runs the
+    /// full setup (validation, RF calibration, team placement, RNG
+    /// stream splits), captures the time-zero snapshot, and extracts
+    /// the calibration tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` fails validation (same contract as
+    /// [`SimRun::new`]).
+    pub fn build(base: &Scenario) -> WarmArtifacts {
+        let mut run = SimRun::new(base, Telemetry::off());
+        let snapshot = run.capture();
+        let (table, radial) = run.calibration();
+        WarmArtifacts {
+            snapshot,
+            table,
+            radial,
+            fingerprint: warm_fingerprint(base),
+        }
+    }
+
+    /// The [`warm_fingerprint`] of the base scenario — the cache key
+    /// under which these artifacts serve repeat traffic.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The captured time-zero snapshot bytes.
+    pub fn snapshot_bytes(&self) -> &[u8] {
+        &self.snapshot
+    }
+
+    /// Whether `scenario` belongs to this artifact family (equal
+    /// [`warm_fingerprint`]), i.e. whether [`WarmArtifacts::fork`] can
+    /// serve it.
+    pub fn compatible_with(&self, scenario: &Scenario) -> bool {
+        self.fingerprint == warm_fingerprint(scenario)
+    }
+
+    /// Forks a run for `scenario` from the shared time-zero state,
+    /// cloning the calibration tables instead of recomputing them. See
+    /// [`SimRun::warm_fork`] for the compatibility contract.
+    ///
+    /// # Errors
+    ///
+    /// Fails when `scenario` changes a setup-feeding field or fails
+    /// validation.
+    pub fn fork(&self, scenario: &Scenario, telemetry: Telemetry) -> Result<SimRun, SnapshotError> {
+        SimRun::warm_fork(
+            &self.snapshot,
+            scenario,
+            self.table.clone(),
+            self.radial.clone(),
+            telemetry,
+        )
+    }
+}
+
+// The whole point of the artifact split: runs and artifacts must hand
+// off cleanly across worker threads. Compile-time, not a test, so a
+// regression (e.g. an Rc sneaking into WorldState) fails every build.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send::<SimRun>();
+    assert_send_sync::<WarmArtifacts>();
+};
 
 #[cfg(test)]
 mod tests {
@@ -2306,5 +2489,327 @@ mod tests {
             put_estimator(&mut again, &decoded);
             prop_assert_eq!(again, bytes, "re-encode must be byte-identical");
         }
+    }
+
+    /// Every `ScenarioBuilder` field must perturb the fingerprint: a
+    /// silently-unhashed field would let two different scenarios share a
+    /// cache slot and serve each other's results.
+    #[test]
+    fn every_builder_field_perturbs_the_fingerprint() {
+        use crate::scenario::ScenarioBuilder;
+        type Tweak = Box<dyn Fn(&mut ScenarioBuilder)>;
+        let default_duration = Scenario::builder().build().duration;
+        let perturbations: Vec<(&str, Tweak)> = vec![
+            (
+                "seed",
+                Box::new(|b| {
+                    b.seed(7);
+                }),
+            ),
+            (
+                "area",
+                Box::new(|b| {
+                    b.area(Area::square(300.0));
+                }),
+            ),
+            (
+                "robots",
+                Box::new(|b| {
+                    b.robots(40);
+                }),
+            ),
+            (
+                "equipped",
+                Box::new(|b| {
+                    b.equipped(10);
+                }),
+            ),
+            (
+                "duration",
+                Box::new(|b| {
+                    b.duration(SimDuration::from_secs(900));
+                }),
+            ),
+            (
+                "beacon_period",
+                Box::new(|b| {
+                    b.beacon_period(SimDuration::from_secs(50));
+                }),
+            ),
+            (
+                "transmit_window",
+                Box::new(|b| {
+                    b.transmit_window(SimDuration::from_secs(2));
+                }),
+            ),
+            (
+                "beacons_per_window",
+                Box::new(|b| {
+                    b.beacons_per_window(2);
+                }),
+            ),
+            (
+                "v_min",
+                Box::new(|b| {
+                    b.v_min(0.2);
+                }),
+            ),
+            (
+                "v_max",
+                Box::new(|b| {
+                    b.v_max(3.0);
+                }),
+            ),
+            (
+                "static_team",
+                Box::new(|b| {
+                    b.static_team().multicast(MulticastProtocol::Flood);
+                }),
+            ),
+            (
+                "mode",
+                Box::new(|b| {
+                    b.mode(EstimatorMode::OdometryOnly);
+                }),
+            ),
+            (
+                "rf_algorithm",
+                Box::new(|b| {
+                    b.rf_algorithm(RfAlgorithm::Ekf);
+                }),
+            ),
+            (
+                "coordination",
+                Box::new(|b| {
+                    b.coordination(false);
+                }),
+            ),
+            (
+                "grid_resolution",
+                Box::new(|b| {
+                    b.grid_resolution(4.0);
+                }),
+            ),
+            (
+                "channel",
+                Box::new(|b| {
+                    b.channel(ChannelParams {
+                        tx_power_dbm: 18.0,
+                        ..ChannelParams::default()
+                    });
+                }),
+            ),
+            (
+                "energy",
+                Box::new(|b| {
+                    b.energy(EnergyParams {
+                        idle_mw: 901.0,
+                        ..EnergyParams::default()
+                    });
+                }),
+            ),
+            (
+                "odometry",
+                Box::new(|b| {
+                    b.odometry(OdometryConfig {
+                        displacement_sigma: 0.17,
+                        ..OdometryConfig::default()
+                    });
+                }),
+            ),
+            (
+                "mesh",
+                Box::new(|b| {
+                    b.mesh(OdmrpConfig {
+                        max_hops: 9,
+                        ..OdmrpConfig::default()
+                    });
+                }),
+            ),
+            (
+                "multicast",
+                Box::new(|b| {
+                    b.multicast(MulticastProtocol::Odmrp);
+                }),
+            ),
+            (
+                "sync_enabled",
+                Box::new(|b| {
+                    b.sync_enabled(false);
+                }),
+            ),
+            (
+                "clock_skew_ppm",
+                Box::new(|b| {
+                    b.clock_skew_ppm(99.0);
+                }),
+            ),
+            (
+                "guard_band",
+                Box::new(|b| {
+                    b.guard_band(SimDuration::from_secs(2));
+                }),
+            ),
+            (
+                "snapshots",
+                Box::new(|b| {
+                    b.snapshots([SimTime::from_secs(100)]);
+                }),
+            ),
+            (
+                "relay_beaconing",
+                Box::new(|b| {
+                    b.relay_beaconing(true);
+                }),
+            ),
+            (
+                "packet_loss",
+                Box::new(|b| {
+                    b.packet_loss(0.1);
+                }),
+            ),
+            (
+                "faults",
+                Box::new(move |b| {
+                    let plan = FaultPlan::preset("burst30", default_duration, 50)
+                        .expect("burst30 is a canned preset");
+                    b.faults(plan);
+                }),
+            ),
+            (
+                "failover_missed_periods",
+                Box::new(|b| {
+                    b.failover_missed_periods(5);
+                }),
+            ),
+            (
+                "entropy_watchdog_frac",
+                Box::new(|b| {
+                    b.entropy_watchdog_frac(0.5);
+                }),
+            ),
+            (
+                "outlier_gate_m",
+                Box::new(|b| {
+                    b.outlier_gate_m(75.0);
+                }),
+            ),
+            (
+                "grid_pipeline",
+                Box::new(|b| {
+                    b.grid_pipeline(GridPipeline {
+                        adaptive: true,
+                        adaptive_coarse_factor: 8,
+                        ..GridPipeline::default()
+                    });
+                }),
+            ),
+            (
+                "grid_kernel",
+                Box::new(|b| {
+                    b.grid_kernel(GridKernel::Scalar);
+                }),
+            ),
+            (
+                "grid_precision",
+                Box::new(|b| {
+                    b.grid_precision(GridPrecision::F32);
+                }),
+            ),
+            (
+                "grid_fused",
+                Box::new(|b| {
+                    b.grid_fused(true);
+                }),
+            ),
+            (
+                "grid_adaptive",
+                Box::new(|b| {
+                    b.grid_adaptive(true);
+                }),
+            ),
+        ];
+        let mut seen: Vec<(&str, u64)> = vec![(
+            "default",
+            scenario_fingerprint(&Scenario::builder().build()),
+        )];
+        for (name, tweak) in &perturbations {
+            let mut b = Scenario::builder();
+            tweak(&mut b);
+            let s = b
+                .try_build()
+                .unwrap_or_else(|e| panic!("perturbation '{name}' must stay valid: {e}"));
+            let fp = scenario_fingerprint(&s);
+            for (other, other_fp) in &seen {
+                assert_ne!(
+                    fp, *other_fp,
+                    "field '{name}' collides with '{other}': the field is not hashed"
+                );
+            }
+            seen.push((name, fp));
+        }
+    }
+
+    /// The codec version participates in the hash, so fingerprints from
+    /// one snapshot schema never match another's: a v4 artifact cache
+    /// cannot serve a v5 request.
+    #[test]
+    fn fingerprints_are_schema_versioned() {
+        use cocoa_sim::snapshot::SNAPSHOT_SCHEMA_VERSION;
+        let s = Scenario::builder().build();
+        let full = encode_scenario(&s);
+        let immutable = encode_scenario_immutable(&s);
+        assert_eq!(
+            scenario_fingerprint(&s),
+            versioned_fingerprint(&full, SNAPSHOT_SCHEMA_VERSION)
+        );
+        assert_eq!(
+            warm_fingerprint(&s),
+            versioned_fingerprint(&immutable, SNAPSHOT_SCHEMA_VERSION)
+        );
+        assert_ne!(
+            versioned_fingerprint(&full, SNAPSHOT_SCHEMA_VERSION),
+            versioned_fingerprint(&full, SNAPSHOT_SCHEMA_VERSION + 1),
+            "a codec bump must change every scenario fingerprint"
+        );
+        assert_ne!(
+            versioned_fingerprint(&immutable, SNAPSHOT_SCHEMA_VERSION),
+            versioned_fingerprint(&immutable, SNAPSHOT_SCHEMA_VERSION + 1),
+            "a codec bump must change every warm fingerprint"
+        );
+    }
+
+    /// The warm fingerprint tracks only setup-feeding fields: schedule
+    /// knobs fork the same artifacts, setup knobs do not.
+    #[test]
+    fn warm_fingerprint_ignores_schedule_side_fields() {
+        let base = Scenario::builder().build();
+        let schedule = Scenario::builder()
+            .beacon_period(SimDuration::from_secs(50))
+            .duration(SimDuration::from_secs(600))
+            .coordination(false)
+            .build();
+        assert_eq!(
+            warm_fingerprint(&base),
+            warm_fingerprint(&schedule),
+            "schedule-side fields must not split the warm-artifact family"
+        );
+        assert_ne!(
+            scenario_fingerprint(&base),
+            scenario_fingerprint(&schedule),
+            "the full fingerprint must still tell the requests apart"
+        );
+        let setup = Scenario::builder().seed(7).build();
+        assert_ne!(
+            warm_fingerprint(&base),
+            warm_fingerprint(&setup),
+            "setup-feeding fields must split the family"
+        );
+        // The compatibility gate agrees with the cache key, both ways.
+        let artifacts = WarmArtifacts::build(&base);
+        assert!(artifacts.compatible_with(&schedule));
+        assert!(!artifacts.compatible_with(&setup));
+        assert!(artifacts.fork(&schedule, Telemetry::off()).is_ok());
+        assert!(artifacts.fork(&setup, Telemetry::off()).is_err());
     }
 }

@@ -1,0 +1,97 @@
+//! Minimal, dependency-free graceful-shutdown plumbing for long-running
+//! CoCoA binaries (`cocoa-serve`, long sweeps).
+//!
+//! The rest of the workspace is `#![forbid(unsafe_code)]`; the one
+//! operation that genuinely needs `unsafe` — registering a process
+//! signal handler via `signal(2)` — is quarantined here behind a safe,
+//! atomic-flag API. The handler itself only stores to an [`AtomicBool`]
+//! (the canonical async-signal-safe action), and consumers poll
+//! [`shutdown_requested`] from their accept/drain loops.
+//!
+//! On non-Unix targets [`install_shutdown_handler`] is a no-op: the
+//! flag still works, but only [`request_shutdown`] (e.g. an admin
+//! endpoint) can raise it.
+
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+mod imp {
+    /// POSIX signal numbers (stable on every Unix Rust targets).
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    extern "C" {
+        /// `signal(2)` from the platform libc, which std already links.
+        /// Declared with a typed handler so no pointer casts are needed;
+        /// the previous-handler return value is ignored.
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: the one action that is unconditionally
+        // async-signal-safe. Everything else (draining, persisting)
+        // happens on the main thread when it next polls the flag.
+        super::SHUTDOWN.store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Registers SIGTERM/SIGINT handlers that raise the shutdown flag.
+///
+/// Idempotent; call once near the top of `main`. A no-op on non-Unix
+/// targets.
+pub fn install_shutdown_handler() {
+    #[cfg(unix)]
+    imp::install();
+}
+
+/// Whether a shutdown has been requested, by signal or by
+/// [`request_shutdown`].
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raises the shutdown flag programmatically — the path an admin
+/// endpoint or a test uses instead of delivering a real signal.
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Lowers the flag again. Tests use this to isolate cases; a server
+/// that wants "resume accepting after a cancelled drain" semantics may
+/// too.
+pub fn reset_shutdown() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flag_round_trips() {
+        reset_shutdown();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset_shutdown();
+        assert!(!shutdown_requested());
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn handler_installation_is_idempotent() {
+        install_shutdown_handler();
+        install_shutdown_handler();
+    }
+}
